@@ -1,0 +1,83 @@
+"""Extension benchmarks (beyond the paper's figures).
+
+* maximum-clique branch-and-bound vs full enumeration;
+* dynamic index repair vs from-scratch re-enumeration;
+* the general hereditary framework vs its no-pivot baseline;
+* exact-Fraction arithmetic overhead vs floats.
+"""
+
+import pytest
+
+from repro.core import (
+    DynamicCliqueIndex,
+    SearchStats,
+    enumerate_maximal_cliques,
+    maximum_k_eta_clique,
+)
+from repro.hereditary import CliqueProperty, enumerate_maximal_sets
+
+from benchmarks.conftest import BENCH_ETA, BENCH_K
+
+
+def test_maximum_clique_vs_enumeration(benchmark, soflow):
+    stats_holder = {}
+
+    def run():
+        stats = SearchStats()
+        best = maximum_k_eta_clique(soflow, BENCH_K, BENCH_ETA, stats)
+        stats_holder["calls"] = stats.calls
+        return best
+
+    best = benchmark.pedantic(run, rounds=3, iterations=1)
+    full = enumerate_maximal_cliques(
+        soflow, BENCH_K, BENCH_ETA, "pmuc+", on_clique=lambda c: None
+    )
+    benchmark.extra_info.update(
+        best_size=len(best),
+        bnb_calls=stats_holder["calls"],
+        enumeration_calls=full.stats.calls,
+    )
+    assert stats_holder["calls"] < full.stats.calls
+
+
+def test_dynamic_repair_vs_recompute(benchmark, enron):
+    index = DynamicCliqueIndex(enron, BENCH_K, BENCH_ETA)
+    edges = [(u, v, p) for u, v, p in enron.edges()][:20]
+    state = {"i": 0}
+
+    def one_cycle():
+        u, v, p = edges[state["i"] % len(edges)]
+        state["i"] += 1
+        index.remove_edge(u, v)
+        index.add_edge(u, v, p)
+
+    benchmark(one_cycle)
+    benchmark.extra_info.update(cliques=len(index), repairs=index.repairs)
+    assert index.check()
+
+
+def test_hereditary_pivot_vs_plain(benchmark, enron):
+    backbone = enron.subgraph(list(enron.vertices())[:120]).to_deterministic()
+    prop = CliqueProperty(backbone)
+
+    result = benchmark.pedantic(
+        enumerate_maximal_sets, args=(prop,), rounds=2, iterations=1
+    )
+    plain = enumerate_maximal_sets(prop, use_pivot=False)
+    benchmark.extra_info.update(
+        pivot_calls=result.stats.calls, plain_calls=plain.stats.calls
+    )
+    assert set(result.cliques) == set(plain.cliques)
+
+
+@pytest.mark.parametrize("mode", ("float", "fraction"))
+def test_exact_arithmetic_overhead(benchmark, enron, mode):
+    graph = enron if mode == "float" else enron.with_exact_probabilities()
+    result = benchmark.pedantic(
+        enumerate_maximal_cliques,
+        args=(graph, BENCH_K, BENCH_ETA, "pmuc+"),
+        kwargs={"on_clique": lambda c: None},
+        rounds=2,
+        iterations=1,
+    )
+    benchmark.extra_info.update(mode=mode, cliques=result.stats.outputs)

@@ -1,0 +1,36 @@
+"""Exp-7 / Fig. 10 — memory overhead of the enumeration algorithms.
+
+Measures peak tracemalloc bytes per algorithm; the paper's claim is
+that all three stay within a small multiple of the graph footprint
+(the search is depth-first, so the state is O(n + m)).
+"""
+
+import pytest
+
+from repro.bench import peak_memory_bytes
+from repro.core import enumerate_maximal_cliques
+from repro.datasets import load_dataset
+
+from benchmarks.conftest import BENCH_ETA, BENCH_K
+
+
+@pytest.mark.parametrize("name", ("enron", "cahepph", "soflow"))
+@pytest.mark.parametrize("algorithm", ("muc", "pmuc", "pmuc+"))
+def test_fig10_memory(benchmark, dataset_by_name, name, algorithm):
+    graph = dataset_by_name[name]
+    graph_bytes = peak_memory_bytes(lambda: load_dataset(name))
+
+    def measure():
+        return peak_memory_bytes(
+            lambda: enumerate_maximal_cliques(
+                graph, BENCH_K, BENCH_ETA, algorithm, on_clique=lambda c: None
+            )
+        )
+
+    peak = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        dataset=name, algorithm=algorithm,
+        graph_mb=round(graph_bytes / 1e6, 3), peak_mb=round(peak / 1e6, 3),
+    )
+    # DFS state stays within a small multiple of the graph footprint.
+    assert peak < 40 * max(graph_bytes, 1)

@@ -1,0 +1,62 @@
+"""Exp-1 / Fig. 3 — runtime of MUC vs PMUC vs PMUC+.
+
+One benchmark per (dataset, algorithm) at the representative default
+point (k = 6, η = 0.1); the k- and η-sweeps that regenerate the full
+figure are exercised at a coarse grid in ``test_fig3_series`` and are
+available in full via ``repro-bench fig3``.
+
+Paper shape to reproduce: PMUC+ <= PMUC < MUC, with the gap growing on
+denser graphs and larger k.
+"""
+
+import pytest
+
+from repro.bench import experiment_fig3
+from repro.core import enumerate_maximal_cliques
+
+from benchmarks.conftest import BENCH_ETA, BENCH_K
+
+ALGORITHMS = ("muc", "pmuc", "pmuc+")
+
+
+@pytest.mark.parametrize("name", ("enron", "cahepph", "soflow"))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig3_runtime(benchmark, dataset_by_name, name, algorithm):
+    graph = dataset_by_name[name]
+    result = benchmark.pedantic(
+        enumerate_maximal_cliques,
+        args=(graph, BENCH_K, BENCH_ETA, algorithm),
+        kwargs={"on_clique": lambda c: None},
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        dataset=name, k=BENCH_K, eta=BENCH_ETA,
+        cliques=result.stats.outputs, calls=result.stats.calls,
+    )
+    assert result.stats.calls > 0
+
+
+def test_fig3_series(benchmark):
+    """Coarse version of the full Fig. 3 sweep; the series (per
+    dataset × sweep × algorithm) lands in extra_info."""
+    rows = benchmark.pedantic(
+        experiment_fig3,
+        kwargs=dict(datasets=("enron",), ks=(4, 6, 8), etas=(0.05, 0.1)),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["series"] = [
+        f"{r['sweep']}={r['k'] if r['sweep'] == 'k' else r['eta']}"
+        f" {r['algorithm']}={r['seconds']}s/{r['cliques']}c"
+        for r in rows
+    ]
+    # The paper's claim at the aggregate level: the pivot algorithm
+    # never explores more tree nodes than set enumeration.
+    by_key = {}
+    for r in rows:
+        by_key.setdefault((r["sweep"], r["k"], r["eta"]), {})[r["algorithm"]] = r
+    for group in by_key.values():
+        assert group["pmuc"]["calls"] <= group["muc"]["calls"]
+        assert group["pmuc"]["cliques"] == group["muc"]["cliques"]
+        assert group["pmuc+"]["cliques"] == group["muc"]["cliques"]

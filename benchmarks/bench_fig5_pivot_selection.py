@@ -1,0 +1,40 @@
+"""Exp-3 / Fig. 5 — effect of the pivot-selection strategy.
+
+PMUC-D (max degree) vs PMUC-CD (max color number) vs PMUC+ (hybrid).
+Paper shape: PMUC+ fastest, PMUC-D worst.
+"""
+
+import pytest
+
+from repro.bench import PIVOT_VARIANTS
+from repro.core import PivotEnumerator
+
+from benchmarks.conftest import BENCH_ETA, BENCH_K
+
+
+@pytest.mark.parametrize("name", ("cahepph", "soflow"))
+@pytest.mark.parametrize("variant", sorted(PIVOT_VARIANTS))
+def test_fig5_pivot_strategy(benchmark, dataset_by_name, name, variant):
+    graph = dataset_by_name[name]
+    config = PIVOT_VARIANTS[variant]
+
+    def run():
+        return PivotEnumerator(
+            graph, BENCH_K, BENCH_ETA, config, on_clique=lambda c: None
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info.update(
+        dataset=name, variant=variant, k=BENCH_K, eta=BENCH_ETA,
+        cliques=result.stats.outputs, calls=result.stats.calls,
+    )
+    assert result.stats.outputs > 0
+
+
+def test_fig5_strategies_agree(dataset_by_name):
+    graph = dataset_by_name["soflow"]
+    outputs = {
+        variant: set(PivotEnumerator(graph, BENCH_K, BENCH_ETA, config).run().cliques)
+        for variant, config in PIVOT_VARIANTS.items()
+    }
+    assert outputs["PMUC-D"] == outputs["PMUC-CD"] == outputs["PMUC+"]

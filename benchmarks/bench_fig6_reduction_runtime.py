@@ -1,0 +1,40 @@
+"""Exp-4 / Fig. 6 — runtime of the graph reduction techniques.
+
+TopCore ((Top_k, η)-core, Li et al.) vs TopTriangle (core followed by
+the (Top_k, η)-triangle of Section 5.2, as PMUC+ applies it).  Paper
+shape: TopCore is cheap and flat; TopTriangle costs more, increasingly
+so for small k / η.
+"""
+
+import pytest
+
+from repro.reduction import topk_core, topk_triangle
+
+from benchmarks.conftest import BENCH_ETA, BENCH_K
+
+
+@pytest.mark.parametrize("name", ("cahepph", "soflow"))
+def test_fig6_topcore(benchmark, dataset_by_name, name):
+    graph = dataset_by_name[name]
+    core = benchmark(topk_core, graph, BENCH_K - 1, BENCH_ETA)
+    benchmark.extra_info.update(
+        dataset=name, technique="TopCore",
+        remaining_vertices=core.num_vertices,
+    )
+    assert core.num_vertices <= graph.num_vertices
+
+
+@pytest.mark.parametrize("name", ("cahepph", "soflow"))
+def test_fig6_toptriangle(benchmark, dataset_by_name, name):
+    graph = dataset_by_name[name]
+
+    def reduce():
+        core = topk_core(graph, BENCH_K - 1, BENCH_ETA)
+        return topk_triangle(core, BENCH_K - 2, BENCH_ETA)
+
+    reduced = benchmark(reduce)
+    benchmark.extra_info.update(
+        dataset=name, technique="TopTriangle",
+        remaining_vertices=reduced.num_vertices,
+    )
+    assert reduced.num_vertices <= graph.num_vertices

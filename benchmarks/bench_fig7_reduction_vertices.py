@@ -1,0 +1,33 @@
+"""Exp-4 / Fig. 7 — pruning power of the graph reduction techniques.
+
+Reports (via extra_info) the number of vertices surviving TopCore vs
+TopTriangle over the k-sweep, and asserts the paper's claim (Lemma 10):
+TopTriangle never keeps more vertices than TopCore.
+"""
+
+import pytest
+
+from repro.bench import experiment_fig6_fig7
+
+from benchmarks.conftest import BENCH_ETA
+
+
+@pytest.mark.parametrize("name", ("cahepph", "soflow"))
+def test_fig7_remaining_vertices(benchmark, name):
+    rows = benchmark.pedantic(
+        experiment_fig6_fig7,
+        kwargs=dict(datasets=(name,), ks=(4, 6, 8, 10), etas=(BENCH_ETA,)),
+        rounds=1,
+        iterations=1,
+    )
+    series = {}
+    for row in rows:
+        series.setdefault((row["sweep"], row["k"], row["eta"]), {})[
+            row["technique"]
+        ] = row["remaining_vertices"]
+    benchmark.extra_info["series"] = {
+        f"k={k},eta={eta}": techniques
+        for (_sweep, k, eta), techniques in series.items()
+    }
+    for techniques in series.values():
+        assert techniques["TopTriangle"] <= techniques["TopCore"]

@@ -1,0 +1,45 @@
+"""Exp-6 / Fig. 9 — scalability on vertex/edge samples of the largest
+stand-in (Soflow).
+
+Paper shape: all algorithms grow smoothly with |V| and |E|; the pivot
+algorithms stay well below MUC at every fraction.
+"""
+
+import pytest
+
+from repro.core import enumerate_maximal_cliques
+from repro.datasets import (
+    load_weighted_edges,
+    sample_edges,
+    sample_vertices,
+    uncertain_from_weights,
+)
+
+from benchmarks.conftest import BENCH_ETA, BENCH_K
+
+FRACTIONS = (0.2, 0.6, 1.0)
+
+
+@pytest.fixture(scope="module")
+def soflow_edges():
+    return load_weighted_edges("soflow")
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+@pytest.mark.parametrize("mode", ("vertices", "edges"))
+@pytest.mark.parametrize("algorithm", ("muc", "pmuc+"))
+def test_fig9_sample(benchmark, soflow_edges, fraction, mode, algorithm):
+    sampler = sample_vertices if mode == "vertices" else sample_edges
+    graph = uncertain_from_weights(sampler(soflow_edges, fraction, seed=0))
+    result = benchmark.pedantic(
+        enumerate_maximal_cliques,
+        args=(graph, BENCH_K, BENCH_ETA, algorithm),
+        kwargs={"on_clique": lambda c: None},
+        rounds=2,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        mode=mode, fraction=fraction, algorithm=algorithm,
+        vertices=graph.num_vertices, edges=graph.num_edges,
+        cliques=result.stats.outputs,
+    )

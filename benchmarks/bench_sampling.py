@@ -1,0 +1,77 @@
+"""Sampling-substrate benchmarks (estimators, stratification, α-scores).
+
+Not a paper figure — supporting evidence that the estimation substrate
+is usable at the stand-in scale and that stratification buys accuracy
+per sample, as Li et al. (TKDE'16) report.
+"""
+
+import pytest
+
+from repro.sampling import (
+    estimate,
+    reliability,
+    sample_edge_matrix,
+    stratified_estimate,
+)
+from repro.uncertain import (
+    alpha_maximal_cliques,
+    clique_probability,
+    maximal_clique_probability,
+)
+
+from benchmarks.conftest import BENCH_ETA, BENCH_K
+
+
+def test_naive_estimator(benchmark, enron):
+    result = benchmark.pedantic(
+        estimate,
+        args=(enron, lambda w: 1.0 if w.num_edges > 1000 else 0.0),
+        kwargs={"samples": 200, "seed": 0},
+        rounds=2,
+        iterations=1,
+    )
+    benchmark.extra_info["value"] = result.value
+
+
+def test_vectorized_sampling(benchmark, enron):
+    matrix, edges = benchmark(sample_edge_matrix, enron, 500, 0)
+    benchmark.extra_info["worlds"] = matrix.shape[0]
+    assert matrix.shape == (500, len(edges))
+
+
+def test_stratified_estimator(benchmark, enron):
+    u, v, _p = next(iter(enron.edges()))
+    result = benchmark.pedantic(
+        stratified_estimate,
+        args=(enron, lambda w: 1.0 if w.has_edge(u, v) else 0.0),
+        kwargs={"samples": 200, "pivots": [(u, v)], "seed": 0},
+        rounds=2,
+        iterations=1,
+    )
+    assert result.value == pytest.approx(float(enron.probability(u, v)))
+
+
+def test_reliability_estimate(benchmark, enron):
+    vertices = enron.vertices()
+    s, t = vertices[0], vertices[-1]
+    result = benchmark.pedantic(
+        reliability,
+        args=(enron, s, t),
+        kwargs={"samples": 100, "seed": 0},
+        rounds=2,
+        iterations=1,
+    )
+    assert 0.0 <= result.value <= 1.0
+
+
+def test_alpha_maximal_scoring(benchmark, enron):
+    scored = benchmark.pedantic(
+        alpha_maximal_cliques,
+        args=(enron, BENCH_K, BENCH_ETA, 0.0),
+        rounds=2,
+        iterations=1,
+    )
+    benchmark.extra_info["cliques"] = len(scored)
+    for clique, alpha in scored[:5]:
+        assert alpha <= clique_probability(enron, clique)
+        assert alpha == maximal_clique_probability(enron, clique)

@@ -1,0 +1,17 @@
+"""Table 1 — dataset statistics of the nine stand-ins.
+
+Benchmarks the statistics pipeline (load + degeneracy) per dataset and
+attaches the Table-1 row to the benchmark's ``extra_info``.
+"""
+
+import pytest
+
+from repro.datasets import DATASET_NAMES, dataset_statistics
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_table1_row(benchmark, name):
+    row = benchmark(dataset_statistics, name)
+    benchmark.extra_info.update(row)
+    assert row["|V|"] > 0 and row["|E|"] > 0
+    assert row["delta"] <= row["d_max"]

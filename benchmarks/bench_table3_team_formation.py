@@ -1,0 +1,44 @@
+"""Exp-10 / Table 3 — task-driven team formation on the DBLP stand-in.
+
+Benchmarks team formation for the anchor author under two topics and
+asserts Table 3's qualitative outcome: the clique team is compact and
+topic-specific while the UKCore team is enormous.
+"""
+
+import pytest
+
+from repro.applications import form_teams
+from repro.datasets import generate_collaboration_network
+
+TOPICS = ("databases", "information networks")
+
+
+@pytest.fixture(scope="module")
+def collaboration():
+    return generate_collaboration_network(seed=0)
+
+
+@pytest.mark.parametrize("topic", TOPICS)
+def test_table3_topic(benchmark, collaboration, topic):
+    results = benchmark.pedantic(
+        form_teams,
+        args=(collaboration, topic, "anchor-0"),
+        rounds=2,
+        iterations=1,
+    )
+    by_method = {r.method: r for r in results}
+    benchmark.extra_info.update(
+        {m: r.size for m, r in by_method.items()}
+    )
+    assert "anchor-0" in by_method["PMUCE"].members
+    assert by_method["PMUCE"].size < by_method["UKCore"].size
+
+
+def test_table3_teams_depend_on_topic(collaboration):
+    teams = {
+        topic: {r.method: r for r in form_teams(collaboration, topic, "anchor-0")}[
+            "PMUCE"
+        ].members
+        for topic in TOPICS
+    }
+    assert teams["databases"] != teams["information networks"]

@@ -1,0 +1,39 @@
+"""Detecting protein complexes in an uncertain PPI network (Exp-8).
+
+Generates a PPI-style uncertain graph with planted complexes, predicts
+complexes with five methods (maximal (k, η)-cliques plus the paper's
+four baselines) and scores them by pair-level precision against the
+ground truth — a faithful re-run of Table 2 on the stand-in network.
+
+Run:  python examples/ppi_complexes.py
+"""
+
+from repro.applications import table2_reports
+from repro.bench import print_table
+from repro.core import enumerate_maximal_cliques
+from repro.datasets import generate_ppi_network
+
+
+def main() -> None:
+    network = generate_ppi_network(seed=0)
+    graph = network.graph
+    print(f"PPI stand-in: {graph} with {len(network.complexes)} planted "
+          f"complexes")
+
+    # What do the maximal (5, 0.1)-cliques look like?
+    result = enumerate_maximal_cliques(graph, k=5, eta=0.1)
+    sizes = sorted(len(c) for c in result.cliques)
+    print(f"maximal (5, 0.1)-cliques: {len(result)} "
+          f"(sizes {sizes[0]}..{sizes[-1]})")
+
+    # Table 2: precision of each method against the planted complexes.
+    rows = [report.as_row() for report in table2_reports(network)]
+    print()
+    print_table(rows, title="Table 2 (stand-in): clustering precision")
+
+    best = max(rows, key=lambda r: r["PR"])
+    print(f"\nbest precision: {best['Algorithm']} at {best['PR']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Quickstart: maximal (k, η)-clique enumeration in a few lines.
+
+Builds the paper's running example (Figure 1), enumerates its maximal
+(k, η)-cliques with the state-of-the-art baseline and with the pivot
+algorithms, and shows the search-effort statistics that motivate the
+whole paper.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import UncertainGraph, enumerate_maximal_cliques
+from repro.datasets import figure1_graph
+from repro.uncertain import clique_probability
+
+
+def main() -> None:
+    # --- 1. build an uncertain graph -------------------------------
+    graph = UncertainGraph()
+    graph.add_edge("alice", "bob", 0.9)
+    graph.add_edge("bob", "carol", 0.8)
+    graph.add_edge("alice", "carol", 0.85)
+    graph.add_edge("carol", "dan", 0.3)
+
+    result = enumerate_maximal_cliques(graph, k=2, eta=0.5)
+    print("maximal (2, 0.5)-cliques of the toy graph:")
+    for clique in result.cliques:
+        print(f"  {sorted(clique)}  Pr = {clique_probability(graph, clique):.3f}")
+
+    # --- 2. the paper's Figure-1 example ----------------------------
+    fig1 = figure1_graph()
+    print("\nFigure 1 graph:", fig1)
+    for eta in (0.65, 0.53):
+        cliques = enumerate_maximal_cliques(fig1, k=1, eta=eta)
+        print(f"  eta={eta}: {len(cliques)} maximal cliques, "
+              f"largest = {sorted(max(cliques, key=len))}")
+
+    # --- 3. why pivoting matters ------------------------------------
+    core = fig1.subgraph([4, 5, 6, 7, 8])  # a single 5-clique
+    print("\nsearch effort on the 5-clique subgraph (k=1, eta=0.5):")
+    for algorithm in ("muc-basic", "muc", "pmuc", "pmuc+"):
+        run = enumerate_maximal_cliques(core, 1, 0.5, algorithm)
+        print(f"  {algorithm:9s} recursive calls = {run.stats.calls:3d}  "
+              f"cliques = {len(run)}")
+
+
+if __name__ == "__main__":
+    main()

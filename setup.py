@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works in offline environments that
+lack the ``wheel`` package (pip then falls back to ``setup.py
+develop``).  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,91 @@
+"""repro — pivot-based maximal (k, η)-clique enumeration on uncertain graphs.
+
+A complete, from-scratch reproduction of *"Fast Maximal Clique
+Enumeration on Uncertain Graphs: A Pivot-based Approach"* (Dai, Li,
+Liao, Chen, Wang — SIGMOD 2022):
+
+* :mod:`repro.uncertain` — the uncertain-graph substrate (possible
+  worlds, clique probability, I/O);
+* :mod:`repro.core` — the ``MUC`` set-enumeration baseline and the
+  pivot-based ``PMUC`` / ``PMUC+`` algorithms;
+* :mod:`repro.hereditary` — the general pivot principle (Algorithm 2)
+  for arbitrary hereditary properties;
+* :mod:`repro.reduction` — the ``(Top_k, η)``-core and
+  ``(Top_k, η)``-triangle graph reductions and vertex orderings;
+* :mod:`repro.baselines` — UKCore / UKTruss / USCAN / PCluster used by
+  the case studies;
+* :mod:`repro.datasets` — seeded synthetic stand-ins for the paper's
+  nine datasets;
+* :mod:`repro.applications` — PPI clustering quality, community
+  search, task-driven team formation;
+* :mod:`repro.bench` — the per-figure/table experiment harness.
+
+Quickstart
+----------
+>>> from repro import UncertainGraph, enumerate_maximal_cliques
+>>> g = UncertainGraph([(0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.9)])
+>>> result = enumerate_maximal_cliques(g, k=3, eta=0.5)
+>>> sorted(result.cliques[0])
+[0, 1, 2]
+"""
+
+from repro.exceptions import (
+    DatasetError,
+    GraphError,
+    InvalidProbabilityError,
+    ParameterError,
+    ReproError,
+)
+from repro.uncertain import (
+    UncertainGraph,
+    clique_probability,
+    is_eta_clique,
+    is_maximal_k_eta_clique,
+    read_edge_list,
+    write_edge_list,
+)
+from repro.core import (
+    DynamicCliqueIndex,
+    EnumerationResult,
+    PivotConfig,
+    PivotEnumerator,
+    SearchStats,
+    enumerate_maximal_cliques,
+    maximal_clique_counts,
+    maximum_eta_clique,
+    maximum_k_eta_clique,
+    muc,
+    pmuc,
+    pmuc_plus,
+    top_r_maximal_cliques,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "InvalidProbabilityError",
+    "ParameterError",
+    "DatasetError",
+    "UncertainGraph",
+    "clique_probability",
+    "is_eta_clique",
+    "is_maximal_k_eta_clique",
+    "read_edge_list",
+    "write_edge_list",
+    "EnumerationResult",
+    "SearchStats",
+    "PivotConfig",
+    "PivotEnumerator",
+    "enumerate_maximal_cliques",
+    "maximal_clique_counts",
+    "maximum_eta_clique",
+    "DynamicCliqueIndex",
+    "maximum_k_eta_clique",
+    "top_r_maximal_cliques",
+    "muc",
+    "pmuc",
+    "pmuc_plus",
+    "__version__",
+]

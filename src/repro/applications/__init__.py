@@ -1,0 +1,44 @@
+"""The paper's three case-study applications (Exp-8, Exp-9, Exp-10)."""
+
+from repro.applications.clustering_eval import (
+    PrecisionReport,
+    complex_recovery,
+    ppi_cluster_with_cliques,
+    ppi_cluster_with_core,
+    ppi_cluster_with_truss,
+    predicted_pairs,
+    score_clusters,
+    table2_reports,
+)
+from repro.applications.community_search import (
+    CommunityResult,
+    clique_community,
+    community_diameter,
+    search_communities,
+)
+from repro.applications.team_formation import (
+    TeamResult,
+    best_team,
+    form_teams,
+)
+from repro.applications.visualization import community_to_dot, to_dot
+
+__all__ = [
+    "PrecisionReport",
+    "complex_recovery",
+    "predicted_pairs",
+    "score_clusters",
+    "table2_reports",
+    "ppi_cluster_with_cliques",
+    "ppi_cluster_with_core",
+    "ppi_cluster_with_truss",
+    "CommunityResult",
+    "clique_community",
+    "community_diameter",
+    "search_communities",
+    "TeamResult",
+    "best_team",
+    "form_teams",
+    "to_dot",
+    "community_to_dot",
+]

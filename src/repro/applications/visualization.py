@@ -1,0 +1,103 @@
+"""GraphViz DOT export for case-study results.
+
+The paper presents its community-search and team-formation results as
+drawings (Fig. 11, Table 3's teams).  This module renders an uncertain
+(sub)graph — optionally with highlighted cliques/communities — to DOT
+text that any GraphViz installation can lay out, without adding a
+runtime dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from repro.uncertain.graph import UncertainGraph, Vertex
+
+#: Fill colors cycled over highlight groups (GraphViz X11 names).
+_PALETTE = (
+    "lightblue", "lightgoldenrod", "lightpink", "palegreen",
+    "plum", "lightsalmon", "khaki", "lightcyan",
+)
+
+
+def to_dot(
+    graph: UncertainGraph,
+    highlights: Optional[Sequence[Iterable[Vertex]]] = None,
+    labels: Optional[Mapping[Vertex, str]] = None,
+    name: str = "uncertain",
+    min_probability: float = 0.0,
+) -> str:
+    """Render ``graph`` as GraphViz DOT.
+
+    Parameters
+    ----------
+    highlights:
+        Optional vertex groups (e.g. maximal cliques or communities);
+        group ``i`` is filled with the ``i``-th palette color, and
+        edges inside a group are drawn bold.
+    labels:
+        Optional vertex label overrides (default: ``str(vertex)``).
+    min_probability:
+        Edges below this probability are omitted (decluttering dense
+        drawings, as the paper's figures do).
+
+    Edge pen width scales with probability, and the probability is the
+    edge label, so confidence is visible in the drawing.
+    """
+    group_of: Dict[Vertex, int] = {}
+    groups = [set(group) for group in (highlights or [])]
+    for i, group in enumerate(groups):
+        for v in group:
+            group_of.setdefault(v, i)
+    lines = [f"graph {_quote(name)} {{"]
+    lines.append("  node [style=filled, fillcolor=white, shape=ellipse];")
+    for v in sorted(graph.vertices(), key=repr):
+        attrs = [f"label={_quote(str(labels.get(v, v)) if labels else str(v))}"]
+        if v in group_of:
+            color = _PALETTE[group_of[v] % len(_PALETTE)]
+            attrs.append(f"fillcolor={color}")
+        lines.append(f"  {_quote(str(v))} [{', '.join(attrs)}];")
+    for u, v, p in sorted(graph.edges(), key=lambda e: (repr(e[0]), repr(e[1]))):
+        prob = float(p)
+        if prob < min_probability:
+            continue
+        attrs = [
+            f'label="{prob:.2f}"',
+            f"penwidth={max(0.5, 3 * prob):.2f}",
+        ]
+        same_group = (
+            u in group_of and v in group_of and group_of[u] == group_of[v]
+        )
+        if same_group:
+            attrs.append("style=bold")
+        else:
+            attrs.append('color=gray50')
+        lines.append(
+            f"  {_quote(str(u))} -- {_quote(str(v))} [{', '.join(attrs)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def community_to_dot(
+    graph: UncertainGraph,
+    community: Iterable[Vertex],
+    query: Optional[Vertex] = None,
+    name: str = "community",
+) -> str:
+    """DOT for the induced subgraph of one community (Fig.-11 style).
+
+    The query vertex (if given) is drawn as a doubled circle.
+    """
+    members = set(community)
+    sub = graph.subgraph(members)
+    text = to_dot(sub, highlights=[members], name=name)
+    if query is not None and query in members:
+        marker = f"  {_quote(str(query))} [peripheries=2];\n"
+        text = text.replace("}\n", marker + "}\n")
+    return text
+
+
+def _quote(token: str) -> str:
+    escaped = token.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'

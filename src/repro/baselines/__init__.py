@@ -1,0 +1,34 @@
+"""Case-study baselines: UKCore, UKTruss, USCAN-style SCAN, PCluster."""
+
+from repro.baselines.ukcore import (
+    core_community,
+    eta_core_decomposition,
+    eta_degree,
+    k_eta_core,
+    k_eta_core_vertices,
+    tail_distribution,
+)
+from repro.baselines.uktruss import (
+    edge_support_probability,
+    k_gamma_truss,
+    truss_community,
+    truss_decomposition,
+)
+from repro.baselines.uscan import structural_similarity, uscan
+from repro.baselines.pcluster import pkwik_cluster
+
+__all__ = [
+    "core_community",
+    "eta_core_decomposition",
+    "eta_degree",
+    "k_eta_core",
+    "k_eta_core_vertices",
+    "tail_distribution",
+    "edge_support_probability",
+    "k_gamma_truss",
+    "truss_community",
+    "truss_decomposition",
+    "structural_similarity",
+    "uscan",
+    "pkwik_cluster",
+]

@@ -1,0 +1,405 @@
+"""Experiment definitions — one function per paper table/figure.
+
+Each function returns plain row dictionaries (printable with
+:func:`repro.bench.harness.print_table`) whose columns mirror what the
+paper reports.  Parameter grids default to scaled-down versions of the
+paper's (k ∈ [6, 20] → [4, 12]; η ∈ [0.01, 0.1] unchanged) because the
+stand-in graphs are ~1000× smaller than the originals; pass explicit
+grids to override.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.bench.harness import (
+    RunRecord,
+    peak_memory_bytes,
+    timed_config_enumeration,
+    timed_enumeration,
+)
+from repro.core.api import enumerate_maximal_cliques
+from repro.core.config import PMUC_PLUS_CONFIG, PivotConfig
+from repro.datasets import (
+    generate_collaboration_network,
+    generate_knowledge_graph,
+    generate_ppi_network,
+    load_dataset,
+    load_weighted_edges,
+    sample_edges,
+    sample_vertices,
+    table1_rows,
+    uncertain_from_weights,
+)
+from repro.applications import form_teams, search_communities, table2_reports
+from repro.reduction import topk_core, topk_triangle
+#: Scaled default grids (see module docstring).
+DEFAULT_DATASETS: Tuple[str, ...] = (
+    "enron", "superuser", "cahepph", "wiki-fr", "soflow",
+)
+DEFAULT_KS: Tuple[int, ...] = (4, 6, 8, 10, 12)
+DEFAULT_ETAS: Tuple[float, ...] = (0.01, 0.025, 0.05, 0.075, 0.1)
+DEFAULT_K: int = 8          # the paper's default k=14, scaled
+DEFAULT_ETA: float = 0.1    # the paper's default
+
+Row = Dict[str, object]
+
+
+# ----------------------------------------------------------------------
+# Table 1 — dataset statistics
+# ----------------------------------------------------------------------
+def experiment_table1(seed: int = 0) -> List[Row]:
+    """Table 1: |V|, |E|, d_max, δ of every stand-in dataset."""
+    return table1_rows(seed)
+
+
+# ----------------------------------------------------------------------
+# Exp-1 / Fig. 3 — runtime of MUC, PMUC, PMUC+ varying k and η
+# ----------------------------------------------------------------------
+def experiment_fig3(
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    ks: Sequence[int] = DEFAULT_KS,
+    etas: Sequence[float] = DEFAULT_ETAS,
+    algorithms: Sequence[str] = ("muc", "pmuc", "pmuc+"),
+    seed: int = 0,
+) -> List[Row]:
+    """Fig. 3: runtime of each algorithm, sweeping k (η fixed) then η
+    (k fixed)."""
+    rows: List[Row] = []
+    for name in datasets:
+        graph = load_dataset(name, seed)
+        for k in ks:
+            for algorithm in algorithms:
+                record = timed_enumeration(algorithm, graph, k, DEFAULT_ETA, algorithm)
+                rows.append(_sweep_row(name, "k", k, DEFAULT_ETA, record))
+        for eta in etas:
+            for algorithm in algorithms:
+                record = timed_enumeration(algorithm, graph, DEFAULT_K, eta, algorithm)
+                rows.append(_sweep_row(name, "eta", DEFAULT_K, eta, record))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Exp-2 / Fig. 4 — vertex orderings
+# ----------------------------------------------------------------------
+ORDERING_VARIANTS: Dict[str, PivotConfig] = {
+    "PMUC-R": PivotConfig(ordering="as-is", kpivot="color", reduction="triangle"),
+    "PMUC-C": PivotConfig(ordering="degeneracy", kpivot="color", reduction="triangle"),
+    "PMUC+": PMUC_PLUS_CONFIG,
+}
+
+
+def experiment_fig4(
+    datasets: Sequence[str] = ("cahepph", "soflow"),
+    ks: Sequence[int] = DEFAULT_KS,
+    etas: Sequence[float] = DEFAULT_ETAS,
+    seed: int = 0,
+) -> List[Row]:
+    """Fig. 4: as-is vs degeneracy vs (Top_k, η)-core orderings."""
+    return _config_sweep(ORDERING_VARIANTS, datasets, ks, etas, seed)
+
+
+# ----------------------------------------------------------------------
+# Exp-3 / Fig. 5 — pivot selection strategies
+# ----------------------------------------------------------------------
+PIVOT_VARIANTS: Dict[str, PivotConfig] = {
+    "PMUC-D": PivotConfig(pivot="degree", kpivot="color", reduction="triangle"),
+    "PMUC-CD": PivotConfig(pivot="color", kpivot="color", reduction="triangle"),
+    "PMUC+": PMUC_PLUS_CONFIG,
+}
+
+
+def experiment_fig5(
+    datasets: Sequence[str] = ("cahepph", "soflow"),
+    ks: Sequence[int] = DEFAULT_KS,
+    etas: Sequence[float] = DEFAULT_ETAS,
+    seed: int = 0,
+) -> List[Row]:
+    """Fig. 5: max-degree vs max-color vs hybrid pivot selection."""
+    return _config_sweep(PIVOT_VARIANTS, datasets, ks, etas, seed)
+
+
+# ----------------------------------------------------------------------
+# Exp-4 / Figs. 6-7 — graph reduction techniques
+# ----------------------------------------------------------------------
+def experiment_fig6_fig7(
+    datasets: Sequence[str] = ("cahepph", "soflow"),
+    ks: Sequence[int] = DEFAULT_KS,
+    etas: Sequence[float] = DEFAULT_ETAS,
+    seed: int = 0,
+) -> List[Row]:
+    """Figs. 6-7: TopCore vs TopTriangle runtime and remaining vertices.
+
+    TopTriangle is applied on top of the core, as PMUC+ does (Lemma 10
+    makes the triangle subgraph a subset of the corresponding core).
+    """
+    rows: List[Row] = []
+    for name in datasets:
+        graph = load_dataset(name, seed)
+        for sweep, k, eta in _sweep_grid(ks, etas):
+            start = time.perf_counter()
+            core = topk_core(graph, max(k - 1, 0), eta)
+            core_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            triangle = (
+                topk_triangle(core, k - 2, eta) if k >= 3 else core
+            )
+            triangle_seconds = core_seconds + (time.perf_counter() - start)
+            for label, seconds, reduced in (
+                ("TopCore", core_seconds, core),
+                ("TopTriangle", triangle_seconds, triangle),
+            ):
+                rows.append(
+                    {
+                        "dataset": name,
+                        "sweep": sweep,
+                        "k": k,
+                        "eta": eta,
+                        "technique": label,
+                        "seconds": round(seconds, 4),
+                        "remaining_vertices": reduced.num_vertices,
+                        "remaining_edges": reduced.num_edges,
+                    }
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Exp-5 / Fig. 8 — probability distributions
+# ----------------------------------------------------------------------
+def experiment_fig8(
+    datasets: Sequence[str] = ("enron", "soflow"),
+    ks: Sequence[int] = DEFAULT_KS,
+    models: Sequence[str] = ("uniform", "geometric", "normal"),
+    seed: int = 0,
+) -> List[Row]:
+    """Fig. 8: MUC vs PMUC+ under uniform/geometric/normal models."""
+    short = {"uniform": "U", "geometric": "G", "normal": "N"}
+    rows: List[Row] = []
+    for name in datasets:
+        edges = load_weighted_edges(name, seed)
+        for model in models:
+            graph = uncertain_from_weights(edges, model, seed)
+            for k in ks:
+                for algorithm, tag in (("muc", "MC"), ("pmuc+", "PM+")):
+                    record = timed_enumeration(
+                        f"{short[model]}{tag}", graph, k, DEFAULT_ETA, algorithm
+                    )
+                    rows.append(
+                        {
+                            "dataset": name,
+                            "model": model,
+                            "series": record.label,
+                            "k": k,
+                            "eta": DEFAULT_ETA,
+                            "seconds": round(record.seconds, 4),
+                            "cliques": record.num_cliques,
+                        }
+                    )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Exp-6 / Fig. 9 — scalability on the largest dataset
+# ----------------------------------------------------------------------
+def experiment_fig9(
+    dataset: str = "soflow",
+    fractions: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
+    k: int = 6,
+    eta: float = DEFAULT_ETA,
+    algorithms: Sequence[str] = ("muc", "pmuc", "pmuc+"),
+    seed: int = 0,
+) -> List[Row]:
+    """Fig. 9: runtime on 20-100% vertex and edge samples."""
+    edges = load_weighted_edges(dataset, seed)
+    rows: List[Row] = []
+    for mode, sampler in (("vertices", sample_vertices), ("edges", sample_edges)):
+        for fraction in fractions:
+            sampled = sampler(edges, fraction, seed)
+            graph = uncertain_from_weights(sampled, "exponential", seed)
+            for algorithm in algorithms:
+                record = timed_enumeration(algorithm, graph, k, eta, algorithm)
+                rows.append(
+                    {
+                        "dataset": dataset,
+                        "sampled": mode,
+                        "fraction": fraction,
+                        "k": k,
+                        "eta": eta,
+                        "algorithm": algorithm,
+                        "seconds": round(record.seconds, 4),
+                        "cliques": record.num_cliques,
+                    }
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Exp-7 / Fig. 10 — memory overhead
+# ----------------------------------------------------------------------
+def experiment_fig10(
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    k: int = DEFAULT_K,
+    eta: float = DEFAULT_ETA,
+    algorithms: Sequence[str] = ("muc", "pmuc", "pmuc+"),
+    seed: int = 0,
+) -> List[Row]:
+    """Fig. 10: peak memory of each algorithm vs the graph footprint."""
+    rows: List[Row] = []
+    for name in datasets:
+        graph = load_dataset(name, seed)
+        graph_bytes = peak_memory_bytes(lambda: load_dataset(name, seed))
+        for algorithm in algorithms:
+            peak = peak_memory_bytes(
+                lambda: enumerate_maximal_cliques(
+                    graph, k, eta, algorithm, on_clique=lambda c: None
+                )
+            )
+            rows.append(
+                {
+                    "dataset": name,
+                    "algorithm": algorithm,
+                    "k": k,
+                    "eta": eta,
+                    "graph_mb": round(graph_bytes / 1e6, 3),
+                    "peak_mb": round(peak / 1e6, 3),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Exp-8 / Table 2 — PPI clustering precision
+# ----------------------------------------------------------------------
+def experiment_table2(seed: int = 0, clique_k: int = 5, eta: float = 0.1) -> List[Row]:
+    """Table 2: clustering precision of five methods on the PPI stand-in."""
+    network = generate_ppi_network(seed=seed)
+    return [report.as_row() for report in table2_reports(network, clique_k, eta, seed=seed)]
+
+
+# ----------------------------------------------------------------------
+# Exp-9 / Fig. 11 — community search on knowledge graphs
+# ----------------------------------------------------------------------
+def experiment_fig11(seed: int = 0, k: int = 4) -> List[Row]:
+    """Fig. 11: community search around "plant" (CN15K stand-in) and
+    "mlb" (NL27K stand-in)."""
+    rows: List[Row] = []
+    for flavor, query, eta in (("conceptnet", "plant", 0.001), ("nell", "mlb", 0.1)):
+        knowledge = generate_knowledge_graph(flavor=flavor, seed=seed)
+        for result in search_communities(
+            knowledge.graph, query, k, eta, knowledge, query
+        ):
+            row = result.as_row()
+            row["dataset"] = "cn15k" if flavor == "conceptnet" else "nl27k"
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Exp-10 / Table 3 — task-driven team formation
+# ----------------------------------------------------------------------
+def experiment_table3(seed: int = 0, k: int = 4, eta: float = 1e-10) -> List[Row]:
+    """Table 3: teams for one query author under two topics."""
+    network = generate_collaboration_network(seed=seed)
+    rows: List[Row] = []
+    for topic in ("databases", "information networks"):
+        for result in form_teams(network, topic, "anchor-0", k, eta):
+            row = result.as_row()
+            row["members"] = ",".join(sorted(result.members)[:8])
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Ablation (beyond the paper): M-pivot and K-pivot variants
+# ----------------------------------------------------------------------
+ABLATION_VARIANTS: Dict[str, PivotConfig] = {
+    "no-pivot": PivotConfig(mpivot="off", kpivot="off", reduction="core"),
+    "basic-mpivot": PivotConfig(mpivot="basic", kpivot="off", reduction="core"),
+    "improved-mpivot": PivotConfig(mpivot="improved", kpivot="off", reduction="core"),
+    "plus-plain-kpivot": PivotConfig(mpivot="improved", kpivot="plain", reduction="core"),
+    "plus-color-kpivot": PivotConfig(mpivot="improved", kpivot="color", reduction="core"),
+    "full-pmuc+": PMUC_PLUS_CONFIG,
+}
+
+
+def experiment_ablation(
+    datasets: Sequence[str] = ("cahepph", "soflow"),
+    k: int = DEFAULT_K,
+    eta: float = DEFAULT_ETA,
+    seed: int = 0,
+) -> List[Row]:
+    """Ablate each pruning layer of PMUC+ at the default parameters."""
+    rows: List[Row] = []
+    for name in datasets:
+        graph = load_dataset(name, seed)
+        for label, config in ABLATION_VARIANTS.items():
+            record = timed_config_enumeration(label, graph, k, eta, config)
+            rows.append(
+                {
+                    "dataset": name,
+                    "variant": label,
+                    "k": k,
+                    "eta": eta,
+                    "seconds": round(record.seconds, 4),
+                    "cliques": record.num_cliques,
+                    "calls": record.stats["calls"],
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _sweep_grid(
+    ks: Sequence[int], etas: Sequence[float]
+) -> Iterable[Tuple[str, int, float]]:
+    for k in ks:
+        yield ("k", k, DEFAULT_ETA)
+    for eta in etas:
+        yield ("eta", DEFAULT_K, eta)
+
+
+def _sweep_row(
+    dataset: str, sweep: str, k: int, eta: float, record: RunRecord
+) -> Row:
+    return {
+        "dataset": dataset,
+        "sweep": sweep,
+        "k": k,
+        "eta": eta,
+        "algorithm": record.label,
+        "seconds": round(record.seconds, 4),
+        "cliques": record.num_cliques,
+        "calls": record.stats["calls"],
+    }
+
+
+def _config_sweep(
+    variants: Dict[str, PivotConfig],
+    datasets: Sequence[str],
+    ks: Sequence[int],
+    etas: Sequence[float],
+    seed: int,
+) -> List[Row]:
+    rows: List[Row] = []
+    for name in datasets:
+        graph = load_dataset(name, seed)
+        for sweep, k, eta in _sweep_grid(ks, etas):
+            for label, config in variants.items():
+                record = timed_config_enumeration(label, graph, k, eta, config)
+                rows.append(
+                    {
+                        "dataset": name,
+                        "sweep": sweep,
+                        "k": k,
+                        "eta": eta,
+                        "variant": label,
+                        "seconds": round(record.seconds, 4),
+                        "cliques": record.num_cliques,
+                        "calls": record.stats["calls"],
+                    }
+                )
+    return rows

@@ -1,0 +1,118 @@
+"""Shared experiment-harness utilities.
+
+Runs configured enumerations under a timer, collects search statistics
+and renders the row/series layout of the paper's tables and figures as
+plain text, so every benchmark prints something directly comparable to
+the published artifact.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.api import enumerate_maximal_cliques
+from repro.core.config import PivotConfig
+from repro.core.pmuc import PivotEnumerator
+from repro.uncertain.graph import UncertainGraph
+
+
+@dataclass
+class RunRecord:
+    """One timed enumeration run."""
+
+    label: str
+    seconds: float
+    num_cliques: int
+    stats: Dict[str, int] = field(default_factory=dict)
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "run": self.label,
+            "seconds": round(self.seconds, 4),
+            "cliques": self.num_cliques,
+        }
+        row.update({f"stat_{k}": v for k, v in self.stats.items()})
+        row.update(self.extra)
+        return row
+
+
+def timed_enumeration(
+    label: str, graph: UncertainGraph, k: int, eta, algorithm: str
+) -> RunRecord:
+    """Time one named-algorithm enumeration (discarding cliques)."""
+    count = [0]
+
+    def sink(_clique: frozenset) -> None:
+        count[0] += 1
+
+    start = time.perf_counter()
+    result = enumerate_maximal_cliques(graph, k, eta, algorithm, on_clique=sink)
+    elapsed = time.perf_counter() - start
+    return RunRecord(label, elapsed, count[0], result.stats.as_dict())
+
+
+def timed_config_enumeration(
+    label: str, graph: UncertainGraph, k: int, eta, config: PivotConfig
+) -> RunRecord:
+    """Time one :class:`PivotConfig`-driven enumeration."""
+    count = [0]
+
+    def sink(_clique: frozenset) -> None:
+        count[0] += 1
+
+    start = time.perf_counter()
+    result = PivotEnumerator(graph, k, eta, config, on_clique=sink).run()
+    elapsed = time.perf_counter() - start
+    return RunRecord(label, elapsed, count[0], result.stats.as_dict())
+
+
+def peak_memory_bytes(action: Callable[[], object]) -> int:
+    """Peak additional memory allocated while running ``action``."""
+    tracemalloc.start()
+    try:
+        action()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def format_table(rows: Sequence[Dict[str, object]], title: Optional[str] = None) -> str:
+    """Render dict rows as an aligned text table (paper-style)."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {
+        c: max(len(str(c)), *(len(_fmt(r.get(c))) for r in rows)) for c in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(str(c).ljust(widths[c]) for c in columns))
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[Dict[str, object]], title: Optional[str] = None) -> None:
+    """Print :func:`format_table` output."""
+    print(format_table(rows, title))
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

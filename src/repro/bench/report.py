@@ -1,0 +1,113 @@
+"""Markdown report generation from experiment rows.
+
+Turns the row dictionaries produced by :mod:`repro.bench.experiments`
+into an EXPERIMENTS.md-style document: one section per experiment, a
+GitHub-flavored markdown table per section, and (where both MUC and a
+pivot algorithm appear) derived speedup columns — so a full
+reproduction report is a single function call away.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+Row = Dict[str, object]
+
+
+def markdown_table(rows: Sequence[Row]) -> str:
+    """Render dict rows as a GitHub-flavored markdown table."""
+    if not rows:
+        return "*(no rows)*\n"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    lines = [
+        "| " + " | ".join(str(c) for c in columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_fmt(row.get(c)) for c in columns) + " |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def speedup_summary(
+    rows: Sequence[Row],
+    baseline: str = "muc",
+    contender: str = "pmuc+",
+    group_keys: Sequence[str] = ("dataset", "sweep", "k", "eta"),
+) -> List[Row]:
+    """Derive per-parameter-point speedups from Fig.-3-style rows.
+
+    Pairs the ``baseline`` and ``contender`` rows of each parameter
+    point and reports time and search-node ratios; points missing
+    either side are skipped.
+    """
+    grouped: Dict[tuple, Dict[str, Row]] = {}
+    for row in rows:
+        algorithm = row.get("algorithm") or row.get("variant")
+        key = tuple(row.get(k) for k in group_keys)
+        grouped.setdefault(key, {})[str(algorithm)] = row
+    summary: List[Row] = []
+    for key, algorithms in sorted(grouped.items(), key=repr):
+        base = algorithms.get(baseline)
+        cont = algorithms.get(contender)
+        if base is None or cont is None:
+            continue
+        entry: Row = dict(zip(group_keys, key))
+        base_seconds = float(base.get("seconds") or 0.0)
+        cont_seconds = float(cont.get("seconds") or 0.0)
+        entry["speedup_time"] = (
+            round(base_seconds / cont_seconds, 2) if cont_seconds else None
+        )
+        base_calls = base.get("calls")
+        cont_calls = cont.get("calls")
+        if base_calls and cont_calls:
+            entry["speedup_calls"] = round(
+                float(base_calls) / float(cont_calls), 2
+            )
+        summary.append(entry)
+    return summary
+
+
+def render_report(
+    sections: Mapping[str, Mapping[str, object]],
+    title: str = "Reproduction report",
+    preamble: Optional[str] = None,
+) -> str:
+    """Render a full markdown report.
+
+    ``sections`` maps an experiment id to ``{"title": ..., "rows":
+    [...]}`` — exactly the structure the CLI's ``--json`` dump uses, so
+    a report can be regenerated from a saved run::
+
+        import json
+        from repro.bench.report import render_report
+        print(render_report(json.load(open("results.json"))))
+    """
+    parts = [f"# {title}", ""]
+    if preamble:
+        parts += [preamble, ""]
+    for key in sorted(sections):
+        section = sections[key]
+        parts.append(f"## {section.get('title', key)}")
+        parts.append("")
+        rows = list(section.get("rows", []))
+        parts.append(markdown_table(rows))
+        derived = speedup_summary(rows)
+        if derived:
+            parts.append("**PMUC+ speedup over MUC:**")
+            parts.append("")
+            parts.append(markdown_table(derived))
+    return "\n".join(parts)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value).replace("|", "\\|")

@@ -1,0 +1,104 @@
+"""Top-level convenience API for maximal ``(k, η)``-clique enumeration.
+
+Most users only need :func:`enumerate_maximal_cliques`; the lower-level
+entry points (:func:`repro.core.muc.muc`, the
+:class:`repro.core.pmuc.PivotEnumerator`) remain available for
+experiments that care about configurations and statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.exceptions import ParameterError
+from repro.core.config import PMUC_CONFIG, PMUC_PLUS_CONFIG
+from repro.core.muc import muc
+from repro.core.pmuc import PivotEnumerator
+from repro.core.stats import EnumerationResult
+from repro.uncertain.graph import UncertainGraph
+
+#: Algorithm names accepted by :func:`enumerate_maximal_cliques`.
+ALGORITHMS = ("muc", "muc-basic", "pmuc", "pmuc+")
+
+
+def enumerate_maximal_cliques(
+    graph: UncertainGraph,
+    k: int,
+    eta,
+    algorithm: str = "pmuc+",
+    on_clique: Optional[Callable[[frozenset], None]] = None,
+    limit: Optional[int] = None,
+) -> EnumerationResult:
+    """Enumerate all maximal ``(k, η)``-cliques of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph.
+    k:
+        Minimum clique size.
+    eta:
+        Probability threshold in ``(0, 1]``.
+    algorithm:
+        ``"pmuc+"`` (default, fastest), ``"pmuc"``, ``"muc"`` (Li et
+        al. state of the art) or ``"muc-basic"`` (Mukherjee et al.,
+        no graph reduction).
+    on_clique:
+        Optional streaming callback; when given, cliques are not
+        accumulated in the returned result.
+    limit:
+        Optional cap on the number of cliques to emit; the search
+        stops cleanly once reached.
+
+    Returns
+    -------
+    EnumerationResult
+        Cliques (as frozensets) and :class:`~repro.core.SearchStats`.
+
+    Examples
+    --------
+    >>> g = UncertainGraph([(0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.9)])
+    >>> result = enumerate_maximal_cliques(g, k=3, eta=0.5)
+    >>> sorted(result.cliques[0])
+    [0, 1, 2]
+    """
+    if algorithm == "muc":
+        return muc(graph, k, eta, True, on_clique, limit)
+    if algorithm == "muc-basic":
+        return muc(graph, k, eta, False, on_clique, limit)
+    if algorithm == "pmuc":
+        return PivotEnumerator(
+            graph, k, eta, PMUC_CONFIG, on_clique, limit
+        ).run()
+    if algorithm == "pmuc+":
+        return PivotEnumerator(
+            graph, k, eta, PMUC_PLUS_CONFIG, on_clique, limit
+        ).run()
+    raise ParameterError(
+        f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+    )
+
+
+def maximal_clique_counts(
+    graph: UncertainGraph, k: int, eta, algorithm: str = "pmuc+"
+) -> Dict[int, int]:
+    """Histogram of maximal ``(k, η)``-clique sizes (analysis helper)."""
+    histogram: Dict[int, int] = {}
+
+    def count(clique: frozenset) -> None:
+        histogram[len(clique)] = histogram.get(len(clique), 0) + 1
+
+    enumerate_maximal_cliques(graph, k, eta, algorithm, on_clique=count)
+    return histogram
+
+
+def maximum_eta_clique(graph: UncertainGraph, eta) -> frozenset:
+    """Return one maximum η-clique of ``graph`` (empty if no vertices)."""
+    best: List[frozenset] = [frozenset()]
+
+    def keep(clique: frozenset) -> None:
+        if len(clique) > len(best[0]):
+            best[0] = clique
+
+    enumerate_maximal_cliques(graph, 1, eta, "pmuc+", on_clique=keep)
+    return best[0]

@@ -1,0 +1,80 @@
+"""The ``GenerateSet`` kernel shared by MUC and PMUC (Algorithm 1).
+
+Candidate and excluded sets are dictionaries ``{vertex: r}`` where ``r``
+is the product of the probabilities of the edges joining the vertex to
+every member of the current clique ``R``.  The invariant maintained
+everywhere is::
+
+    v in C or v in X   <=>   R ∪ {v} is an η-clique
+                             (equivalently q * r_v >= η, q = Pr(R))
+
+``generate_set`` restricts such a dictionary to the neighbors of a
+newly-added vertex ``v`` and refreshes the ``r`` values, keeping only
+entries that still satisfy the invariant for ``R' = R ∪ {v}``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.uncertain.graph import UncertainGraph, Vertex
+
+
+def generate_set(
+    graph: UncertainGraph,
+    v: Vertex,
+    entries: Dict[Vertex, object],
+    q_new,
+    eta,
+) -> Dict[Vertex, object]:
+    """Project ``entries`` onto ``N(v)`` under the η-clique invariant.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph being searched.
+    v:
+        The vertex just added to the clique (``R' = R ∪ {v}``).
+    entries:
+        The parent's ``C`` or ``X`` dictionary ``{u: r_u}``.
+    q_new:
+        ``Pr(R', G)`` — the clique probability after adding ``v``.
+    eta:
+        The probability threshold.
+
+    Returns
+    -------
+    dict
+        ``{u: r_u * p(u, v)}`` for each neighbor ``u`` of ``v`` in
+        ``entries`` with ``q_new * r_u * p(u, v) >= eta``.
+    """
+    neighbors = graph.neighbors(v)
+    out: Dict[Vertex, object] = {}
+    for u, r in entries.items():
+        p = neighbors.get(u)
+        if p is not None:
+            r_new = r * p
+            if q_new * r_new >= eta:
+                out[u] = r_new
+    return out
+
+
+def initial_candidates(
+    graph: UncertainGraph, v: Vertex, eta, rank: Dict[Vertex, int]
+):
+    """Top-level ``C`` and ``X`` for seed vertex ``v`` (Algorithm 3, l. 3-4).
+
+    ``C`` holds neighbors ordered *after* ``v`` (by ``rank``) and ``X``
+    those ordered before; both keep only edges with ``p >= eta`` since
+    ``{v, u}`` must itself be an η-clique.
+    """
+    later: Dict[Vertex, object] = {}
+    earlier: Dict[Vertex, object] = {}
+    rv = rank[v]
+    for u, p in graph.neighbors(v).items():
+        if p >= eta:
+            if rank[u] > rv:
+                later[u] = p
+            else:
+                earlier[u] = p
+    return later, earlier

@@ -1,0 +1,87 @@
+"""Configuration of the pivot-based enumerator.
+
+Every design axis the paper evaluates is a field here, so the ablation
+benchmarks (Figures 4, 5 and the pivot ablation) are one-liner config
+changes rather than separate code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError
+
+#: Accepted values per axis.
+ORDERING_CHOICES = ("as-is", "degeneracy", "topk-core")
+PIVOT_CHOICES = ("first", "degree", "color", "hybrid")
+MPIVOT_CHOICES = ("off", "basic", "improved")
+KPIVOT_CHOICES = ("off", "plain", "color")
+REDUCTION_CHOICES = ("off", "core", "triangle")
+
+
+def _require(value: str, choices, name: str) -> None:
+    if value not in choices:
+        raise ParameterError(
+            f"{name} must be one of {choices}, got {value!r}"
+        )
+
+
+@dataclass(frozen=True)
+class PivotConfig:
+    """Knobs of :class:`repro.core.pmuc.PivotEnumerator`.
+
+    Attributes
+    ----------
+    ordering:
+        Outer-loop vertex ordering (Section 4.5): ``"as-is"``,
+        ``"degeneracy"`` or ``"topk-core"``.
+    pivot:
+        Pivot-selection strategy (Section 4.6): ``"first"`` (no
+        heuristic), ``"degree"``, ``"color"`` or ``"hybrid"``.
+    mpivot:
+        M-pivot pruning (Sections 4.2–4.3): ``"off"``, ``"basic"``
+        (periphery fixed by the first pivot branch) or ``"improved"``
+        (periphery refined whenever a larger η-clique is found).
+    kpivot:
+        Size-constraint pruning (Section 5.1): ``"off"``, ``"plain"``
+        (candidate count) or ``"color"`` (color-class count).
+    reduction:
+        Pre-enumeration graph reduction (Section 5.2): ``"off"``,
+        ``"core"`` ((Top_{k-1}, η)-core) or ``"triangle"``
+        ((Top_{k-2}, η)-triangle applied after the core).
+    """
+
+    ordering: str = "topk-core"
+    pivot: str = "hybrid"
+    mpivot: str = "improved"
+    kpivot: str = "off"
+    reduction: str = "core"
+
+    def __post_init__(self) -> None:
+        _require(self.ordering, ORDERING_CHOICES, "ordering")
+        _require(self.pivot, PIVOT_CHOICES, "pivot")
+        _require(self.mpivot, MPIVOT_CHOICES, "mpivot")
+        _require(self.kpivot, KPIVOT_CHOICES, "kpivot")
+        _require(self.reduction, REDUCTION_CHOICES, "reduction")
+
+
+#: The paper's ``PMUC``: every Section-4 technique, core reduction for a
+#: fair comparison with MUC.
+PMUC_CONFIG = PivotConfig(
+    ordering="topk-core",
+    pivot="hybrid",
+    mpivot="improved",
+    kpivot="off",
+    reduction="core",
+)
+
+#: The paper's ``PMUC+``: PMUC plus the Section-5 optimizations
+#: (color K-pivot and the (Top_k, η)-triangle reduction).
+PMUC_PLUS_CONFIG = PivotConfig(
+    ordering="topk-core",
+    pivot="hybrid",
+    mpivot="improved",
+    kpivot="color",
+    reduction="triangle",
+)
+

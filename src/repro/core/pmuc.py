@@ -1,0 +1,288 @@
+"""``PMUC`` / ``PMUC+`` — pivot-based enumeration (Algorithm 3).
+
+The enumerator keeps the ``R / C / X`` discipline of Algorithm 1 but
+prunes candidate expansions with the periphery sets of Section 4:
+
+* **M-pivot** (Lemma 3): after fully exploring the pivot branch
+  ``R ∪ {u}``, the maximum η-clique ``Q`` found in it is a valid
+  periphery — candidates inside ``Q`` need not be expanded, because any
+  maximal clique they could lead to is either ``Q`` itself (already
+  emitted inside the pivot branch) or a non-maximal subset of ``Q``.
+* **improved M-pivot** (Lemma 4): ``Q`` is refreshed whenever *any*
+  later branch returns a larger maximum η-clique.
+* **K-pivot** (Lemmas 5–6): expansion stops once the remaining
+  candidates — counted plainly or as color classes — cannot lift ``R``
+  to ``k`` vertices; the remaining set is then a periphery on its own.
+
+The two stopping rules are applied independently, never as a merged
+periphery set (whose joint soundness the paper does not establish):
+each time the loop stops, the set of remaining candidates is a valid
+periphery under one lemma by itself.
+
+The per-branch bookkeeping mirrors the paper exactly: ``P`` threads the
+maximum η-clique containing ``R`` found so far through the recursion
+(line 13/16-18 of Algorithm 3), because — unlike the deterministic
+Bron–Kerbosch pivot — the periphery cannot be computed before the pivot
+branch has been explored.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.exceptions import ParameterError
+from repro.core.candidates import generate_set, initial_candidates
+from repro.core.config import PMUC_CONFIG, PMUC_PLUS_CONFIG, PivotConfig
+from repro.core.pivot import PivotContext, get_strategy
+from repro.core.stats import EnumerationResult, SearchStats
+from repro.reduction.ordering import vertex_ordering
+from repro.reduction.topk_core import topk_core
+from repro.reduction.topk_triangle import topk_triangle
+from repro.uncertain.graph import UncertainGraph, Vertex
+
+Sink = Callable[[frozenset], None]
+
+
+class _StopEnumeration(Exception):
+    """Internal signal: the configured output limit was reached."""
+
+
+class PivotEnumerator:
+    """One configured enumeration run over an uncertain graph.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph to search.
+    k:
+        Minimum clique size (positive integer).
+    eta:
+        Probability threshold in ``(0, 1]``.
+    config:
+        A :class:`~repro.core.config.PivotConfig`; defaults to the
+        paper's ``PMUC+`` settings.
+    on_clique:
+        Optional streaming sink; suppresses accumulation when given.
+    limit:
+        Optional cap on the number of cliques to emit; the search stops
+        cleanly once reached (useful for existence checks and top-k
+        style probing of enormous result sets).
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        k: int,
+        eta,
+        config: PivotConfig = PMUC_PLUS_CONFIG,
+        on_clique: Optional[Sink] = None,
+        limit: Optional[int] = None,
+    ):
+        if not isinstance(k, int) or k < 1:
+            raise ParameterError(f"k must be a positive integer, got {k!r}")
+        if not 0 < eta <= 1:
+            raise ParameterError(f"eta must lie in (0, 1], got {eta!r}")
+        if limit is not None and limit < 1:
+            raise ParameterError(f"limit must be positive, got {limit!r}")
+        self._limit = limit
+        self._graph = graph
+        self._k = k
+        self._eta = eta
+        self._config = config
+        self._result = EnumerationResult()
+        self._sink = (
+            on_clique if on_clique is not None else self._result.cliques.append
+        )
+        self._strategy = get_strategy(config.pivot)
+        self._ctx: PivotContext = PivotContext({}, {}, {}, {}, k)
+        self._rank: Dict[Vertex, int] = {}
+        self._search_graph = graph
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> SearchStats:
+        """Search counters of the (possibly still running) run."""
+        return self._result.stats
+
+    def run(self, seeds=None) -> EnumerationResult:
+        """Execute the enumeration and return cliques plus statistics.
+
+        Parameters
+        ----------
+        seeds:
+            Optional collection of vertices: only outer-loop roots in
+            ``seeds`` are expanded.  Each maximal clique is emitted by
+            exactly one root (its minimum vertex in the global
+            ordering), so running disjoint seed sets covering ``V`` and
+            taking the union reproduces the full result — the basis of
+            the partitioned/parallel driver in
+            :mod:`repro.core.partition`.
+        """
+        self._search_graph = self._reduce()
+        order = vertex_ordering(
+            self._search_graph, self._config.ordering, self._eta
+        )
+        self._rank = {v: i for i, v in enumerate(order)}
+        backbone = self._search_graph.to_deterministic()
+        self._ctx = PivotContext.from_backbone(backbone, self._k)
+        seed_set = None if seeds is None else set(seeds)
+        # The recursion is at most one level per clique member; make
+        # sure graphs with very large cliques cannot hit the default
+        # interpreter limit mid-search.
+        previous_limit = sys.getrecursionlimit()
+        needed = self._search_graph.num_vertices + 100
+        if needed > previous_limit:
+            sys.setrecursionlimit(needed)
+        try:
+            for v in order:
+                if seed_set is not None and v not in seed_set:
+                    continue
+                c, x = initial_candidates(
+                    self._search_graph, v, self._eta, self._rank
+                )
+                self._pmuce([v], 1, c, x, [v], depth=1)
+        except _StopEnumeration:
+            pass
+        finally:
+            if needed > previous_limit:
+                sys.setrecursionlimit(previous_limit)
+        return self._result
+
+    # ------------------------------------------------------------------
+    def _reduce(self) -> UncertainGraph:
+        """Apply the configured pre-enumeration graph reduction.
+
+        Reductions drop vertices that cannot appear in any maximal
+        ``(k, η)``-clique; they are only sound for ``k >= 2`` (core) and
+        ``k >= 3`` (triangle), because smaller cliques need no incident
+        structure at all.
+        """
+        mode = self._config.reduction
+        graph = self._graph
+        if mode == "off" or self._k < 2:
+            return graph
+        reduced = topk_core(graph, self._k - 1, self._eta)
+        if mode == "triangle" and self._k >= 3:
+            reduced = topk_triangle(reduced, self._k - 2, self._eta)
+        return reduced
+
+    def _candidate_bound(self, vertices) -> int:
+        """Upper bound on how many of ``vertices`` one clique can use."""
+        if self._config.kpivot == "color":
+            color = self._ctx.color
+            return len({color[v] for v in vertices})
+        return len(vertices)
+
+    def _emit(self, r: List[Vertex]) -> None:
+        self._result.stats.outputs += 1
+        self._sink(frozenset(r))
+        if self._limit is not None and self._result.stats.outputs >= self._limit:
+            raise _StopEnumeration
+
+    # ------------------------------------------------------------------
+    def _pmuce(
+        self,
+        r: List[Vertex],
+        q,
+        c: Dict[Vertex, object],
+        x: Dict[Vertex, object],
+        p: List[Vertex],
+        depth: int,
+    ) -> List[Vertex]:
+        """Recursive procedure ``PMUCE`` (Algorithm 3, lines 6-21).
+
+        Returns the maximum η-clique containing ``r`` found in this
+        subtree (the threaded ``P`` argument, possibly enlarged).
+        """
+        stats = self._result.stats
+        stats.calls += 1
+        stats.observe_depth(depth)
+        k = self._k
+        if not c and not x:
+            if len(r) >= k:
+                self._emit(r)
+            self._ctx.raise_lower_bound(r, len(r))
+            return p
+        if not c:
+            return p
+        # Global lower-bound refresh used by the hybrid pivot strategy:
+        # every candidate v participates in the η-clique R ∪ {v}.
+        self._ctx.raise_lower_bound(c, len(r) + 1)
+        kpivot = self._config.kpivot != "off"
+        if kpivot and len(r) + self._candidate_bound(c) < k:
+            # The whole candidate set is a K-pivot periphery (Lemma 5/6).
+            stats.kpivot_stops += 1
+            return p
+        mpivot = self._config.mpivot
+        rank = self._rank
+        keys = sorted(c, key=rank.__getitem__)
+        pivot = self._strategy(keys, self._ctx)
+        # Rank-ordered work list, pivot first.  The do-while of
+        # Algorithm 3 runs while some candidate lies outside the
+        # *current* periphery Q: a candidate deferred under an earlier,
+        # smaller Q becomes eligible again if Q is later replaced by a
+        # clique that does not contain it.  Treating periphery
+        # membership as a permanent skip would let a maximal clique
+        # whose members are scattered across successive generations of
+        # Q be lost, so eligibility is re-evaluated on every pick.
+        unexpanded = [pivot] + [v for v in keys if v != pivot]
+        periphery: Set[Vertex] = set()
+        expanded_any = False
+        while True:
+            if kpivot and expanded_any:
+                # The whole remaining candidate set is a K-pivot
+                # periphery on its own (Lemma 5/6) — no reliance on Q.
+                if len(r) + self._candidate_bound(unexpanded) < k:
+                    stats.kpivot_stops += 1
+                    break
+            u = next((w for w in unexpanded if w not in periphery), None)
+            if u is None:
+                # Every remaining candidate sits inside the single,
+                # final periphery Q (Lemma 3/4) — safe to stop.
+                stats.mpivot_skips += len(unexpanded)
+                break
+            expanded_any = True
+            r_u = c[u]
+            q_new = q * r_u
+            r.append(u)
+            c_new = generate_set(self._search_graph, u, c, q_new, self._eta)
+            x_new = generate_set(self._search_graph, u, x, q_new, self._eta)
+            branch_best = list(r)
+            if len(r) + self._candidate_bound(c_new) >= k:
+                stats.expansions += 1
+                branch_best = self._pmuce(
+                    r, q_new, c_new, x_new, branch_best, depth + 1
+                )
+            else:
+                stats.size_prunes += 1
+            r.pop()
+            if mpivot == "improved" or (mpivot == "basic" and not periphery):
+                if len(periphery) < len(branch_best):
+                    periphery = set(branch_best)
+            if len(p) < len(branch_best):
+                p = branch_best
+            unexpanded.remove(u)
+            del c[u]
+            x[u] = r_u
+        return p
+
+
+def pmuc(
+    graph: UncertainGraph,
+    k: int,
+    eta,
+    on_clique: Optional[Sink] = None,
+) -> EnumerationResult:
+    """Run the paper's ``PMUC`` configuration (Section 4 techniques)."""
+    return PivotEnumerator(graph, k, eta, PMUC_CONFIG, on_clique).run()
+
+
+def pmuc_plus(
+    graph: UncertainGraph,
+    k: int,
+    eta,
+    on_clique: Optional[Sink] = None,
+) -> EnumerationResult:
+    """Run the paper's ``PMUC+`` configuration (Sections 4 and 5)."""
+    return PivotEnumerator(graph, k, eta, PMUC_PLUS_CONFIG, on_clique).run()

@@ -1,0 +1,104 @@
+"""Multi-query sessions: amortize reductions across many ``k`` values.
+
+A parameter study (like the paper's Fig. 3 k-sweep) runs many queries
+with the same ``η`` and different ``k``.  The reduction decompositions
+make that cheap: the ``(Top_k, η)``-core decomposition assigns every
+vertex the largest ``k`` whose core contains it, and the
+``(Top_k, η)``-triangle decomposition does the same per edge — so after
+one decomposition pass, *any* ``k``'s reduced graph is a dictionary
+slice instead of a fresh peeling.
+
+:class:`CliqueQuerySession` precomputes both decompositions once and
+answers ``query(k)`` by slicing and enumerating with the reduction
+switched off (it already happened).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from dataclasses import replace
+
+from repro.exceptions import ParameterError
+from repro.core.config import PMUC_PLUS_CONFIG, PivotConfig
+from repro.core.pmuc import PivotEnumerator
+from repro.core.stats import EnumerationResult
+from repro.reduction.topk_core import topk_core_decomposition
+from repro.reduction.topk_triangle import top_triangle_decomposition
+from repro.uncertain.graph import UncertainGraph
+
+
+class CliqueQuerySession:
+    """Answer maximal ``(k, η)``-clique queries for many ``k`` at fixed η.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph (not copied; do not mutate during the
+        session).
+    eta:
+        The probability threshold shared by all queries.
+    config:
+        Enumeration configuration; its ``reduction`` field is ignored
+        (the session's sliced subgraph already is the reduced graph).
+
+    Examples
+    --------
+    >>> from repro.datasets import figure1_graph
+    >>> session = CliqueQuerySession(figure1_graph(), eta=0.53)
+    >>> len(session.query(4).cliques)
+    2
+    >>> len(session.query(5).cliques)
+    1
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        eta,
+        config: PivotConfig = PMUC_PLUS_CONFIG,
+    ):
+        if not 0 < eta <= 1:
+            raise ParameterError(f"eta must lie in (0, 1], got {eta!r}")
+        self._graph = graph
+        self._eta = eta
+        self._config = replace(config, reduction="off")
+        self._core_shell = topk_core_decomposition(graph, eta)
+        self._triangle_shell = top_triangle_decomposition(graph, eta)
+
+    # ------------------------------------------------------------------
+    def reduced_graph(self, k: int) -> UncertainGraph:
+        """The ``(Top_{k-2}, η)``-triangle (inside the core) for query ``k``.
+
+        Falls back to the core slice for ``k == 2`` and to the full
+        graph for ``k == 1`` (where reductions are unsound).
+        """
+        if not isinstance(k, int) or k < 1:
+            raise ParameterError(f"k must be a positive integer, got {k!r}")
+        if k == 1:
+            return self._graph
+        core_vertices = {
+            v for v, shell in self._core_shell.items() if shell >= k - 1
+        }
+        core = self._graph.subgraph(core_vertices)
+        if k == 2:
+            return core
+        surviving = {
+            e for e, shell in self._triangle_shell.items() if shell >= k - 2
+        }
+        return core.edge_subgraph(surviving)
+
+    def query(
+        self,
+        k: int,
+        on_clique: Optional[Callable[[frozenset], None]] = None,
+    ) -> EnumerationResult:
+        """Enumerate all maximal ``(k, η)``-cliques using the cache."""
+        reduced = self.reduced_graph(k)
+        return PivotEnumerator(
+            reduced, k, self._eta, self._config, on_clique
+        ).run()
+
+    def size_profile(self, k_values) -> Dict[int, int]:
+        """Number of maximal cliques per ``k`` (a Fig.-3-style sweep)."""
+        return {k: len(self.query(k).cliques) for k in k_values}

@@ -1,0 +1,115 @@
+"""Independent verification of enumeration results.
+
+Downstream pipelines (and this repo's own benchmarks) want a cheap way
+to confirm a reported result set without trusting the enumerator that
+produced it.  :func:`verify_enumeration` re-checks every reported set
+against the definitions only — Eq. 2 for the probability, single-vertex
+extension for maximality, pairwise containment for duplicates/subsets —
+and optionally cross-checks completeness against a second, independent
+algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.uncertain.clique_probability import (
+    clique_probability,
+    is_maximal_eta_clique,
+)
+from repro.uncertain.graph import UncertainGraph
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of :func:`verify_enumeration`."""
+
+    checked: int = 0
+    not_eta_cliques: List[frozenset] = field(default_factory=list)
+    too_small: List[frozenset] = field(default_factory=list)
+    not_maximal: List[frozenset] = field(default_factory=list)
+    duplicates: List[frozenset] = field(default_factory=list)
+    nested: List[tuple] = field(default_factory=list)
+    missing: Optional[List[frozenset]] = None
+    spurious: Optional[List[frozenset]] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when every check passed."""
+        problems = (
+            self.not_eta_cliques
+            or self.too_small
+            or self.not_maximal
+            or self.duplicates
+            or self.nested
+            or self.missing
+            or self.spurious
+        )
+        return not problems
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        if self.ok:
+            return f"OK: {self.checked} maximal (k, η)-cliques verified"
+        parts = []
+        for label, items in (
+            ("below eta", self.not_eta_cliques),
+            ("below k", self.too_small),
+            ("non-maximal", self.not_maximal),
+            ("duplicate", self.duplicates),
+            ("nested", self.nested),
+            ("missing", self.missing or []),
+            ("spurious", self.spurious or []),
+        ):
+            if items:
+                parts.append(f"{len(items)} {label}")
+        return "FAILED: " + ", ".join(parts)
+
+
+def verify_enumeration(
+    graph: UncertainGraph,
+    k: int,
+    eta,
+    cliques: Iterable[Iterable],
+    cross_check: Optional[str] = None,
+) -> VerificationReport:
+    """Verify a reported maximal ``(k, η)``-clique collection.
+
+    Checks each reported set is an η-clique of size >= k, is maximal,
+    and that the collection has no duplicates or nested pairs.  With
+    ``cross_check`` set to an algorithm name (e.g. ``"muc"``), the
+    collection is additionally compared against a fresh enumeration by
+    that algorithm, populating ``missing`` / ``spurious``.
+    """
+    report = VerificationReport()
+    seen = set()
+    reported: List[frozenset] = []
+    for raw in cliques:
+        clique = frozenset(raw)
+        report.checked += 1
+        if clique in seen:
+            report.duplicates.append(clique)
+            continue
+        seen.add(clique)
+        reported.append(clique)
+        if len(clique) < k:
+            report.too_small.append(clique)
+        if clique_probability(graph, clique) < eta:
+            report.not_eta_cliques.append(clique)
+        elif not is_maximal_eta_clique(graph, clique, eta):
+            report.not_maximal.append(clique)
+    by_size = sorted(reported, key=len)
+    for i, small in enumerate(by_size):
+        for big in by_size[i + 1 :]:
+            if len(small) < len(big) and small < big:
+                report.nested.append((small, big))
+    if cross_check is not None:
+        from repro.core.api import enumerate_maximal_cliques
+
+        truth = set(
+            enumerate_maximal_cliques(graph, k, eta, cross_check).cliques
+        )
+        report.missing = sorted(truth - seen, key=repr)
+        report.spurious = sorted(seen - truth, key=repr)
+    return report

@@ -1,0 +1,80 @@
+"""Seeded synthetic datasets standing in for the paper's nine graphs."""
+
+from repro.datasets.probability import (
+    MIN_PROBABILITY,
+    PROBABILITY_MODELS,
+    exponential_probability,
+    geometric_probability,
+    get_probability_model,
+    normal_probability,
+    uniform_probability,
+)
+from repro.datasets.random_graphs import (
+    barabasi_albert_weighted,
+    gnm_weighted,
+    planted_communities_weighted,
+    sample_edges,
+    sample_vertices,
+)
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    SEMI_REAL_SPECS,
+    dataset_statistics,
+    load_dataset,
+    load_weighted_edges,
+    table1_rows,
+    uncertain_from_weights,
+)
+from repro.datasets.konect import (
+    load_konect_uncertain,
+    parse_konect,
+    read_konect,
+)
+from repro.datasets.figure1 import (
+    FIGURE1_EDGES,
+    figure1_core_subgraph,
+    figure1_graph,
+)
+from repro.datasets.ppi import PPINetwork, generate_ppi_network
+from repro.datasets.knowledge_graph import (
+    KnowledgeGraph,
+    generate_knowledge_graph,
+)
+from repro.datasets.collaboration import (
+    CollaborationNetwork,
+    generate_collaboration_network,
+)
+
+__all__ = [
+    "MIN_PROBABILITY",
+    "PROBABILITY_MODELS",
+    "exponential_probability",
+    "geometric_probability",
+    "normal_probability",
+    "uniform_probability",
+    "get_probability_model",
+    "gnm_weighted",
+    "barabasi_albert_weighted",
+    "planted_communities_weighted",
+    "sample_edges",
+    "sample_vertices",
+    "DATASET_NAMES",
+    "SEMI_REAL_SPECS",
+    "dataset_statistics",
+    "load_dataset",
+    "load_weighted_edges",
+    "table1_rows",
+    "uncertain_from_weights",
+    "load_konect_uncertain",
+    "parse_konect",
+    "read_konect",
+    "FIGURE1_EDGES",
+    "figure1_graph",
+    "figure1_core_subgraph",
+    "PPINetwork",
+    "generate_ppi_network",
+    "KnowledgeGraph",
+    "generate_knowledge_graph",
+    "CollaborationNetwork",
+    "generate_collaboration_network",
+]

@@ -1,0 +1,60 @@
+"""The paper's running example (Figure 1).
+
+An 8-vertex uncertain graph whose behaviour matches every worked
+example in the paper:
+
+* ``{v4, ..., v8}`` is the single maximal (1, 0.5)-clique of its
+  induced subgraph, which the set-enumeration baseline explores via
+  all 31 non-empty subsets (Section 1 / Section 3);
+* with ``η = 0.65``, ``{v4, v5, v6, v7}`` is a maximal η-clique that
+  is *not* a maximal clique of the deterministic backbone — the
+  counterexample to the classic pivot rule (Section 3);
+* with ``η = 0.53 < 0.9^6``, ``{v1, v2, v3, v8}`` is the maximum
+  η-clique containing ``v1`` and ``{v4, ..., v8}`` the maximum
+  containing ``v4`` (Example 2).
+
+The figure itself is not machine-readable in the provided text, so the
+exact probabilities are reconstructed to satisfy the constraints the
+prose states (e.g. the candidate set after expanding ``v4`` in
+Example 1).
+"""
+
+from __future__ import annotations
+
+from repro.uncertain.graph import UncertainGraph
+
+#: Edge probabilities of the reconstructed Figure-1 graph, using
+#: integer vertex ids 1..8 for v1..v8.
+FIGURE1_EDGES = (
+    # The near-certain core of {v4..v8} (Example 1's candidate set
+    # after expanding v4 is {(v3,.9),(v5,.9),(v6,1),(v7,1),(v8,.9)}).
+    (4, 5, 0.9),
+    (4, 6, 1.0),
+    (4, 7, 1.0),
+    (4, 8, 0.9),
+    (5, 6, 1.0),
+    (5, 7, 1.0),
+    (5, 8, 0.9),
+    (6, 7, 1.0),
+    (6, 8, 0.9),
+    (7, 8, 0.9),
+    # The {v1, v2, v3, v8} side clique of Example 2.
+    (1, 2, 0.95),
+    (1, 3, 0.95),
+    (1, 8, 0.95),
+    (2, 3, 0.95),
+    (2, 8, 0.95),
+    (3, 8, 0.95),
+    # v3 also touches v4 (it appears in Example 1's candidate set).
+    (3, 4, 0.9),
+)
+
+
+def figure1_graph() -> UncertainGraph:
+    """Return the reconstructed running-example graph of Figure 1."""
+    return UncertainGraph(FIGURE1_EDGES)
+
+
+def figure1_core_subgraph() -> UncertainGraph:
+    """The subgraph induced by ``{v4, ..., v8}`` used in Section 1/3."""
+    return figure1_graph().subgraph([4, 5, 6, 7, 8])

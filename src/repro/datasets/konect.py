@@ -1,0 +1,85 @@
+"""Loading real weighted graphs in the KONECT interchange format.
+
+The paper's five semi-real datasets come from http://konect.cc/, whose
+``out.*`` files are whitespace-separated edge lists with optional
+weight and timestamp columns and ``%``-prefixed header lines::
+
+    % sym weighted
+    % 1420367 4641928
+    1 2 5 1167609600
+    ...
+
+This loader parses that format, aggregates parallel edges (summing
+weights, as the paper's interaction counts imply), drops self-loops,
+and hands the result to the probability models of
+:mod:`repro.datasets.probability` — so anyone with the original
+downloads can run every experiment on the true datasets instead of the
+stand-ins (at pure-Python speed).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Dict, Tuple, Union
+
+from repro.exceptions import DatasetError
+from repro.datasets.random_graphs import EdgeWeights
+from repro.datasets.registry import uncertain_from_weights
+from repro.uncertain.graph import UncertainGraph
+
+PathLike = Union[str, os.PathLike]
+
+
+def parse_konect(text: str) -> EdgeWeights:
+    """Parse KONECT edge-list text into an aggregated weight dict.
+
+    Columns: ``u v [weight [timestamp]]``; a missing weight counts as
+    one interaction.  Parallel edges accumulate; self-loops are
+    skipped (simple-graph model).
+    """
+    edges: Dict[Tuple[int, int], float] = {}
+    for lineno, raw in enumerate(io.StringIO(text), start=1):
+        line = raw.strip()
+        if not line or line.startswith(("%", "#")):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise DatasetError(f"line {lineno}: expected at least 'u v'")
+        try:
+            u, v = int(parts[0]), int(parts[1])
+        except ValueError:
+            raise DatasetError(
+                f"line {lineno}: vertex ids must be integers, got "
+                f"{parts[0]!r} {parts[1]!r}"
+            ) from None
+        if u == v:
+            continue
+        weight = 1.0
+        if len(parts) >= 3:
+            try:
+                weight = abs(float(parts[2]))
+            except ValueError:
+                raise DatasetError(
+                    f"line {lineno}: weight {parts[2]!r} is not a number"
+                ) from None
+        key = (min(u, v), max(u, v))
+        edges[key] = edges.get(key, 0.0) + weight
+    return edges
+
+
+def read_konect(path: PathLike) -> EdgeWeights:
+    """Read a KONECT ``out.*`` file into an aggregated weight dict."""
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        return parse_konect(f.read())
+
+
+def load_konect_uncertain(
+    path: PathLike, probability_model: str = "exponential", seed: int = 0
+) -> UncertainGraph:
+    """Read a KONECT file and apply a probability model (Section 6.1).
+
+    With the default model this reproduces exactly the paper's
+    semi-real construction: ``p_e = 1 - e^{-w_e / 2}``.
+    """
+    return uncertain_from_weights(read_konect(path), probability_model, seed)

@@ -1,0 +1,78 @@
+"""Edge-probability models from the paper's experimental setup.
+
+The five KONECT graphs in the paper are *weighted*; they become
+uncertain graphs by mapping each edge weight ``w`` to a probability.
+Section 6.1 uses the exponential CDF ``1 - e^{-w/2}``; Exp-5 (Fig. 8)
+additionally studies uniform, geometric and normal models.  Every model
+here is a deterministic function of ``(weight, rng)`` so graphs are
+reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict
+
+from repro.exceptions import ParameterError
+
+#: Probabilities are clamped below by this value so they stay in (0, 1]
+#: as the uncertain-graph model requires.
+MIN_PROBABILITY = 1e-6
+
+WeightModel = Callable[[float, random.Random], float]
+
+
+def exponential_probability(weight: float, rng: random.Random) -> float:
+    """The paper's default: ``f(w) = 1 - e^{-w/2}`` (Section 6.1)."""
+    return _clamp(1.0 - math.exp(-weight / 2.0))
+
+
+def uniform_probability(weight: float, rng: random.Random) -> float:
+    """Exp-5 uniform model: a value drawn uniformly from [0.5, 1]."""
+    return _clamp(rng.uniform(0.5, 1.0))
+
+
+def geometric_probability(weight: float, rng: random.Random, p: float = 0.2) -> float:
+    """Exp-5 geometric model.
+
+    The paper writes ``f(w) = Σ_{i=1}^{w} (1-p)^w p`` with ``p = 0.2``;
+    read as the geometric CDF ``1 - (1-p)^w`` (the probability that at
+    least one of ``w`` independent trials succeeds), which is the
+    standard interpretation and is monotone in the weight.
+    """
+    return _clamp(1.0 - (1.0 - p) ** max(weight, 0.0))
+
+
+def normal_probability(
+    weight: float, rng: random.Random, mu: float = 5.0, sigma: float = 8.0
+) -> float:
+    """Exp-5 normal model: ``f(w) = (1 + erf((w - μ) / σ)) / 2``."""
+    return _clamp(0.5 * (1.0 + math.erf((weight - mu) / sigma)))
+
+
+PROBABILITY_MODELS: Dict[str, WeightModel] = {
+    "exponential": exponential_probability,
+    "uniform": uniform_probability,
+    "geometric": geometric_probability,
+    "normal": normal_probability,
+}
+
+
+def get_probability_model(name: str) -> WeightModel:
+    """Look up a probability model by name."""
+    try:
+        return PROBABILITY_MODELS[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown probability model {name!r}; expected one of "
+            f"{tuple(PROBABILITY_MODELS)}"
+        ) from None
+
+
+def _clamp(p: float) -> float:
+    if p >= 1.0:
+        return 1.0
+    if p < MIN_PROBABILITY:
+        return MIN_PROBABILITY
+    return p

@@ -1,0 +1,45 @@
+"""Deterministic-graph substrate: BK cliques, cores, coloring, triangles."""
+
+from repro.deterministic.graph import Graph
+from repro.deterministic.core import (
+    core_decomposition,
+    degeneracy,
+    degeneracy_ordering,
+)
+from repro.deterministic.coloring import (
+    color_number,
+    count_colors,
+    greedy_coloring,
+    verify_coloring,
+)
+from repro.deterministic.bron_kerbosch import (
+    bron_kerbosch,
+    bron_kerbosch_degeneracy,
+    bron_kerbosch_pivot,
+    maximal_cliques,
+    maximum_clique,
+)
+from repro.deterministic.triangles import (
+    count_triangles,
+    iter_triangles,
+    triangles_of_edge,
+)
+
+__all__ = [
+    "Graph",
+    "core_decomposition",
+    "degeneracy",
+    "degeneracy_ordering",
+    "color_number",
+    "count_colors",
+    "greedy_coloring",
+    "verify_coloring",
+    "bron_kerbosch",
+    "bron_kerbosch_degeneracy",
+    "bron_kerbosch_pivot",
+    "maximal_cliques",
+    "maximum_clique",
+    "count_triangles",
+    "iter_triangles",
+    "triangles_of_edge",
+]

@@ -1,0 +1,84 @@
+"""Maximal clique enumeration on deterministic graphs (Bron–Kerbosch).
+
+Three classic variants are provided:
+
+* :func:`bron_kerbosch` — the plain 1973 algorithm;
+* :func:`bron_kerbosch_pivot` — Tomita-style pivoting: a pivot ``u``
+  maximizing ``|C ∩ N(u)|`` is chosen and only ``C \\ N(u)`` is
+  expanded, because every maximal clique contains ``u`` or one of its
+  non-neighbors;
+* :func:`bron_kerbosch_degeneracy` — degeneracy-ordered outer loop
+  (Eppstein, Löffler & Strash) with pivoting inside.
+
+They serve as the reference point the paper contrasts against in
+Section 3: the *classic* pivot rule is sound here but unsound for
+maximal η-cliques (see ``tests/test_section3_counterexamples.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Set
+
+from repro.deterministic.core import degeneracy_ordering
+from repro.deterministic.graph import Graph, Vertex
+
+
+def bron_kerbosch(graph: Graph) -> Iterator[frozenset]:
+    """Yield every maximal clique of ``graph`` (no pivoting)."""
+    if graph.num_vertices:
+        yield from _bk(graph, set(), set(graph.vertices()), set(), pivot=False)
+
+
+def bron_kerbosch_pivot(graph: Graph) -> Iterator[frozenset]:
+    """Yield every maximal clique using the classic pivot rule."""
+    if graph.num_vertices:
+        yield from _bk(graph, set(), set(graph.vertices()), set(), pivot=True)
+
+
+def bron_kerbosch_degeneracy(graph: Graph) -> Iterator[frozenset]:
+    """Yield maximal cliques with a degeneracy-ordered outer loop."""
+    order = degeneracy_ordering(graph)
+    rank = {v: i for i, v in enumerate(order)}
+    for v in order:
+        nbrs = graph.neighbors(v)
+        candidates = {u for u in nbrs if rank[u] > rank[v]}
+        excluded = {u for u in nbrs if rank[u] < rank[v]}
+        yield from _bk(graph, {v}, candidates, excluded, pivot=True)
+
+
+def maximal_cliques(graph: Graph) -> List[frozenset]:
+    """Return all maximal cliques as a sorted list (test convenience)."""
+    found = list(bron_kerbosch_degeneracy(graph))
+    return sorted(found, key=lambda s: (len(s), sorted(map(repr, s))))
+
+
+def maximum_clique(graph: Graph) -> frozenset:
+    """Return one maximum clique (empty frozenset for empty graph)."""
+    best: frozenset = frozenset()
+    for clique in bron_kerbosch_degeneracy(graph):
+        if len(clique) > len(best):
+            best = clique
+    return best
+
+
+def _bk(
+    graph: Graph,
+    r: Set[Vertex],
+    c: Set[Vertex],
+    x: Set[Vertex],
+    pivot: bool,
+) -> Iterator[frozenset]:
+    if not c and not x:
+        yield frozenset(r)
+        return
+    if pivot and c:
+        # Pivot on the vertex (from C ∪ X) covering most candidates.
+        pivot_vertex = max(c | x, key=lambda u: len(c & graph.neighbors(u)))
+        expandable = c - graph.neighbors(pivot_vertex)
+    else:
+        expandable = set(c)
+    for v in expandable:
+        nbrs = graph.neighbors(v)
+        yield from _bk(graph, r | {v}, c & nbrs, x & nbrs, pivot)
+        c.discard(v)
+        x.add(v)

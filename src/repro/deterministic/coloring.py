@@ -1,0 +1,58 @@
+"""Greedy graph coloring and color-based clique bounds.
+
+The paper uses a classic greedy coloring twice: to pick pivot vertices
+with a large *color number* (Section 4.6) and to build the color-refined
+K-pivot periphery (Section 5.1).  Both rely on the fact that vertices
+sharing a color class are pairwise non-adjacent, so any clique contains
+at most one vertex per color class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.deterministic.graph import Graph, Vertex
+
+
+def greedy_coloring(
+    graph: Graph, order: Optional[List[Vertex]] = None
+) -> Dict[Vertex, int]:
+    """Color ``graph`` greedily; adjacent vertices get distinct colors.
+
+    Vertices are processed in ``order`` (default: descending degree,
+    which empirically uses few colors).  Colors are ints from 0.
+
+    >>> g = Graph([(1, 2), (2, 3), (1, 3)])
+    >>> colors = greedy_coloring(g)
+    >>> len({colors[1], colors[2], colors[3]})
+    3
+    """
+    if order is None:
+        order = sorted(graph.vertices(), key=graph.degree, reverse=True)
+    colors: Dict[Vertex, int] = {}
+    for v in order:
+        taken = {colors[u] for u in graph.neighbors(v) if u in colors}
+        color = 0
+        while color in taken:
+            color += 1
+        colors[v] = color
+    return colors
+
+
+def color_number(graph: Graph, colors: Dict[Vertex, int], v: Vertex) -> int:
+    """Number of distinct colors among ``v``'s neighbors.
+
+    This upper-bounds (minus the vertex itself) the size of any clique
+    containing ``v``, and is never larger than the degree of ``v``.
+    """
+    return len({colors[u] for u in graph.neighbors(v)})
+
+
+def count_colors(colors: Dict[Vertex, int], vertices: Iterable[Vertex]) -> int:
+    """Number of distinct color classes covering ``vertices``."""
+    return len({colors[v] for v in vertices})
+
+
+def verify_coloring(graph: Graph, colors: Dict[Vertex, int]) -> bool:
+    """Return True if no edge joins two vertices of the same color."""
+    return all(colors[u] != colors[v] for u, v in graph.edges())

@@ -1,0 +1,74 @@
+"""k-core decomposition and the degeneracy ordering.
+
+The degeneracy ordering (Section 4.5 of the paper) is obtained by
+repeatedly removing a vertex of minimum degree from the remaining
+graph; the removal order is the ordering and the largest degree seen at
+removal time is the degeneracy δ.  The bucket-queue implementation runs
+in ``O(n + m)`` (Batagelj & Zaversnik).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.deterministic.graph import Graph, Vertex
+
+
+def core_decomposition(graph: Graph) -> Dict[Vertex, int]:
+    """Return the core number of every vertex.
+
+    The core number of ``v`` is the largest ``k`` such that ``v``
+    belongs to a subgraph in which every vertex has degree >= ``k``.
+    """
+    order, core = _peel(graph)
+    del order
+    return core
+
+
+def degeneracy_ordering(graph: Graph) -> List[Vertex]:
+    """Return vertices in degeneracy (minimum-degree peeling) order."""
+    order, _core = _peel(graph)
+    return order
+
+
+def degeneracy(graph: Graph) -> int:
+    """Return the degeneracy δ = maximum core number (0 if empty)."""
+    core = core_decomposition(graph)
+    return max(core.values(), default=0)
+
+
+def _peel(graph: Graph) -> Tuple[List[Vertex], Dict[Vertex, int]]:
+    """Bucket-queue peeling; returns (removal order, core numbers)."""
+    degree = {v: graph.degree(v) for v in graph}
+    max_deg = max(degree.values(), default=0)
+    buckets: List[List[Vertex]] = [[] for _ in range(max_deg + 1)]
+    for v, d in degree.items():
+        buckets[d].append(v)
+    removed = set()
+    order: List[Vertex] = []
+    core: Dict[Vertex, int] = {}
+    current_core = 0
+    pointer = 0
+    n = len(degree)
+    while len(order) < n:
+        # Find the lowest non-empty bucket; `pointer` only moves down by
+        # at most 1 per removal, keeping the total cost linear.
+        while pointer <= max_deg and not buckets[pointer]:
+            pointer += 1
+        v = buckets[pointer].pop()
+        if v in removed:
+            continue
+        if degree[v] != pointer:
+            # Stale entry: the vertex was re-bucketed at a lower degree.
+            continue
+        removed.add(v)
+        current_core = max(current_core, pointer)
+        core[v] = current_core
+        order.append(v)
+        for u in graph.neighbors(v):
+            if u not in removed:
+                degree[u] -= 1
+                buckets[degree[u]].append(u)
+                if degree[u] < pointer:
+                    pointer = degree[u]
+    return order, core

@@ -1,0 +1,138 @@
+"""Deterministic (certain) undirected graph.
+
+This is the substrate for the classic algorithms the paper builds on:
+Bron–Kerbosch with pivoting, core decomposition / degeneracy ordering,
+greedy coloring, and triangle listing.  It mirrors the adjacency-set
+style of :class:`repro.uncertain.UncertainGraph` without probabilities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.exceptions import GraphError
+
+Vertex = Hashable
+
+
+class Graph:
+    """A simple undirected graph backed by adjacency sets.
+
+    >>> g = Graph([(1, 2), (2, 3)])
+    >>> g.degree(2)
+    2
+    >>> g.is_clique([1, 2])
+    True
+    """
+
+    __slots__ = ("_adj",)
+
+    def __init__(self, edges: Optional[Iterable[Tuple[Vertex, Vertex]]] = None):
+        self._adj: Dict[Vertex, Set[Vertex]] = {}
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    def add_vertex(self, v: Vertex) -> None:
+        """Insert an isolated vertex (no-op if present)."""
+        self._adj.setdefault(v, set())
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Insert edge ``(u, v)``; self-loops are rejected."""
+        if u == v:
+            raise GraphError(f"self-loop ({u!r}, {v!r}) is not allowed")
+        self._adj.setdefault(u, set()).add(v)
+        self._adj.setdefault(v, set()).add(u)
+
+    def remove_vertex(self, v: Vertex) -> None:
+        """Remove ``v`` and incident edges; raises if absent."""
+        if v not in self._adj:
+            raise GraphError(f"vertex {v!r} does not exist")
+        for u in self._adj[v]:
+            self._adj[u].discard(v)
+        del self._adj[v]
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def vertices(self) -> List[Vertex]:
+        """Return the vertex list (insertion order)."""
+        return list(self._adj)
+
+    def edges(self) -> Iterator[Tuple[Vertex, Vertex]]:
+        """Yield each edge exactly once."""
+        seen = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if v not in seen:
+                    yield (u, v)
+            seen.add(u)
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Return True if the edge exists."""
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, v: Vertex) -> Set[Vertex]:
+        """Return the neighbor set of ``v`` (do not mutate)."""
+        try:
+            return self._adj[v]
+        except KeyError:
+            raise GraphError(f"vertex {v!r} does not exist") from None
+
+    def degree(self, v: Vertex) -> int:
+        """Number of neighbors of ``v``."""
+        return len(self.neighbors(v))
+
+    def max_degree(self) -> int:
+        """Maximum degree over all vertices (0 for an empty graph)."""
+        if not self._adj:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj.values())
+
+    def is_clique(self, vertices: Iterable[Vertex]) -> bool:
+        """Return True if ``vertices`` induces a complete subgraph."""
+        members = list(vertices)
+        for i, u in enumerate(members):
+            nbrs = self._adj.get(u)
+            if nbrs is None:
+                return False
+            for v in members[i + 1 :]:
+                if v not in nbrs:
+                    return False
+        return True
+
+    def subgraph(self, vertices: Iterable[Vertex]) -> "Graph":
+        """Return the induced subgraph on ``vertices`` (unknown ignored)."""
+        keep = {v for v in vertices if v in self._adj}
+        sub = Graph()
+        for v in keep:
+            sub.add_vertex(v)
+            for u in self._adj[v]:
+                if u in keep:
+                    sub.add_edge(u, v)
+        return sub
+
+    def copy(self) -> "Graph":
+        """Return an independent copy of this graph."""
+        dup = Graph()
+        dup._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        return dup
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.num_vertices}, m={self.num_edges})"

@@ -1,0 +1,46 @@
+"""Triangle listing and counting.
+
+Used by the ``(Top_k, η)``-triangle reduction (Section 5.2), which needs
+for each edge ``(u, v)`` the triangles through it together with the
+*open triangle probability* ``p(u,w) * p(v,w)`` of each.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.deterministic.graph import Graph, Vertex
+
+
+def triangles_of_edge(graph: Graph, u: Vertex, v: Vertex) -> List[Vertex]:
+    """Return the apex vertices ``w`` forming triangles with edge (u, v)."""
+    nu, nv = graph.neighbors(u), graph.neighbors(v)
+    if len(nu) > len(nv):
+        nu, nv = nv, nu
+    return [w for w in nu if w in nv]
+
+
+def iter_triangles(graph: Graph) -> Iterator[Tuple[Vertex, Vertex, Vertex]]:
+    """Yield each triangle exactly once as a sorted-by-rank triple.
+
+    Uses the standard degree-ordered orientation so each triangle is
+    reported from its lowest-ranked vertex.
+    """
+    rank = {
+        v: i
+        for i, v in enumerate(
+            sorted(graph.vertices(), key=lambda v: (graph.degree(v), repr(v)))
+        )
+    }
+    for u in graph:
+        higher_u = [w for w in graph.neighbors(u) if rank[w] > rank[u]]
+        higher_set = set(higher_u)
+        for v in higher_u:
+            for w in graph.neighbors(v):
+                if rank[w] > rank[v] and w in higher_set:
+                    yield (u, v, w)
+
+
+def count_triangles(graph: Graph) -> int:
+    """Total number of triangles in the graph."""
+    return sum(1 for _ in iter_triangles(graph))

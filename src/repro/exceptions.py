@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by the library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause without swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graph operations.
+
+    Examples include adding a self-loop, querying a vertex that does not
+    exist, or removing an edge that was never inserted.
+    """
+
+
+class InvalidProbabilityError(GraphError):
+    """Raised when an edge probability falls outside the interval (0, 1]."""
+
+
+class ParameterError(ReproError):
+    """Raised when an algorithm parameter is out of its documented domain.
+
+    Examples include a non-positive size threshold ``k`` or a probability
+    threshold ``eta`` outside [0, 1].
+    """
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset generator or loader receives bad input."""

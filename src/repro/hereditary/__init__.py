@@ -1,0 +1,25 @@
+"""The general pivot principle (Algorithm 2) for hereditary properties."""
+
+from repro.hereditary.framework import (
+    enumerate_maximal_sets,
+    maximal_sets_naive,
+)
+from repro.hereditary.properties import (
+    BoundedDegreeProperty,
+    CliqueProperty,
+    EtaCliqueProperty,
+    HereditaryProperty,
+    IndependentSetProperty,
+    KPlexProperty,
+)
+
+__all__ = [
+    "enumerate_maximal_sets",
+    "maximal_sets_naive",
+    "HereditaryProperty",
+    "CliqueProperty",
+    "EtaCliqueProperty",
+    "IndependentSetProperty",
+    "BoundedDegreeProperty",
+    "KPlexProperty",
+]

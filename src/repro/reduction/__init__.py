@@ -1,0 +1,45 @@
+"""Graph reduction: η-topdegree, (Top_k, η)-core/-triangle, orderings."""
+
+from repro.reduction.eta_degree import (
+    eta_topdegree,
+    top_product_count,
+    top_triangle_degree,
+)
+from repro.reduction.topk_core import (
+    topk_core,
+    topk_core_decomposition,
+    topk_core_vertices,
+    verify_topk_core,
+)
+from repro.reduction.topk_triangle import (
+    top_triangle_decomposition,
+    topk_triangle,
+    topk_triangle_edges,
+    verify_topk_triangle,
+)
+from repro.reduction.ordering import (
+    ORDERINGS,
+    as_is_ordering,
+    degeneracy_ordering,
+    topk_core_ordering,
+    vertex_ordering,
+)
+
+__all__ = [
+    "eta_topdegree",
+    "top_product_count",
+    "top_triangle_degree",
+    "topk_core",
+    "topk_core_decomposition",
+    "topk_core_vertices",
+    "verify_topk_core",
+    "top_triangle_decomposition",
+    "topk_triangle",
+    "topk_triangle_edges",
+    "verify_topk_triangle",
+    "ORDERINGS",
+    "as_is_ordering",
+    "degeneracy_ordering",
+    "topk_core_ordering",
+    "vertex_ordering",
+]

@@ -1,0 +1,26 @@
+"""Monte-Carlo estimation substrate: naive, vectorized, stratified,
+and the s-t reliability / connectivity queries built on it."""
+
+from repro.sampling.estimators import (
+    Estimate,
+    estimate,
+    estimate_clique_indicator,
+    sample_edge_matrix,
+)
+from repro.sampling.stratified import stratified_estimate
+from repro.sampling.reliability import (
+    clique_reliability,
+    exact_reliability,
+    reliability,
+)
+
+__all__ = [
+    "Estimate",
+    "estimate",
+    "estimate_clique_indicator",
+    "sample_edge_matrix",
+    "stratified_estimate",
+    "reliability",
+    "exact_reliability",
+    "clique_reliability",
+]

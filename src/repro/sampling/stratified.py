@@ -1,0 +1,130 @@
+"""Recursive stratified sampling (Li, Yu, Mao & Jin, TKDE 2016).
+
+Naive Monte Carlo wastes samples on worlds whose outcome is already
+determined by a few high-impact edges.  Stratified sampling picks ``r``
+*pivot edges*, enumerates all ``2^r`` existence patterns (strata),
+weighs each stratum by its exact probability, and spends the sample
+budget inside strata proportionally.  Because the strata partition the
+world space, the estimator is unbiased, and the within-stratum variance
+is never larger than the population variance (law of total variance),
+so for a fixed budget it is at least as accurate as naive sampling.
+
+The recursion of the original paper (re-stratifying within large
+strata) is realized here by choosing ``r`` pivots up front — equivalent
+to an ``r``-level recursion with one pivot per level — which keeps the
+implementation transparent while exercising the same statistical idea.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.exceptions import ParameterError
+from repro.deterministic.graph import Graph
+from repro.sampling.estimators import Estimate
+from repro.uncertain.graph import UncertainGraph
+
+WorldValue = Callable[[Graph], float]
+
+
+def stratified_estimate(
+    graph: UncertainGraph,
+    query: WorldValue,
+    samples: int = 1000,
+    pivot_edges: int = 3,
+    seed: int = 0,
+    pivots: Optional[Sequence[Tuple]] = None,
+) -> Estimate:
+    """Stratified estimate of ``E[query(world)]``.
+
+    Parameters
+    ----------
+    pivot_edges:
+        Number of pivot edges (``2^pivot_edges`` strata).  Ignored when
+        explicit ``pivots`` are given.
+    pivots:
+        Optional explicit pivot edges ``[(u, v), ...]``.  By default
+        the edges with probability closest to 1/2 are chosen — they
+        carry the most outcome entropy, which is where stratification
+        pays the most.
+    """
+    if samples <= 0:
+        raise ParameterError(f"samples must be positive, got {samples}")
+    if pivots is None:
+        ranked = sorted(
+            ((u, v, p) for u, v, p in graph.edges()),
+            key=lambda e: abs(float(e[2]) - 0.5),
+        )
+        pivots = [(u, v) for u, v, _p in ranked[:pivot_edges]]
+    else:
+        pivots = list(pivots)
+        for u, v in pivots:
+            if not graph.has_edge(u, v):
+                raise ParameterError(f"pivot ({u!r}, {v!r}) is not an edge")
+    if not pivots:
+        raise ParameterError("need at least one pivot edge (or use naive MC)")
+    rng = random.Random(seed)
+    free_edges = [
+        (u, v, p)
+        for u, v, p in graph.edges()
+        if (u, v) not in _both_orders(pivots)
+    ]
+    total = 0.0
+    used = 0
+    strata = list(itertools.product((False, True), repeat=len(pivots)))
+    for index, pattern in enumerate(strata):
+        weight = 1.0
+        for present, (u, v) in zip(pattern, pivots):
+            p = float(graph.probability(u, v))
+            weight *= p if present else (1.0 - p)
+        if weight == 0.0:
+            continue
+        # Proportional allocation, at least one sample per live stratum.
+        quota = max(1, round(samples * weight))
+        if index == len(strata) - 1:
+            quota = max(1, samples - used)
+        stratum_total = 0.0
+        for _ in range(quota):
+            world = _sample_conditioned(graph, free_edges, pivots, pattern, rng)
+            stratum_total += float(query(world))
+        used += quota
+        total += weight * (stratum_total / quota)
+    # Conservative Hoeffding interval on the overall budget actually used.
+    import math
+
+    half = math.sqrt(math.log(2 / 0.05) / (2 * max(used, 1)))
+    return Estimate(
+        value=total,
+        low=max(0.0, total - half),
+        high=min(1.0, total + half),
+        samples=used,
+    )
+
+
+def _sample_conditioned(
+    graph: UncertainGraph,
+    free_edges,
+    pivots,
+    pattern,
+    rng: random.Random,
+) -> Graph:
+    world = Graph()
+    for v in graph.vertices():
+        world.add_vertex(v)
+    for present, (u, v) in zip(pattern, pivots):
+        if present:
+            world.add_edge(u, v)
+    for u, v, p in free_edges:
+        if rng.random() < p:
+            world.add_edge(u, v)
+    return world
+
+
+def _both_orders(pivots) -> set:
+    doubled = set()
+    for u, v in pivots:
+        doubled.add((u, v))
+        doubled.add((v, u))
+    return doubled

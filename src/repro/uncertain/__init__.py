@@ -1,0 +1,92 @@
+"""Uncertain-graph substrate: data structure, probabilities, worlds, I/O."""
+
+from repro.uncertain.graph import UncertainGraph, normalize_edge
+from repro.uncertain.clique_probability import (
+    clique_probability,
+    extension_probability,
+    is_eta_clique,
+    is_maximal_eta_clique,
+    is_maximal_k_eta_clique,
+)
+from repro.uncertain.possible_worlds import (
+    enumerate_worlds,
+    estimate_clique_probability,
+    exact_maximal_eta_cliques_by_worlds,
+    sample_world,
+    sample_worlds,
+)
+from repro.uncertain.io import (
+    format_edge_list,
+    parse_edge_list,
+    read_edge_list,
+    write_edge_list,
+)
+from repro.uncertain.maximality import (
+    alpha_maximal_cliques,
+    estimate_maximal_clique_probability,
+    maximal_clique_probability,
+)
+from repro.uncertain.serialization import (
+    from_json,
+    load_json,
+    read_metadata,
+    save_json,
+    to_json,
+)
+from repro.uncertain.transforms import (
+    condition,
+    intersect_graphs,
+    rescale,
+    sharpen,
+    threshold,
+    union_graphs,
+)
+from repro.uncertain.statistics import (
+    GraphSummary,
+    edge_entropy,
+    expected_degree,
+    expected_num_edges,
+    expected_num_triangles,
+    probability_histogram,
+    summarize,
+)
+
+__all__ = [
+    "UncertainGraph",
+    "normalize_edge",
+    "clique_probability",
+    "extension_probability",
+    "is_eta_clique",
+    "is_maximal_eta_clique",
+    "is_maximal_k_eta_clique",
+    "enumerate_worlds",
+    "estimate_clique_probability",
+    "exact_maximal_eta_cliques_by_worlds",
+    "sample_world",
+    "sample_worlds",
+    "format_edge_list",
+    "parse_edge_list",
+    "read_edge_list",
+    "write_edge_list",
+    "from_json",
+    "load_json",
+    "read_metadata",
+    "save_json",
+    "to_json",
+    "alpha_maximal_cliques",
+    "estimate_maximal_clique_probability",
+    "maximal_clique_probability",
+    "GraphSummary",
+    "edge_entropy",
+    "expected_degree",
+    "expected_num_edges",
+    "expected_num_triangles",
+    "probability_histogram",
+    "summarize",
+    "condition",
+    "intersect_graphs",
+    "rescale",
+    "sharpen",
+    "threshold",
+    "union_graphs",
+]

@@ -1,0 +1,112 @@
+"""Clique probability (Definition 1 / Eq. 2) and η-clique predicates.
+
+The clique probability of a vertex set ``H`` on an uncertain graph is
+the probability that ``H`` induces a complete subgraph in a sampled
+possible world.  Because edges are independent, it equals the product of
+the probabilities of all ``|H| * (|H| - 1) / 2`` pairwise edges, where a
+missing edge contributes probability 0 (Eq. 2 in the paper).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.exceptions import ParameterError
+from repro.uncertain.graph import UncertainGraph, Vertex
+
+
+def clique_probability(graph: UncertainGraph, vertices: Iterable[Vertex]):
+    """Return ``Pr(H, G)``, the probability that ``vertices`` is a clique.
+
+    Returns 1 for the empty set and singletons (they are cliques in
+    every possible world), 0 as soon as a missing edge is found.
+
+    >>> g = UncertainGraph([(1, 2, 0.5), (2, 3, 0.5), (1, 3, 0.5)])
+    >>> clique_probability(g, [1, 2, 3])
+    0.125
+    """
+    members: Sequence[Vertex] = list(vertices)
+    if len(set(members)) != len(members):
+        raise ParameterError(f"vertex set contains duplicates: {members!r}")
+    prob = 1
+    for u, v in combinations(members, 2):
+        p = graph.probability(u, v)
+        if not p:
+            return 0
+        prob = prob * p
+    return prob
+
+
+def is_eta_clique(graph: UncertainGraph, vertices: Iterable[Vertex], eta) -> bool:
+    """Return True if ``vertices`` is an η-clique (Definition 2).
+
+    A set ``H`` is an η-clique when ``Pr(H, G) >= eta``.
+    """
+    _check_eta(eta)
+    return clique_probability(graph, vertices) >= eta
+
+
+def is_maximal_eta_clique(graph: UncertainGraph, vertices: Iterable[Vertex], eta) -> bool:
+    """Return True if ``vertices`` is a *maximal* η-clique.
+
+    ``H`` is maximal when it is an η-clique and no single vertex can be
+    added while keeping the clique probability at least ``eta``.  Because
+    the η-clique property is hereditary, checking single-vertex
+    extensions suffices.
+    """
+    _check_eta(eta)
+    members = list(vertices)
+    prob = clique_probability(graph, members)
+    if prob < eta:
+        return False
+    member_set = set(members)
+    candidates = set()
+    if members:
+        # Only common neighbors can complete the clique.
+        candidates = set(graph.neighbors(members[0]))
+        for v in members[1:]:
+            candidates &= set(graph.neighbors(v))
+        candidates -= member_set
+    else:
+        candidates = set(graph.vertices())
+    for w in candidates:
+        ext = prob
+        for v in members:
+            ext = ext * graph.probability(v, w)
+        if ext >= eta:
+            return False
+    return True
+
+
+def is_maximal_k_eta_clique(
+    graph: UncertainGraph, vertices: Iterable[Vertex], k: int, eta
+) -> bool:
+    """Return True if ``vertices`` is a maximal ``(k, η)``-clique (Def. 3)."""
+    members = list(vertices)
+    if k < 1:
+        raise ParameterError(f"k must be a positive integer, got {k}")
+    if len(members) < k:
+        return False
+    return is_maximal_eta_clique(graph, members, eta)
+
+
+def extension_probability(graph: UncertainGraph, base_probability, members, w):
+    """Clique probability of ``members + [w]`` given ``Pr(members)``.
+
+    Multiplies ``base_probability`` by the probabilities of the edges
+    from ``w`` to every member; returns 0 on a missing edge.  This is the
+    incremental update all enumeration algorithms rely on.
+    """
+    prob = base_probability
+    for v in members:
+        p = graph.probability(v, w)
+        if not p:
+            return 0
+        prob = prob * p
+    return prob
+
+
+def _check_eta(eta) -> None:
+    if not 0 <= eta <= 1:
+        raise ParameterError(f"eta must lie in [0, 1], got {eta!r}")

@@ -1,0 +1,83 @@
+"""Reading and writing uncertain graphs as text edge lists.
+
+The on-disk format mirrors the one used by the paper's released code:
+one edge per line, whitespace-separated ``u v p`` with ``p`` optional
+(defaulting to 1.0, i.e. a deterministic edge).  Lines starting with
+``#`` or ``%`` are comments; blank lines are skipped.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Union
+
+from repro.exceptions import DatasetError
+from repro.uncertain.graph import UncertainGraph
+
+PathLike = Union[str, os.PathLike]
+
+
+def parse_edge_list(text: str, default_probability: float = 1.0) -> UncertainGraph:
+    """Parse an edge-list string into an :class:`UncertainGraph`.
+
+    Vertex tokens that look like integers are converted to ``int`` so
+    that files written by other tools round-trip naturally.
+
+    >>> g = parse_edge_list("0 1 0.5\\n1 2\\n")
+    >>> g.probability(1, 2)
+    1.0
+    """
+    graph = UncertainGraph()
+    for lineno, raw in enumerate(io.StringIO(text), start=1):
+        line = raw.strip()
+        if not line or line.startswith(("#", "%")):
+            continue
+        parts = line.split()
+        if len(parts) not in (2, 3):
+            raise DatasetError(
+                f"line {lineno}: expected 'u v [p]', got {line!r}"
+            )
+        u, v = (_coerce_vertex(tok) for tok in parts[:2])
+        if len(parts) == 3:
+            try:
+                p = float(parts[2])
+            except ValueError:
+                raise DatasetError(
+                    f"line {lineno}: probability {parts[2]!r} is not a number"
+                ) from None
+        else:
+            p = default_probability
+        try:
+            graph.add_edge(u, v, p)
+        except Exception as exc:
+            raise DatasetError(f"line {lineno}: {exc}") from exc
+    return graph
+
+
+def read_edge_list(path: PathLike, default_probability: float = 1.0) -> UncertainGraph:
+    """Load an uncertain graph from an edge-list file."""
+    with open(path, "r", encoding="utf-8") as f:
+        return parse_edge_list(f.read(), default_probability)
+
+
+def write_edge_list(graph: UncertainGraph, path: PathLike) -> None:
+    """Write ``graph`` to ``path`` in the ``u v p`` edge-list format."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(format_edge_list(graph))
+
+
+def format_edge_list(graph: UncertainGraph) -> str:
+    """Render ``graph`` as an edge-list string (deterministic order)."""
+    lines = [
+        f"{u} {v} {float(p):.9g}"
+        for u, v, p in sorted(graph.edges(), key=lambda e: (repr(e[0]), repr(e[1])))
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _coerce_vertex(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token

@@ -1,0 +1,140 @@
+"""Possible-world semantics for uncertain graphs (Section 2, Eq. 1).
+
+A possible world of an uncertain graph ``G`` is a deterministic graph
+obtained by independently keeping each edge ``e`` with probability
+``p_e``.  This module provides
+
+* exhaustive enumeration of all ``2^|E|`` worlds with their
+  probabilities (for small graphs; used to validate Eq. 2 in tests),
+* seeded Monte-Carlo sampling of worlds, and
+* an empirical estimator of the clique probability of a vertex set,
+  which converges to :func:`repro.uncertain.clique_probability` by the
+  law of large numbers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.exceptions import ParameterError
+from repro.deterministic.graph import Graph
+from repro.uncertain.graph import UncertainGraph, Vertex
+
+#: Enumerating more edges than this is refused: 2^20 worlds is already a
+#: million graphs and the function is meant for test-sized inputs.
+MAX_ENUMERABLE_EDGES = 20
+
+
+def enumerate_worlds(graph: UncertainGraph) -> Iterator[Tuple[Graph, object]]:
+    """Yield every possible world with its probability ``Pr(G)`` (Eq. 1).
+
+    Raises :class:`ParameterError` when the graph has more than
+    :data:`MAX_ENUMERABLE_EDGES` edges.
+    """
+    edges = list(graph.edges())
+    if len(edges) > MAX_ENUMERABLE_EDGES:
+        raise ParameterError(
+            f"refusing to enumerate 2^{len(edges)} possible worlds; "
+            f"limit is 2^{MAX_ENUMERABLE_EDGES}"
+        )
+    vertices = graph.vertices()
+    for mask in itertools.product((False, True), repeat=len(edges)):
+        world = Graph()
+        for v in vertices:
+            world.add_vertex(v)
+        prob = 1
+        for present, (u, v, p) in zip(mask, edges):
+            if present:
+                world.add_edge(u, v)
+                prob = prob * p
+            else:
+                prob = prob * (1 - p)
+        yield world, prob
+
+
+def sample_world(graph: UncertainGraph, rng: random.Random) -> Graph:
+    """Sample one possible world using the supplied RNG."""
+    world = Graph()
+    for v in graph.vertices():
+        world.add_vertex(v)
+    for u, v, p in graph.edges():
+        if rng.random() < p:
+            world.add_edge(u, v)
+    return world
+
+
+def sample_worlds(
+    graph: UncertainGraph, count: int, seed: int = 0
+) -> Iterator[Graph]:
+    """Yield ``count`` independent possible worlds from a seeded RNG."""
+    if count < 0:
+        raise ParameterError(f"count must be non-negative, got {count}")
+    rng = random.Random(seed)
+    for _ in range(count):
+        yield sample_world(graph, rng)
+
+
+def estimate_clique_probability(
+    graph: UncertainGraph,
+    vertices: Iterable[Vertex],
+    samples: int = 10_000,
+    seed: int = 0,
+) -> float:
+    """Monte-Carlo estimate of ``Pr(vertices is a clique)``.
+
+    Only the edges inside the candidate set need to be sampled, so the
+    estimator costs ``O(samples * |H|^2)`` regardless of graph size.
+    """
+    if samples <= 0:
+        raise ParameterError(f"samples must be positive, got {samples}")
+    members: Sequence[Vertex] = list(vertices)
+    pair_probs: List[object] = []
+    for i, u in enumerate(members):
+        for v in members[i + 1 :]:
+            p = graph.probability(u, v)
+            if not p:
+                return 0.0
+            pair_probs.append(p)
+    rng = random.Random(seed)
+    hits = 0
+    for _ in range(samples):
+        if all(rng.random() < p for p in pair_probs):
+            hits += 1
+    return hits / samples
+
+
+def exact_maximal_eta_cliques_by_worlds(
+    graph: UncertainGraph, k: int, eta
+) -> List[frozenset]:
+    """Reference oracle: maximal (k, η)-cliques via world enumeration.
+
+    Computes ``Pr(H is a clique)`` for every vertex subset by summing
+    world probabilities, then filters maximal η-cliques of size >= k.
+    Exponential in both edges and vertices — strictly a test oracle.
+    """
+    vertices = graph.vertices()
+    if len(vertices) > 12:
+        raise ParameterError("oracle limited to graphs with <= 12 vertices")
+    clique_prob = {frozenset(): 1, **{frozenset([v]): 1 for v in vertices}}
+    for size in range(2, len(vertices) + 1):
+        for subset in itertools.combinations(vertices, size):
+            clique_prob[frozenset(subset)] = 0
+    for world, prob in enumerate_worlds(graph):
+        for size in range(2, len(vertices) + 1):
+            for subset in itertools.combinations(vertices, size):
+                if world.is_clique(subset):
+                    key = frozenset(subset)
+                    clique_prob[key] = clique_prob[key] + prob
+    eta_cliques = {h for h, p in clique_prob.items() if p >= eta and h}
+    results = []
+    for h in eta_cliques:
+        if len(h) < k:
+            continue
+        extendable = any(
+            frozenset(h | {v}) in eta_cliques for v in vertices if v not in h
+        )
+        if not extendable:
+            results.append(h)
+    return sorted(results, key=lambda s: (len(s), sorted(map(repr, s))))

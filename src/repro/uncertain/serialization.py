@@ -1,0 +1,110 @@
+"""JSON serialization of uncertain graphs.
+
+A small, versioned JSON document format for persisting uncertain graphs
+with metadata — a friendlier interchange format than the whitespace
+edge list of :mod:`repro.uncertain.io` when vertices carry arbitrary
+labels or when results need provenance.
+
+Document layout (version 1)::
+
+    {
+      "format": "repro-uncertain-graph",
+      "version": 1,
+      "metadata": {...},                       # free-form
+      "vertices": ["a", "b", ...],             # includes isolated ones
+      "edges": [["a", "b", 0.9], ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, Union
+
+from repro.exceptions import DatasetError
+from repro.uncertain.graph import UncertainGraph
+
+FORMAT_NAME = "repro-uncertain-graph"
+FORMAT_VERSION = 1
+
+PathLike = Union[str, os.PathLike]
+
+
+def to_json(
+    graph: UncertainGraph, metadata: Optional[Dict[str, object]] = None
+) -> str:
+    """Serialize ``graph`` (and optional metadata) to a JSON string."""
+    document = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "metadata": dict(metadata or {}),
+        "vertices": sorted(graph.vertices(), key=repr),
+        "edges": sorted(
+            ([u, v, float(p)] for u, v, p in graph.edges()),
+            key=lambda e: (repr(e[0]), repr(e[1])),
+        ),
+    }
+    return json.dumps(document, indent=2, sort_keys=True, default=str)
+
+
+def from_json(text: str) -> UncertainGraph:
+    """Parse a graph from a JSON string produced by :func:`to_json`.
+
+    Raises :class:`DatasetError` on malformed documents, wrong format
+    markers, or unsupported versions.
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"invalid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise DatasetError("document root must be an object")
+    if document.get("format") != FORMAT_NAME:
+        raise DatasetError(
+            f"unexpected format marker {document.get('format')!r}"
+        )
+    version = document.get("version")
+    if version != FORMAT_VERSION:
+        raise DatasetError(f"unsupported version {version!r}")
+    graph = UncertainGraph()
+    for v in document.get("vertices", []):
+        graph.add_vertex(_freeze(v))
+    for entry in document.get("edges", []):
+        if not isinstance(entry, list) or len(entry) != 3:
+            raise DatasetError(f"malformed edge entry {entry!r}")
+        u, v, p = entry
+        try:
+            graph.add_edge(_freeze(u), _freeze(v), float(p))
+        except (TypeError, ValueError) as exc:
+            raise DatasetError(f"malformed edge entry {entry!r}") from exc
+    return graph
+
+
+def read_metadata(text: str) -> Dict[str, object]:
+    """Return only the metadata object of a serialized graph."""
+    document = json.loads(text)
+    return dict(document.get("metadata", {}))
+
+
+def save_json(
+    graph: UncertainGraph,
+    path: PathLike,
+    metadata: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write :func:`to_json` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(to_json(graph, metadata))
+
+
+def load_json(path: PathLike) -> UncertainGraph:
+    """Read a graph from a JSON file written by :func:`save_json`."""
+    with open(path, "r", encoding="utf-8") as f:
+        return from_json(f.read())
+
+
+def _freeze(vertex):
+    """JSON round-trips tuples to lists; restore hashability."""
+    if isinstance(vertex, list):
+        return tuple(_freeze(item) for item in vertex)
+    return vertex

@@ -1,0 +1,118 @@
+"""Descriptive statistics of uncertain graphs.
+
+Summaries used by the dataset registry, the experiment harness and the
+examples: expected structural quantities under the possible-world model
+(which are exact, by linearity of expectation) and the edge-probability
+profile of the graph.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.deterministic.core import degeneracy
+from repro.deterministic.triangles import iter_triangles
+from repro.uncertain.graph import UncertainGraph, Vertex
+
+
+def expected_degree(graph: UncertainGraph, v: Vertex) -> float:
+    """Expected degree of ``v``: the sum of incident probabilities."""
+    return float(sum(graph.neighbors(v).values()))
+
+
+def expected_num_edges(graph: UncertainGraph) -> float:
+    """Expected number of edges in a sampled world."""
+    return float(sum(p for _u, _v, p in graph.edges()))
+
+
+def expected_num_triangles(graph: UncertainGraph) -> float:
+    """Expected number of triangles in a sampled world.
+
+    By linearity of expectation this is the sum over triangles of the
+    product of their three edge probabilities — no sampling needed.
+    """
+    backbone = graph.to_deterministic()
+    total = 0.0
+    for u, v, w in iter_triangles(backbone):
+        total += float(
+            graph.probability(u, v)
+            * graph.probability(u, w)
+            * graph.probability(v, w)
+        )
+    return total
+
+
+def probability_histogram(
+    graph: UncertainGraph, bins: int = 10
+) -> List[int]:
+    """Histogram of edge probabilities over ``bins`` equal cells of (0, 1].
+
+    Cell ``i`` counts edges with ``p`` in ``(i/bins, (i+1)/bins]``
+    (probability 0 cannot occur; probability 1 lands in the last cell).
+    """
+    if bins < 1:
+        raise ValueError(f"bins must be positive, got {bins}")
+    counts = [0] * bins
+    for _u, _v, p in graph.edges():
+        index = min(int(math.ceil(float(p) * bins)) - 1, bins - 1)
+        counts[max(index, 0)] += 1
+    return counts
+
+
+def edge_entropy(graph: UncertainGraph) -> float:
+    """Total Shannon entropy (bits) of the possible-world distribution.
+
+    Edges are independent, so the world entropy is the sum of per-edge
+    binary entropies — a measure of how "uncertain" the graph really is
+    (0 for a deterministic graph).
+    """
+    total = 0.0
+    for _u, _v, p in graph.edges():
+        q = float(p)
+        if 0 < q < 1:
+            total -= q * math.log2(q) + (1 - q) * math.log2(1 - q)
+    return total
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """One-shot structural summary of an uncertain graph."""
+
+    num_vertices: int
+    num_edges: int
+    max_degree: int
+    degeneracy: int
+    expected_edges: float
+    expected_triangles: float
+    entropy_bits: float
+    mean_probability: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "|V|": self.num_vertices,
+            "|E|": self.num_edges,
+            "d_max": self.max_degree,
+            "delta": self.degeneracy,
+            "E[|E|]": round(self.expected_edges, 1),
+            "E[#tri]": round(self.expected_triangles, 1),
+            "H(bits)": round(self.entropy_bits, 1),
+            "mean_p": round(self.mean_probability, 3),
+        }
+
+
+def summarize(graph: UncertainGraph) -> GraphSummary:
+    """Compute a :class:`GraphSummary` for ``graph``."""
+    m = graph.num_edges
+    expected_edges = expected_num_edges(graph)
+    return GraphSummary(
+        num_vertices=graph.num_vertices,
+        num_edges=m,
+        max_degree=graph.max_degree(),
+        degeneracy=degeneracy(graph.to_deterministic()),
+        expected_edges=expected_edges,
+        expected_triangles=expected_num_triangles(graph),
+        entropy_bits=edge_entropy(graph),
+        mean_probability=(expected_edges / m) if m else 0.0,
+    )

@@ -1,0 +1,138 @@
+"""Algebra on uncertain graphs: thresholding, conditioning, combination.
+
+Pre-processing steps that appear throughout the uncertain-graph
+literature (and in the paper's case studies, e.g. confidence cut-offs
+on knowledge graphs):
+
+* :func:`threshold` — drop edges below a probability floor;
+* :func:`sharpen` — raise probabilities to a power (γ < 1 sharpens
+  toward certainty, γ > 1 attenuates), a standard confidence recalibration;
+* :func:`rescale` — affine rescaling of probabilities into a range;
+* :func:`condition` — the graph conditioned on an edge's presence
+  (probability 1) or absence (edge removed), the primitive behind
+  stratified sampling;
+* :func:`union_graphs` / :func:`intersect_graphs` — noisy-OR union and
+  independent-AND intersection of two evidence layers over the same
+  vertices (e.g. two PPI assays).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import GraphError, ParameterError
+from repro.uncertain.graph import UncertainGraph, Vertex
+
+
+def threshold(graph: UncertainGraph, floor) -> UncertainGraph:
+    """Keep only edges with probability >= ``floor`` (vertices kept)."""
+    if not 0 <= floor <= 1:
+        raise ParameterError(f"floor must lie in [0, 1], got {floor!r}")
+    out = UncertainGraph()
+    for v in graph.vertices():
+        out.add_vertex(v)
+    for u, v, p in graph.edges():
+        if p >= floor:
+            out.add_edge(u, v, p)
+    return out
+
+
+def sharpen(graph: UncertainGraph, gamma: float) -> UncertainGraph:
+    """Replace every probability ``p`` by ``p ** gamma``.
+
+    ``gamma < 1`` pushes probabilities toward 1 (trust the evidence
+    more); ``gamma > 1`` pushes them toward 0.  Order of probabilities
+    is preserved, so reductions degrade gracefully.
+    """
+    if gamma <= 0:
+        raise ParameterError(f"gamma must be positive, got {gamma!r}")
+    out = UncertainGraph()
+    for v in graph.vertices():
+        out.add_vertex(v)
+    for u, v, p in graph.edges():
+        out.add_edge(u, v, float(p) ** gamma)
+    return out
+
+
+def rescale(graph: UncertainGraph, low: float, high: float) -> UncertainGraph:
+    """Affinely map the probability range of ``graph`` onto [low, high].
+
+    A graph whose probabilities are all equal maps everything to
+    ``high``.  Useful to re-normalize confidence scores produced by
+    different extractors before combining them.
+    """
+    if not 0 < low <= high <= 1:
+        raise ParameterError(
+            f"need 0 < low <= high <= 1, got ({low!r}, {high!r})"
+        )
+    probs = [float(p) for _u, _v, p in graph.edges()]
+    out = UncertainGraph()
+    for v in graph.vertices():
+        out.add_vertex(v)
+    if not probs:
+        return out
+    lo, hi = min(probs), max(probs)
+    span = hi - lo
+    for u, v, p in graph.edges():
+        if span == 0:
+            scaled = high
+        else:
+            scaled = low + (float(p) - lo) / span * (high - low)
+        out.add_edge(u, v, scaled)
+    return out
+
+
+def condition(
+    graph: UncertainGraph, u: Vertex, v: Vertex, present: bool
+) -> UncertainGraph:
+    """The graph conditioned on edge ``(u, v)`` being present or absent.
+
+    Conditioning on presence pins the probability at 1; conditioning on
+    absence removes the edge.  All other edges are independent of the
+    event, hence unchanged.
+    """
+    if not graph.has_edge(u, v):
+        raise GraphError(f"({u!r}, {v!r}) is not an edge")
+    out = graph.copy()
+    out.remove_edge(u, v)
+    if present:
+        out.add_edge(u, v, 1.0)
+    return out
+
+
+def union_graphs(a: UncertainGraph, b: UncertainGraph) -> UncertainGraph:
+    """Noisy-OR union: an edge exists if either evidence layer has it.
+
+    ``p = 1 - (1 - p_a) (1 - p_b)`` assuming the two layers are
+    independent observations of the same latent network.
+    """
+    out = UncertainGraph()
+    for graph in (a, b):
+        for v in graph.vertices():
+            out.add_vertex(v)
+    seen = set()
+    for graph, other in ((a, b), (b, a)):
+        for u, v, p in graph.edges():
+            key = frozenset((u, v))
+            if key in seen:
+                continue
+            seen.add(key)
+            q = other.probability(u, v)
+            combined = 1 - (1 - float(p)) * (1 - float(q))
+            out.add_edge(u, v, combined)
+    return out
+
+
+def intersect_graphs(a: UncertainGraph, b: UncertainGraph) -> UncertainGraph:
+    """Independent-AND intersection: both layers must contain the edge.
+
+    ``p = p_a * p_b``; edges missing from either layer vanish.  Shared
+    vertices are kept even when isolated.
+    """
+    out = UncertainGraph()
+    for v in a.vertices():
+        if v in b:
+            out.add_vertex(v)
+    for u, v, p in a.edges():
+        q = b.probability(u, v)
+        if q:
+            out.add_edge(u, v, float(p) * float(q))
+    return out

@@ -1,0 +1,76 @@
+"""Top-level API dispatch and the statistics containers."""
+
+import pytest
+
+from repro import (
+    EnumerationResult,
+    SearchStats,
+    enumerate_maximal_cliques,
+    maximal_clique_counts,
+    maximum_eta_clique,
+)
+from repro.exceptions import ParameterError
+from repro.uncertain import UncertainGraph
+from tests.conftest import as_sorted_sets
+
+
+class TestDispatch:
+    def test_all_algorithms_available(self, two_communities):
+        expected = None
+        for algorithm in ("muc", "muc-basic", "pmuc", "pmuc+"):
+            result = enumerate_maximal_cliques(two_communities, 3, 0.5, algorithm)
+            view = as_sorted_sets(result.cliques)
+            if expected is None:
+                expected = view
+            assert view == expected
+
+    def test_unknown_algorithm(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            enumerate_maximal_cliques(triangle_graph, 2, 0.5, "nope")
+
+    def test_callback_respected(self, triangle_graph):
+        seen = []
+        result = enumerate_maximal_cliques(
+            triangle_graph, 3, 0.5, on_clique=seen.append
+        )
+        assert seen == [frozenset({0, 1, 2})]
+        assert result.cliques == []
+
+    def test_doctest_example(self):
+        g = UncertainGraph([(0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.9)])
+        result = enumerate_maximal_cliques(g, k=3, eta=0.5)
+        assert sorted(result.cliques[0]) == [0, 1, 2]
+
+
+class TestHelpers:
+    def test_maximal_clique_counts(self, two_communities):
+        histogram = maximal_clique_counts(two_communities, 2, 0.5)
+        assert histogram.get(4) == 2
+
+    def test_maximum_eta_clique_on_empty(self):
+        assert maximum_eta_clique(UncertainGraph(), 0.5) == frozenset()
+
+    def test_maximum_eta_clique(self, two_communities):
+        assert len(maximum_eta_clique(two_communities, 0.5)) == 4
+
+
+class TestStats:
+    def test_observe_depth(self):
+        stats = SearchStats()
+        stats.observe_depth(3)
+        stats.observe_depth(2)
+        assert stats.max_depth == 3
+
+    def test_as_dict_keys(self):
+        keys = set(SearchStats().as_dict())
+        assert keys == {
+            "calls", "expansions", "outputs", "mpivot_skips",
+            "kpivot_stops", "size_prunes", "max_depth",
+        }
+
+    def test_result_container(self):
+        result = EnumerationResult()
+        result.cliques.append(frozenset({1, 2}))
+        assert len(result) == 1
+        assert list(result) == [frozenset({1, 2})]
+        assert result.as_sorted_sets() == [frozenset({1, 2})]

@@ -1,0 +1,150 @@
+"""Case-study applications: Table 2, Fig. 11 and Table 3 behaviours."""
+
+import pytest
+
+from repro.applications import (
+    PrecisionReport,
+    best_team,
+    clique_community,
+    community_diameter,
+    form_teams,
+    predicted_pairs,
+    score_clusters,
+    search_communities,
+    table2_reports,
+)
+from repro.datasets import (
+    generate_collaboration_network,
+    generate_knowledge_graph,
+    generate_ppi_network,
+)
+from repro.uncertain import UncertainGraph
+
+
+@pytest.fixture(scope="module")
+def ppi():
+    return generate_ppi_network(seed=0)
+
+
+@pytest.fixture(scope="module")
+def kg():
+    return generate_knowledge_graph("conceptnet", seed=0)
+
+
+@pytest.fixture(scope="module")
+def collaboration():
+    return generate_collaboration_network(seed=0)
+
+
+class TestPrecisionScoring:
+    def test_predicted_pairs(self):
+        pairs = predicted_pairs([[1, 2, 3], [3, 4]])
+        assert pairs == {(1, 2), (1, 3), (2, 3), (3, 4)}
+
+    def test_precision_computation(self, ppi):
+        report = score_clusters("toy", [sorted(ppi.complexes[0])], ppi)
+        assert report.false_positive == 0
+        assert report.precision == 1.0
+
+    def test_zero_prediction_precision(self, ppi):
+        report = score_clusters("empty", [], ppi)
+        assert report.precision == 0.0
+
+    def test_report_row_fields(self):
+        row = PrecisionReport("x", 1, 3, 1).as_row()
+        assert row == {"Algorithm": "x", "#Results": 1, "TP": 3, "FP": 1,
+                       "PR": 0.75}
+
+
+class TestTable2:
+    def test_five_methods_reported(self, ppi):
+        reports = table2_reports(ppi)
+        assert [r.algorithm for r in reports] == [
+            "USCAN", "PCluster", "UKCore", "UKTruss", "PMUCE",
+        ]
+
+    def test_pmuce_wins_precision(self, ppi):
+        """The paper's headline for Table 2: the clique method has the
+        best precision, density-based baselines over-merge."""
+        reports = {r.algorithm: r for r in table2_reports(ppi)}
+        pmuce = reports["PMUCE"]
+        assert pmuce.precision > 0.5
+        for name in ("USCAN", "UKCore", "UKTruss"):
+            assert pmuce.precision > reports[name].precision
+
+    def test_core_and_truss_overmerge(self, ppi):
+        reports = {r.algorithm: r for r in table2_reports(ppi)}
+        # Density-based subgraphs lump many complexes into few clusters.
+        assert reports["UKCore"].num_results < 10
+        assert reports["UKCore"].false_positive > reports["PMUCE"].false_positive
+
+
+class TestCommunitySearch:
+    def test_clique_community_contains_query(self, kg):
+        community = clique_community(kg.graph, "plant", 4, 0.001)
+        assert "plant" in community
+
+    def test_query_without_cliques_gives_empty(self):
+        g = UncertainGraph([(0, 1, 0.9)])
+        assert clique_community(g, 0, 3, 0.5) == frozenset()
+
+    def test_diameter_helper(self):
+        g = UncertainGraph([(0, 1, 1.0), (1, 2, 1.0)])
+        assert community_diameter(g, [0, 1, 2]) == 2
+        assert community_diameter(g, []) is None
+
+    def test_diameter_disconnected(self):
+        g = UncertainGraph([(0, 1, 1.0), (2, 3, 1.0)])
+        assert community_diameter(g, [0, 1, 2, 3]) is None
+
+    def test_pmuce_purest_and_smallest(self, kg):
+        results = {
+            r.method: r
+            for r in search_communities(
+                kg.graph, "plant", 4, 0.001, kg, "plant"
+            )
+        }
+        pmuce = results["PMUCE"]
+        assert pmuce.purity == 1.0
+        for other in ("UKCore", "UKTruss"):
+            assert pmuce.size <= results[other].size
+            assert pmuce.purity >= results[other].purity
+
+    def test_rows_have_expected_columns(self, kg):
+        rows = [
+            r.as_row()
+            for r in search_communities(kg.graph, "plant", 4, 0.001, kg, "plant")
+        ]
+        for row in rows:
+            assert set(row) == {
+                "method", "query", "vertices", "edges", "diameter", "purity",
+            }
+
+
+class TestTeamFormation:
+    def test_best_team_contains_query_and_planted_members(self, collaboration):
+        graph = collaboration.topic_graphs["databases"]
+        team = best_team(graph, "anchor-0", 4, 1e-10)
+        planted = collaboration.teams["databases"]["anchor-0"]
+        assert "anchor-0" in team
+        assert len(team & planted) >= len(planted) - 1
+
+    def test_teams_differ_across_topics(self, collaboration):
+        db = best_team(
+            collaboration.topic_graphs["databases"], "anchor-0", 4, 1e-10
+        )
+        inet = best_team(
+            collaboration.topic_graphs["information networks"],
+            "anchor-0", 4, 1e-10,
+        )
+        assert db != inet
+
+    def test_clique_team_much_smaller_than_core(self, collaboration):
+        results = {r.method: r for r in form_teams(collaboration, "databases",
+                                                   "anchor-0")}
+        assert results["PMUCE"].size < results["UKCore"].size / 5
+        assert results["PMUCE"].probability >= 1e-10
+
+    def test_missing_query_yields_empty_team(self, collaboration):
+        graph = collaboration.topic_graphs["databases"]
+        assert best_team(graph, "author-0", 40, 0.9) == frozenset()

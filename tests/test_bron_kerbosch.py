@@ -1,0 +1,96 @@
+"""Bron–Kerbosch variants against a brute-force oracle."""
+
+from itertools import combinations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.deterministic import (
+    Graph,
+    bron_kerbosch,
+    bron_kerbosch_degeneracy,
+    bron_kerbosch_pivot,
+    maximal_cliques,
+    maximum_clique,
+    count_triangles,
+    iter_triangles,
+    triangles_of_edge,
+)
+from tests.conftest import as_sorted_sets, random_deterministic_graph
+
+
+def naive_maximal_cliques(graph: Graph) -> list:
+    cliques = []
+    vertices = graph.vertices()
+    for size in range(1, len(vertices) + 1):
+        for subset in combinations(vertices, size):
+            if graph.is_clique(subset):
+                cliques.append(frozenset(subset))
+    clique_set = set(cliques)
+    return as_sorted_sets(
+        c
+        for c in cliques
+        if not any(
+            frozenset(c | {v}) in clique_set for v in vertices if v not in c
+        )
+    )
+
+
+class TestVariantsAgree:
+    @given(st.integers(0, 80), st.integers(1, 9))
+    @settings(max_examples=50, deadline=None)
+    def test_all_variants_match_naive(self, seed, n):
+        g = random_deterministic_graph(seed, n, 0.5)
+        expected = naive_maximal_cliques(g)
+        assert as_sorted_sets(bron_kerbosch(g)) == expected
+        assert as_sorted_sets(bron_kerbosch_pivot(g)) == expected
+        assert as_sorted_sets(bron_kerbosch_degeneracy(g)) == expected
+
+    def test_empty_graph(self):
+        assert list(bron_kerbosch_pivot(Graph())) == []
+
+    def test_isolated_vertices_are_cliques(self):
+        g = Graph()
+        g.add_vertex(0)
+        g.add_vertex(1)
+        assert as_sorted_sets(bron_kerbosch_degeneracy(g)) == [
+            frozenset({0}),
+            frozenset({1}),
+        ]
+
+    def test_maximal_cliques_helper_sorted(self):
+        g = Graph([(0, 1), (1, 2), (0, 2), (2, 3)])
+        result = maximal_cliques(g)
+        assert result == [frozenset({2, 3}), frozenset({0, 1, 2})]
+
+    def test_maximum_clique(self):
+        g = Graph([(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert maximum_clique(g) == frozenset({0, 1, 2})
+        assert maximum_clique(Graph()) == frozenset()
+
+
+class TestTriangles:
+    def test_single_triangle(self):
+        g = Graph([(0, 1), (1, 2), (0, 2)])
+        assert count_triangles(g) == 1
+        assert sorted(triangles_of_edge(g, 0, 1)) == [2]
+
+    def test_no_triangles_in_tree(self):
+        g = Graph([(0, 1), (1, 2), (2, 3)])
+        assert count_triangles(g) == 0
+
+    def test_k4_has_four_triangles(self):
+        g = Graph([(i, j) for i in range(4) for j in range(i + 1, 4)])
+        assert count_triangles(g) == 4
+
+    @given(st.integers(0, 50), st.integers(3, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_each_triangle_listed_once(self, seed, n):
+        g = random_deterministic_graph(seed, n, 0.5)
+        listed = [frozenset(t) for t in iter_triangles(g)]
+        assert len(listed) == len(set(listed))
+        naive = sum(
+            1
+            for t in combinations(g.vertices(), 3)
+            if g.is_clique(t)
+        )
+        assert len(listed) == naive

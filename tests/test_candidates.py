@@ -1,0 +1,69 @@
+"""The GenerateSet kernel and top-level candidate construction."""
+
+from fractions import Fraction
+
+from repro.core.candidates import generate_set, initial_candidates
+from repro.uncertain import UncertainGraph, clique_probability
+
+
+class TestGenerateSet:
+    def test_filters_to_neighbors(self):
+        g = UncertainGraph([(0, 1, 0.9), (0, 2, 0.9)])
+        g.add_vertex(3)
+        entries = {1: 1, 2: 1, 3: 1}
+        out = generate_set(g, 0, entries, 1, 0.5)
+        assert set(out) == {1, 2}
+
+    def test_updates_r_values(self):
+        g = UncertainGraph([(0, 1, 0.8), (1, 2, 0.5), (0, 2, 0.9)])
+        # R = {0}, expanding with 1: q_new = 0.8.
+        entries = {2: 0.9}  # r_2 relative to R = {0}
+        out = generate_set(g, 1, entries, 0.8, 0.3)
+        assert out == {2: 0.9 * 0.5}
+
+    def test_threshold_filters(self):
+        g = UncertainGraph([(0, 1, 0.8), (1, 2, 0.5), (0, 2, 0.9)])
+        entries = {2: 0.9}
+        assert generate_set(g, 1, entries, 0.8, 0.4) == {}
+
+    def test_invariant_against_recomputation(self):
+        """q_new * r_u equals the full clique probability of R' ∪ {u}."""
+        g = UncertainGraph(
+            [(0, 1, 0.9), (0, 2, 0.8), (1, 2, 0.7), (0, 3, 0.6),
+             (1, 3, 0.5), (2, 3, 0.9)]
+        )
+        # R = {0}; C holds 1, 2, 3 with r = p(0, ·).
+        c = {v: g.probability(0, v) for v in (1, 2, 3)}
+        q_new = 1 * c[1]  # expand vertex 1
+        out = generate_set(g, 1, c, q_new, 0.0001)
+        for u, r in out.items():
+            assert q_new * r == clique_probability(g, [0, 1, u])
+
+    def test_exact_fractions_flow_through(self):
+        g = UncertainGraph([(0, 1, Fraction(1, 2)), (1, 2, Fraction(1, 2)),
+                            (0, 2, Fraction(1, 2))])
+        c = {1: Fraction(1, 2), 2: Fraction(1, 2)}
+        out = generate_set(g, 1, c, Fraction(1, 2), Fraction(1, 8))
+        assert out == {2: Fraction(1, 4)}
+        assert isinstance(out[2], Fraction)
+
+
+class TestInitialCandidates:
+    def test_split_by_rank(self):
+        g = UncertainGraph([(0, 1, 0.9), (0, 2, 0.9)])
+        rank = {0: 1, 1: 0, 2: 2}
+        later, earlier = initial_candidates(g, 0, 0.5, rank)
+        assert set(later) == {2}
+        assert set(earlier) == {1}
+
+    def test_eta_filters_weak_edges(self):
+        g = UncertainGraph([(0, 1, 0.9), (0, 2, 0.3)])
+        rank = {0: 0, 1: 1, 2: 2}
+        later, earlier = initial_candidates(g, 0, 0.5, rank)
+        assert set(later) == {1}
+        assert earlier == {}
+
+    def test_r_values_are_edge_probabilities(self):
+        g = UncertainGraph([(0, 1, 0.7)])
+        later, _ = initial_candidates(g, 0, 0.5, {0: 0, 1: 1})
+        assert later == {1: 0.7}

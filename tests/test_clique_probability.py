@@ -1,0 +1,109 @@
+"""Tests for clique probability (Eq. 2) and the η-clique predicates."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ParameterError
+from repro.uncertain import (
+    UncertainGraph,
+    clique_probability,
+    extension_probability,
+    is_eta_clique,
+    is_maximal_eta_clique,
+    is_maximal_k_eta_clique,
+)
+from tests.conftest import EXACT_PROBABILITIES, random_uncertain_graph
+
+
+class TestCliqueProbability:
+    def test_empty_and_singleton_are_certain(self, triangle_graph):
+        assert clique_probability(triangle_graph, []) == 1
+        assert clique_probability(triangle_graph, [0]) == 1
+
+    def test_pair_is_edge_probability(self, triangle_graph):
+        assert clique_probability(triangle_graph, [0, 1]) == 0.9
+
+    def test_triangle_product(self, triangle_graph):
+        assert clique_probability(triangle_graph, [0, 1, 2]) == pytest.approx(0.9**3)
+
+    def test_missing_edge_gives_zero(self):
+        g = UncertainGraph([(0, 1, 0.9), (1, 2, 0.9)])
+        assert clique_probability(g, [0, 1, 2]) == 0
+
+    def test_duplicates_rejected(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            clique_probability(triangle_graph, [0, 0, 1])
+
+    def test_exact_fractions(self):
+        g = UncertainGraph(
+            [(0, 1, Fraction(1, 2)), (1, 2, Fraction(1, 3)), (0, 2, Fraction(3, 4))]
+        )
+        assert clique_probability(g, [0, 1, 2]) == Fraction(1, 8)
+
+    @given(st.integers(0, 100), st.integers(4, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_order_invariance_with_fractions(self, seed, n):
+        """Eq. 2 is a product: with exact arithmetic, any member order
+        gives the identical value."""
+        g = random_uncertain_graph(seed, n, 0.7, EXACT_PROBABILITIES)
+        members = list(range(n))
+        forward = clique_probability(g, members)
+        backward = clique_probability(g, list(reversed(members)))
+        assert forward == backward
+
+
+class TestExtensionProbability:
+    def test_matches_recomputation(self, triangle_graph):
+        base = clique_probability(triangle_graph, [0, 1])
+        ext = extension_probability(triangle_graph, base, [0, 1], 2)
+        assert ext == pytest.approx(clique_probability(triangle_graph, [0, 1, 2]))
+
+    def test_missing_edge_returns_zero(self):
+        g = UncertainGraph([(0, 1, 0.9)])
+        g.add_vertex(2)
+        assert extension_probability(g, 0.9, [0, 1], 2) == 0
+
+
+class TestEtaPredicates:
+    def test_is_eta_clique_threshold(self, triangle_graph):
+        assert is_eta_clique(triangle_graph, [0, 1, 2], 0.7)
+        assert not is_eta_clique(triangle_graph, [0, 1, 2], 0.73)
+
+    def test_eta_out_of_range(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            is_eta_clique(triangle_graph, [0, 1], 1.5)
+
+    def test_exact_boundary_counts(self):
+        g = UncertainGraph([(0, 1, Fraction(1, 2))])
+        assert is_eta_clique(g, [0, 1], Fraction(1, 2))
+
+    def test_maximal_eta_clique_true(self, triangle_graph):
+        assert is_maximal_eta_clique(triangle_graph, [0, 1, 2], 0.5)
+
+    def test_non_maximal_detected(self, triangle_graph):
+        # {0, 1} extends to the triangle at eta = 0.5.
+        assert not is_maximal_eta_clique(triangle_graph, [0, 1], 0.5)
+
+    def test_maximal_because_extension_drops_probability(self):
+        g = UncertainGraph([(0, 1, 0.9), (1, 2, 0.3), (0, 2, 0.3)])
+        # {0,1} has 0.9; adding 2 gives 0.9*0.09 < 0.5 -> maximal.
+        assert is_maximal_eta_clique(g, [0, 1], 0.5)
+
+    def test_below_threshold_not_maximal(self, triangle_graph):
+        assert not is_maximal_eta_clique(triangle_graph, [0, 1, 2], 0.99)
+
+    def test_empty_set_maximality(self):
+        g = UncertainGraph()
+        g.add_vertex(0)
+        # The empty set extends by vertex 0 (singletons have Pr 1).
+        assert not is_maximal_eta_clique(g, [], 0.5)
+
+    def test_k_eta_clique_size_filter(self, triangle_graph):
+        assert is_maximal_k_eta_clique(triangle_graph, [0, 1, 2], 3, 0.5)
+        assert not is_maximal_k_eta_clique(triangle_graph, [0, 1, 2], 4, 0.5)
+
+    def test_k_must_be_positive(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            is_maximal_k_eta_clique(triangle_graph, [0, 1, 2], 0, 0.5)

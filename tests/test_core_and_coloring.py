@@ -1,0 +1,119 @@
+"""Core decomposition, degeneracy ordering, and greedy coloring."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.deterministic import (
+    Graph,
+    color_number,
+    core_decomposition,
+    count_colors,
+    degeneracy,
+    degeneracy_ordering,
+    greedy_coloring,
+    verify_coloring,
+)
+from tests.conftest import random_deterministic_graph
+
+
+def naive_core_numbers(graph: Graph) -> dict:
+    """Reference core decomposition by repeated minimum-degree peeling."""
+    core = {}
+    work = graph.copy()
+    current = 0
+    while work.num_vertices:
+        v = min(work.vertices(), key=lambda u: (work.degree(u), repr(u)))
+        current = max(current, work.degree(v))
+        core[v] = current
+        work.remove_vertex(v)
+    return core
+
+
+class TestCoreDecomposition:
+    def test_clique_core_numbers(self):
+        g = Graph([(i, j) for i in range(4) for j in range(i + 1, 4)])
+        assert set(core_decomposition(g).values()) == {3}
+
+    def test_path_core_numbers(self):
+        g = Graph([(0, 1), (1, 2), (2, 3)])
+        assert set(core_decomposition(g).values()) == {1}
+
+    def test_isolated_vertex(self):
+        g = Graph()
+        g.add_vertex(0)
+        assert core_decomposition(g) == {0: 0}
+
+    def test_empty_graph(self):
+        assert core_decomposition(Graph()) == {}
+        assert degeneracy(Graph()) == 0
+
+    @given(st.integers(0, 60), st.integers(2, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_naive(self, seed, n):
+        g = random_deterministic_graph(seed, n, 0.4)
+        assert core_decomposition(g) == naive_core_numbers(g)
+
+    def test_degeneracy_of_clique(self):
+        g = Graph([(i, j) for i in range(5) for j in range(i + 1, 5)])
+        assert degeneracy(g) == 4
+
+
+class TestDegeneracyOrdering:
+    def test_is_permutation(self):
+        g = random_deterministic_graph(1, 15, 0.3)
+        order = degeneracy_ordering(g)
+        assert sorted(order, key=repr) == sorted(g.vertices(), key=repr)
+
+    @given(st.integers(0, 40), st.integers(2, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_back_degree_bounded_by_degeneracy(self, seed, n):
+        """Each vertex has at most δ neighbors later in the ordering."""
+        g = random_deterministic_graph(seed, n, 0.5)
+        order = degeneracy_ordering(g)
+        rank = {v: i for i, v in enumerate(order)}
+        delta = degeneracy(g)
+        for v in order:
+            later = sum(1 for u in g.neighbors(v) if rank[u] > rank[v])
+            assert later <= delta
+
+
+class TestColoring:
+    def test_proper_on_random_graphs(self):
+        for seed in range(10):
+            g = random_deterministic_graph(seed, 14, 0.5)
+            colors = greedy_coloring(g)
+            assert verify_coloring(g, colors)
+
+    def test_triangle_needs_three_colors(self):
+        g = Graph([(0, 1), (1, 2), (0, 2)])
+        assert len(set(greedy_coloring(g).values())) == 3
+
+    def test_bipartite_uses_two_colors(self):
+        g = Graph([(0, 2), (0, 3), (1, 2), (1, 3)])
+        assert len(set(greedy_coloring(g).values())) == 2
+
+    def test_custom_order_respected(self):
+        g = Graph([(0, 1)])
+        colors = greedy_coloring(g, order=[0, 1])
+        assert colors[0] == 0 and colors[1] == 1
+
+    def test_color_number_upper_bounds_clique(self):
+        g = random_deterministic_graph(3, 12, 0.6)
+        colors = greedy_coloring(g)
+        from repro.deterministic import maximum_clique
+
+        best = maximum_clique(g)
+        for v in best:
+            # Any clique through v has at most color_number(v) + 1 members.
+            assert len(best) <= color_number(g, colors, v) + 1
+
+    def test_count_colors(self):
+        g = Graph([(0, 1), (1, 2), (0, 2)])
+        colors = greedy_coloring(g)
+        assert count_colors(colors, [0, 1, 2]) == 3
+        assert count_colors(colors, [0]) == 1
+        assert count_colors(colors, []) == 0
+
+    def test_verify_coloring_rejects_bad(self):
+        g = Graph([(0, 1)])
+        assert not verify_coloring(g, {0: 0, 1: 0})

@@ -1,0 +1,238 @@
+"""Dataset substrate: probability models, generators, registry, sampling."""
+
+import math
+import random
+
+import pytest
+
+from repro.exceptions import DatasetError, ParameterError
+from repro.datasets import (
+    DATASET_NAMES,
+    MIN_PROBABILITY,
+    PROBABILITY_MODELS,
+    barabasi_albert_weighted,
+    dataset_statistics,
+    exponential_probability,
+    generate_collaboration_network,
+    generate_knowledge_graph,
+    generate_ppi_network,
+    geometric_probability,
+    get_probability_model,
+    gnm_weighted,
+    load_dataset,
+    load_weighted_edges,
+    normal_probability,
+    planted_communities_weighted,
+    sample_edges,
+    sample_vertices,
+    uncertain_from_weights,
+    uniform_probability,
+)
+
+
+RNG = random.Random(0)
+
+
+class TestProbabilityModels:
+    def test_exponential_formula(self):
+        assert exponential_probability(2.0, RNG) == pytest.approx(
+            1 - math.exp(-1.0)
+        )
+
+    def test_exponential_monotone_in_weight(self):
+        values = [exponential_probability(w, RNG) for w in (1, 2, 5, 10)]
+        assert values == sorted(values)
+
+    def test_uniform_range(self):
+        rng = random.Random(1)
+        for _ in range(100):
+            assert 0.5 <= uniform_probability(1.0, rng) <= 1.0
+
+    def test_geometric_cdf(self):
+        assert geometric_probability(1, RNG) == pytest.approx(0.2)
+        assert geometric_probability(2, RNG) == pytest.approx(1 - 0.8**2)
+
+    def test_normal_midpoint(self):
+        assert normal_probability(5.0, RNG, mu=5.0) == pytest.approx(0.5)
+
+    def test_all_models_clamped(self):
+        rng = random.Random(2)
+        for name, model in PROBABILITY_MODELS.items():
+            for w in (0, 0.1, 1, 100, 1e9):
+                p = model(w, rng)
+                assert MIN_PROBABILITY <= p <= 1.0, name
+
+    def test_lookup(self):
+        assert get_probability_model("exponential") is exponential_probability
+        with pytest.raises(ParameterError):
+            get_probability_model("bogus")
+
+
+class TestGenerators:
+    def test_gnm_shape(self):
+        edges = gnm_weighted(30, 50, seed=1)
+        assert len(edges) == 50
+        assert all(0 <= u < v < 30 for (u, v) in edges)
+
+    def test_gnm_deterministic(self):
+        assert gnm_weighted(20, 30, seed=7) == gnm_weighted(20, 30, seed=7)
+
+    def test_gnm_validation(self):
+        with pytest.raises(DatasetError):
+            gnm_weighted(3, 10, seed=0)
+
+    def test_barabasi_albert_connectivity(self):
+        edges = barabasi_albert_weighted(50, 2, seed=0)
+        graph = uncertain_from_weights(edges)
+        assert graph.num_vertices >= 48
+        assert len(graph.connected_components()) <= 3
+
+    def test_barabasi_albert_validation(self):
+        with pytest.raises(DatasetError):
+            barabasi_albert_weighted(2, 5, seed=0)
+
+    def test_planted_communities_have_heavy_cores(self):
+        edges = planted_communities_weighted(
+            60, communities=3, community_size=10, p_out_edges=20, seed=0
+        )
+        heavy = [w for w in edges.values() if w >= 6]
+        assert len(heavy) > 50
+
+    def test_planted_communities_deterministic(self):
+        a = planted_communities_weighted(40, 3, 8, seed=2)
+        b = planted_communities_weighted(40, 3, 8, seed=2)
+        assert a == b
+
+    def test_planted_communities_validation(self):
+        with pytest.raises(DatasetError):
+            planted_communities_weighted(10, 2, 1)
+
+
+class TestSampling:
+    def test_vertex_sampling_fraction(self):
+        edges = gnm_weighted(100, 300, seed=0)
+        sampled = sample_vertices(edges, 0.5, seed=1)
+        assert 0 < len(sampled) < len(edges)
+        full = sample_vertices(edges, 1.0, seed=1)
+        assert full == edges
+
+    def test_edge_sampling_fraction(self):
+        edges = gnm_weighted(100, 300, seed=0)
+        sampled = sample_edges(edges, 0.3, seed=1)
+        assert 0 < len(sampled) < len(edges)
+
+    def test_fraction_validation(self):
+        with pytest.raises(DatasetError):
+            sample_edges({}, 0.0)
+        with pytest.raises(DatasetError):
+            sample_vertices({}, 1.2)
+
+
+class TestRegistry:
+    def test_all_names_load(self):
+        for name in DATASET_NAMES:
+            graph = load_dataset(name)
+            assert graph.num_vertices > 50, name
+            assert graph.num_edges > 100, name
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            load_dataset("nope")
+        with pytest.raises(DatasetError):
+            load_weighted_edges("core")
+
+    def test_deterministic_by_seed(self):
+        a = load_dataset("enron", seed=3)
+        b = load_dataset("enron", seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_seeds_differ(self):
+        a = load_dataset("enron", seed=0)
+        b = load_dataset("enron", seed=1)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_probability_models_apply(self):
+        uniform = load_dataset("enron", probability_model="uniform")
+        assert all(p >= 0.5 for _u, _v, p in uniform.edges())
+
+    def test_statistics_columns(self):
+        row = dataset_statistics("enron")
+        assert set(row) == {"dataset", "|V|", "|E|", "d_max", "delta"}
+
+
+class TestPPIGenerator:
+    def test_ground_truth_complexes(self):
+        net = generate_ppi_network(seed=1)
+        assert len(net.complexes) > 20
+        for complex_ in net.complexes:
+            assert len(complex_) >= 4
+
+    def test_intra_complex_edges_strong(self):
+        net = generate_ppi_network(seed=1)
+        complex_ = max(net.complexes, key=len)
+        members = sorted(complex_)
+        strong = 0
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                if net.graph.probability(u, v) >= 0.75:
+                    strong += 1
+        assert strong >= len(members)  # densely, strongly connected
+
+    def test_true_pairs(self):
+        net = generate_ppi_network(num_proteins=20, num_complexes=2,
+                                   complex_size_range=(3, 3), noise_edges=0,
+                                   seed=0)
+        pairs = net.true_pairs()
+        assert len(pairs) == 6  # two disjoint 3-complexes, 3 pairs each
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            generate_ppi_network(complex_size_range=(5, 3))
+
+
+class TestKnowledgeGraphGenerator:
+    def test_flavors(self):
+        cn = generate_knowledge_graph("conceptnet", seed=0)
+        nl = generate_knowledge_graph("nell", seed=0)
+        assert "plant" in cn.queries.values()
+        assert "mlb" in nl.queries.values()
+        assert cn.graph.num_vertices != nl.graph.num_vertices
+
+    def test_unknown_flavor(self):
+        with pytest.raises(DatasetError):
+            generate_knowledge_graph("bogus")
+
+    def test_purity_of_planted_community(self):
+        kg = generate_knowledge_graph("conceptnet", seed=0)
+        community = kg.communities["plant"]
+        assert kg.purity(community, "plant") == 1.0
+        assert kg.purity([], "plant") == 0.0
+
+    def test_hub_connected_to_community(self):
+        kg = generate_knowledge_graph("conceptnet", seed=0)
+        hub = kg.queries["plant"]
+        for member in kg.communities["plant"] - {hub}:
+            assert kg.graph.has_edge(hub, member)
+
+
+class TestCollaborationGenerator:
+    def test_topics_and_anchor(self):
+        net = generate_collaboration_network(seed=0)
+        assert set(net.topic_graphs) == {
+            "databases", "information networks", "machine learning",
+        }
+        for topic in net.topic_graphs:
+            assert "anchor-0" in net.query_anchors(topic)
+
+    def test_planted_team_is_clique(self):
+        net = generate_collaboration_network(seed=0)
+        graph = net.topic_graphs["databases"]
+        team = net.teams["databases"]["anchor-0"]
+        members = sorted(team)
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                assert graph.has_edge(u, v)
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            generate_collaboration_network(team_size_range=(9, 3))

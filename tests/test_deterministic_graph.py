@@ -1,0 +1,84 @@
+"""Unit tests for the deterministic Graph substrate."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.deterministic import Graph
+
+
+class TestBasics:
+    def test_constructor_and_counts(self):
+        g = Graph([(1, 2), (2, 3)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph([(1, 1)])
+
+    def test_add_vertex(self):
+        g = Graph()
+        g.add_vertex("x")
+        assert "x" in g
+        assert g.degree("x") == 0
+
+    def test_remove_vertex(self):
+        g = Graph([(1, 2), (2, 3)])
+        g.remove_vertex(2)
+        assert g.num_edges == 0
+        assert 2 not in g
+
+    def test_remove_missing_vertex(self):
+        with pytest.raises(GraphError):
+            Graph().remove_vertex(1)
+
+    def test_neighbors_missing_vertex(self):
+        with pytest.raises(GraphError):
+            Graph().neighbors(1)
+
+    def test_edges_each_once(self):
+        g = Graph([(1, 2), (2, 3), (1, 3)])
+        assert len(list(g.edges())) == 3
+
+    def test_max_degree(self):
+        g = Graph([(1, 2), (1, 3), (1, 4)])
+        assert g.max_degree() == 3
+        assert Graph().max_degree() == 0
+
+    def test_len_iter(self):
+        g = Graph([(1, 2)])
+        assert len(g) == 2
+        assert sorted(g) == [1, 2]
+
+    def test_repr(self):
+        assert repr(Graph([(1, 2)])) == "Graph(n=2, m=1)"
+
+
+class TestPredicates:
+    def test_is_clique_true(self):
+        g = Graph([(1, 2), (2, 3), (1, 3)])
+        assert g.is_clique([1, 2, 3])
+        assert g.is_clique([1])
+        assert g.is_clique([])
+
+    def test_is_clique_false(self):
+        g = Graph([(1, 2), (2, 3)])
+        assert not g.is_clique([1, 2, 3])
+
+    def test_is_clique_unknown_vertex(self):
+        g = Graph([(1, 2)])
+        assert not g.is_clique([1, 99])
+
+
+class TestDerived:
+    def test_subgraph(self):
+        g = Graph([(1, 2), (2, 3), (3, 4)])
+        sub = g.subgraph([2, 3, 4])
+        assert sub.num_edges == 2
+        assert not sub.has_edge(1, 2)
+
+    def test_copy_independent(self):
+        g = Graph([(1, 2)])
+        dup = g.copy()
+        dup.add_edge(2, 3)
+        assert not g.has_edge(2, 3)

@@ -1,0 +1,29 @@
+"""Run the doctest examples embedded in the library docstrings."""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULE_NAMES = [
+    "repro.uncertain.graph",
+    "repro.uncertain.clique_probability",
+    "repro.uncertain.io",
+    "repro.uncertain.maximality",
+    "repro.deterministic.graph",
+    "repro.deterministic.coloring",
+    "repro.reduction.eta_degree",
+    "repro.core.api",
+    "repro.core.dynamic",
+    "repro.core.session",
+]
+
+
+@pytest.mark.parametrize("name", MODULE_NAMES)
+def test_module_doctests(name):
+    # importlib avoids attribute shadowing (some packages re-export a
+    # function under the same name as its defining submodule).
+    module = importlib.import_module(name)
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{name} has no doctests"
+    assert result.failed == 0

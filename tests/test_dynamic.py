@@ -1,0 +1,128 @@
+"""Dynamic maintenance of maximal (k, η)-cliques under updates."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import GraphError, ParameterError
+from repro.core import DynamicCliqueIndex
+from repro.uncertain import UncertainGraph
+from tests.conftest import random_uncertain_graph
+
+
+class TestBasics:
+    def test_initial_build(self, two_communities):
+        index = DynamicCliqueIndex(two_communities, 3, 0.5)
+        assert len(index) == 2
+        assert index.check()
+
+    def test_does_not_alias_input_graph(self, triangle_graph):
+        index = DynamicCliqueIndex(triangle_graph, 3, 0.5)
+        triangle_graph.remove_edge(0, 1)
+        assert index.graph.has_edge(0, 1)
+
+    def test_parameter_validation(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            DynamicCliqueIndex(triangle_graph, 0, 0.5)
+        with pytest.raises(ParameterError):
+            DynamicCliqueIndex(triangle_graph, 1, 0)
+
+    def test_contains(self, triangle_graph):
+        index = DynamicCliqueIndex(triangle_graph, 3, 0.5)
+        assert [0, 1, 2] in index
+        assert [0, 1] not in index
+
+
+class TestEdgeUpdates:
+    def test_insertion_creates_clique(self):
+        g = UncertainGraph([(0, 1, 0.9), (1, 2, 0.9)])
+        index = DynamicCliqueIndex(g, 3, 0.5)
+        assert len(index) == 0
+        index.add_edge(0, 2, 0.9)
+        assert frozenset({0, 1, 2}) in index.cliques
+        assert index.check()
+
+    def test_insertion_retires_subsumed_cliques(self):
+        g = UncertainGraph([(0, 1, 1.0), (1, 2, 1.0)])
+        index = DynamicCliqueIndex(g, 2, 0.5)
+        assert frozenset({0, 1}) in index.cliques
+        index.add_edge(0, 2, 1.0)
+        assert frozenset({0, 1}) not in index.cliques
+        assert frozenset({0, 1, 2}) in index.cliques
+
+    def test_probability_update(self, triangle_graph):
+        index = DynamicCliqueIndex(triangle_graph, 3, 0.7)
+        assert len(index) == 1
+        index.add_edge(0, 1, 0.5)  # lowers Pr below eta
+        assert frozenset({0, 1, 2}) not in index.cliques
+        assert index.check()
+
+    def test_deletion_splits_clique(self, triangle_graph):
+        index = DynamicCliqueIndex(triangle_graph, 2, 0.5)
+        index.remove_edge(0, 1)
+        assert index.cliques == {frozenset({0, 2}), frozenset({1, 2})}
+        assert index.check()
+
+    def test_deletion_of_missing_edge_raises(self, triangle_graph):
+        index = DynamicCliqueIndex(triangle_graph, 2, 0.5)
+        with pytest.raises(GraphError):
+            index.remove_edge(0, 99)
+
+    def test_repairs_counted(self, triangle_graph):
+        index = DynamicCliqueIndex(triangle_graph, 2, 0.5)
+        index.add_edge(0, 3, 0.9)
+        index.remove_edge(0, 3)
+        assert index.repairs == 2
+
+
+class TestVertexUpdates:
+    def test_add_vertex_k1(self):
+        g = UncertainGraph([(0, 1, 0.9)])
+        index = DynamicCliqueIndex(g, 1, 0.5)
+        index.add_vertex(9)
+        assert frozenset({9}) in index.cliques
+        assert index.check()
+
+    def test_add_existing_vertex_noop(self, triangle_graph):
+        index = DynamicCliqueIndex(triangle_graph, 3, 0.5)
+        index.add_vertex(0)
+        assert index.check()
+
+    def test_remove_vertex(self, two_communities):
+        index = DynamicCliqueIndex(two_communities, 3, 0.5)
+        index.remove_vertex(3)  # the articulation vertex of both cliques
+        assert index.check()
+        assert all(3 not in c for c in index.cliques)
+
+    def test_remove_missing_vertex_raises(self, triangle_graph):
+        index = DynamicCliqueIndex(triangle_graph, 2, 0.5)
+        with pytest.raises(GraphError):
+            index.remove_vertex(42)
+
+
+class TestRandomizedAgainstRecompute:
+    @given(st.integers(0, 300), st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_random_update_sequences(self, seed, k):
+        rng = random.Random(seed)
+        graph = random_uncertain_graph(seed, 8, 0.4)
+        eta = rng.choice([0.2, 0.4, 0.6])
+        index = DynamicCliqueIndex(graph, k, eta)
+        vertices = graph.vertices()
+        for _step in range(8):
+            u, v = rng.sample(vertices, 2)
+            if index.graph.has_edge(u, v) and rng.random() < 0.5:
+                index.remove_edge(u, v)
+            else:
+                index.add_edge(u, v, rng.choice([0.3, 0.5, 0.9, 1.0]))
+        assert index.check()
+
+    def test_interleaved_vertex_and_edge_updates(self):
+        graph = random_uncertain_graph(5, 10, 0.4)
+        index = DynamicCliqueIndex(graph, 2, 0.4)
+        index.add_vertex("new")
+        index.add_edge("new", 0, 0.9)
+        index.add_edge("new", 1, 0.9)
+        index.remove_vertex(2)
+        assert index.check()

@@ -1,0 +1,117 @@
+"""Boundary and robustness edge cases across the enumeration stack."""
+
+import sys
+from fractions import Fraction
+
+import pytest
+
+from repro.core import enumerate_maximal_cliques, muc
+from repro.uncertain import UncertainGraph
+from tests.conftest import as_sorted_sets
+
+
+def make_clique(n: int, p=1.0) -> UncertainGraph:
+    g = UncertainGraph()
+    for i in range(n):
+        for j in range(i + 1, n):
+            g.add_edge(i, j, p)
+    return g
+
+
+class TestEtaBoundary:
+    def test_exact_boundary_is_inclusive(self):
+        """Pr(H) == η counts as an η-clique (>= in Definition 2)."""
+        g = UncertainGraph(
+            [(0, 1, Fraction(1, 2)), (1, 2, Fraction(1, 2)),
+             (0, 2, Fraction(1, 2))]
+        )
+        eta = Fraction(1, 8)  # exactly the triangle's probability
+        result = enumerate_maximal_cliques(g, 3, eta)
+        assert result.cliques == [frozenset({0, 1, 2})]
+
+    def test_just_above_boundary_excludes(self):
+        g = UncertainGraph(
+            [(0, 1, Fraction(1, 2)), (1, 2, Fraction(1, 2)),
+             (0, 2, Fraction(1, 2))]
+        )
+        eta = Fraction(1, 8) + Fraction(1, 1000)
+        result = enumerate_maximal_cliques(g, 3, eta)
+        assert result.cliques == []
+
+    def test_eta_one_keeps_only_certain_cliques(self):
+        g = UncertainGraph([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (2, 3, 0.9)])
+        got = as_sorted_sets(enumerate_maximal_cliques(g, 2, 1.0).cliques)
+        assert got == [frozenset({0, 1, 2})]
+
+
+class TestStructuralEdgeCases:
+    def test_large_certain_clique(self):
+        """A 60-clique: every algorithm returns exactly one clique and
+        the pivot search stays tiny while MUC would explode (so MUC is
+        only run with a limit)."""
+        g = make_clique(60)
+        pivoted = enumerate_maximal_cliques(g, 1, 0.5, "pmuc+")
+        assert pivoted.cliques == [frozenset(range(60))]
+        # One chain per outer seed: at most n(n+1)/2 nodes, versus the
+        # 2^60 subsets a full set enumeration would visit.
+        assert pivoted.stats.calls <= 60 * 61 // 2
+        capped = muc(g, 1, 0.5, use_reduction=False, limit=1)
+        assert len(capped.cliques[0]) <= 60
+
+    def test_recursion_limit_restored(self):
+        before = sys.getrecursionlimit()
+        enumerate_maximal_cliques(make_clique(30), 1, 0.5, "pmuc+")
+        assert sys.getrecursionlimit() == before
+
+    def test_k_equal_to_n(self):
+        g = make_clique(5, p=0.99)
+        result = enumerate_maximal_cliques(g, 5, 0.5)
+        assert result.cliques == [frozenset(range(5))]
+
+    def test_k_above_n(self):
+        g = make_clique(4)
+        assert enumerate_maximal_cliques(g, 9, 0.5).cliques == []
+
+    def test_all_isolated_vertices(self):
+        g = UncertainGraph()
+        for v in range(5):
+            g.add_vertex(v)
+        got = as_sorted_sets(enumerate_maximal_cliques(g, 1, 0.5).cliques)
+        assert got == [frozenset({v}) for v in range(5)]
+        assert enumerate_maximal_cliques(g, 2, 0.5).cliques == []
+
+    def test_string_and_tuple_vertices(self):
+        g = UncertainGraph(
+            [("a", ("x", 1), 0.9), (("x", 1), "b", 0.9), ("a", "b", 0.9)]
+        )
+        result = enumerate_maximal_cliques(g, 3, 0.5)
+        assert result.cliques == [frozenset({"a", "b", ("x", 1)})]
+
+    def test_two_vertex_graph(self):
+        g = UncertainGraph([(0, 1, 0.4)])
+        assert enumerate_maximal_cliques(g, 2, 0.5).cliques == []
+        got = as_sorted_sets(enumerate_maximal_cliques(g, 1, 0.5).cliques)
+        assert got == [frozenset({0}), frozenset({1})]
+
+    def test_parallel_star_graph(self):
+        """Star: hub forms pair-cliques with every leaf, leaves are
+        mutually exclusive."""
+        g = UncertainGraph([(0, i, 0.9) for i in range(1, 8)])
+        result = enumerate_maximal_cliques(g, 2, 0.5)
+        assert len(result.cliques) == 7
+        assert all(0 in c and len(c) == 2 for c in result.cliques)
+
+
+class TestFractionEndToEnd:
+    def test_exact_graph_through_pmuc_plus(self):
+        g = make_clique(6, p=Fraction(9, 10)).with_exact_probabilities()
+        eta = Fraction(9, 10) ** 15  # the 6-clique's exact probability
+        result = enumerate_maximal_cliques(g, 6, eta)
+        assert result.cliques == [frozenset(range(6))]
+
+    def test_exact_mode_matches_float_mode_off_boundary(self):
+        g_float = make_clique(5, p=0.9)
+        g_exact = g_float.with_exact_probabilities()
+        a = as_sorted_sets(enumerate_maximal_cliques(g_float, 2, 0.5).cliques)
+        b = as_sorted_sets(enumerate_maximal_cliques(g_exact, 2, 0.5).cliques)
+        assert a == b

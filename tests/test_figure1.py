@@ -1,0 +1,84 @@
+"""The paper's running example (Figure 1) and its worked examples."""
+
+import pytest
+
+from repro.core import enumerate_maximal_cliques, maximum_eta_clique, muc, pmuc
+from repro.datasets import FIGURE1_EDGES, figure1_core_subgraph, figure1_graph
+from repro.uncertain import clique_probability
+
+
+class TestReconstruction:
+    def test_shape(self):
+        g = figure1_graph()
+        assert g.num_vertices == 8
+        assert g.num_edges == len(FIGURE1_EDGES)
+
+    def test_core_subgraph_is_5_clique(self):
+        g = figure1_core_subgraph()
+        assert g.num_vertices == 5
+        assert g.num_edges == 10
+
+    def test_example1_candidate_set(self):
+        """After expanding v4 with η = 0.65, the candidate set is
+        {(v3, .9), (v5, .9), (v6, 1), (v7, 1), (v8, .9)}."""
+        g = figure1_graph()
+        expected = {3: 0.9, 5: 0.9, 6: 1.0, 7: 1.0, 8: 0.9}
+        assert g.neighbors(4) == expected
+
+
+class TestSection1Claim:
+    def test_muc_explores_31_subsets(self):
+        """Section 1: set enumeration explores all 31 subsets of the
+        single maximal (1, 0.5)-clique {v4..v8}."""
+        result = muc(figure1_core_subgraph(), 1, 0.5, use_reduction=False)
+        assert result.cliques == [frozenset({4, 5, 6, 7, 8})]
+        assert result.stats.calls - 1 == 31  # minus the root call
+
+    def test_pivot_explores_far_fewer(self):
+        result = pmuc(figure1_core_subgraph(), 1, 0.5)
+        assert result.cliques == [frozenset({4, 5, 6, 7, 8})]
+        assert result.stats.calls < 16
+
+
+class TestSection3Example:
+    def test_4567_is_maximal_eta_clique_but_not_maximal_clique(self):
+        g = figure1_graph()
+        eta = 0.65
+        assert clique_probability(g, [4, 5, 6, 7]) >= eta
+        assert clique_probability(g, [4, 5, 6, 7, 8]) < eta
+        backbone = g.to_deterministic()
+        assert backbone.is_clique([4, 5, 6, 7, 8])  # so {4,5,6,7} is not
+        # maximal in the deterministic sense, yet is a maximal η-clique:
+        cliques = set(enumerate_maximal_cliques(g, 1, eta, "pmuc+").cliques)
+        assert frozenset({4, 5, 6, 7}) in cliques
+
+
+class TestExample2:
+    ETA = 0.53
+
+    def test_eta_below_09_to_the_6(self):
+        assert self.ETA < 0.9**6
+
+    def test_maximum_clique_containing_v1(self):
+        g = figure1_graph()
+        best = None
+        for clique in enumerate_maximal_cliques(g, 1, self.ETA, "pmuc+").cliques:
+            if 1 in clique and (best is None or len(clique) > len(best)):
+                best = clique
+        assert best == frozenset({1, 2, 3, 8})
+
+    def test_maximum_clique_containing_v4(self):
+        g = figure1_graph()
+        best = max(
+            (
+                c
+                for c in enumerate_maximal_cliques(g, 1, self.ETA, "pmuc+").cliques
+                if 4 in c
+            ),
+            key=len,
+        )
+        assert best == frozenset({4, 5, 6, 7, 8})
+
+    def test_maximum_eta_clique_helper(self):
+        g = figure1_graph()
+        assert maximum_eta_clique(g, self.ETA) == frozenset({4, 5, 6, 7, 8})

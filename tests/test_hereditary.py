@@ -1,0 +1,171 @@
+"""The general pivot framework (Algorithm 2) over hereditary properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ParameterError
+from repro.deterministic import Graph, maximal_cliques
+from repro.hereditary import (
+    BoundedDegreeProperty,
+    CliqueProperty,
+    EtaCliqueProperty,
+    IndependentSetProperty,
+    KPlexProperty,
+    enumerate_maximal_sets,
+    maximal_sets_naive,
+)
+from tests.conftest import (
+    as_sorted_sets,
+    random_deterministic_graph,
+    random_uncertain_graph,
+)
+
+
+class TestProperties:
+    def test_clique_property_holds(self):
+        g = Graph([(0, 1), (1, 2), (0, 2)])
+        prop = CliqueProperty(g)
+        assert prop.holds([0, 1, 2])
+        assert not prop.holds([0, 1, 3]) if 3 in g else True
+
+    def test_independent_set_property(self):
+        g = Graph([(0, 1), (2, 3)])
+        prop = IndependentSetProperty(g)
+        assert prop.holds([0, 2])
+        assert not prop.holds([0, 1])
+
+    def test_eta_clique_property(self, triangle_graph):
+        prop = EtaCliqueProperty(triangle_graph, 0.5)
+        assert prop.holds([0, 1, 2])
+        assert not EtaCliqueProperty(triangle_graph, 0.99).holds([0, 1, 2])
+
+    def test_eta_clique_property_validates_eta(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            EtaCliqueProperty(triangle_graph, 0)
+
+    def test_bounded_degree_property(self):
+        g = Graph([(0, 1), (1, 2), (0, 2)])
+        prop = BoundedDegreeProperty(g, 1)
+        assert prop.holds([0, 1])          # a single edge: degrees 1
+        assert not prop.holds([0, 1, 2])   # triangle: degrees 2
+
+    def test_bounded_degree_validates(self):
+        with pytest.raises(ParameterError):
+            BoundedDegreeProperty(Graph(), -1)
+
+    def test_heredity_spot_check(self):
+        """Every property instance is hereditary: subsets of holding
+        sets hold."""
+        det = random_deterministic_graph(0, 8, 0.5)
+        ug = random_uncertain_graph(0, 8, 0.5)
+        props = [
+            CliqueProperty(det),
+            IndependentSetProperty(det),
+            EtaCliqueProperty(ug, 0.3),
+            BoundedDegreeProperty(det, 2),
+        ]
+        for prop in props:
+            for full in maximal_sets_naive(prop):
+                members = sorted(full, key=repr)
+                for drop in members:
+                    subset = [v for v in members if v != drop]
+                    assert prop.holds(subset)
+
+
+class TestFramework:
+    @given(st.integers(0, 60), st.integers(2, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_naive_for_cliques(self, seed, n):
+        g = random_deterministic_graph(seed, n, 0.5)
+        prop = CliqueProperty(g)
+        expected = maximal_sets_naive(prop)
+        got = as_sorted_sets(enumerate_maximal_sets(prop).cliques)
+        assert got == expected
+
+    @given(st.integers(0, 60), st.integers(2, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_naive_for_independent_sets(self, seed, n):
+        g = random_deterministic_graph(seed, n, 0.5)
+        prop = IndependentSetProperty(g)
+        expected = maximal_sets_naive(prop)
+        got = as_sorted_sets(enumerate_maximal_sets(prop).cliques)
+        assert got == expected
+
+    @given(st.integers(0, 40), st.integers(3, 7))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_naive_for_eta_cliques(self, seed, n):
+        g = random_uncertain_graph(seed, n, 0.6)
+        prop = EtaCliqueProperty(g, 0.3)
+        expected = maximal_sets_naive(prop)
+        got = as_sorted_sets(enumerate_maximal_sets(prop).cliques)
+        assert got == expected
+
+    @given(st.integers(0, 40), st.integers(3, 7))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_naive_for_bounded_degree(self, seed, n):
+        g = random_deterministic_graph(seed, n, 0.5)
+        prop = BoundedDegreeProperty(g, 1)
+        expected = maximal_sets_naive(prop)
+        got = as_sorted_sets(enumerate_maximal_sets(prop).cliques)
+        assert got == expected
+
+    @given(st.integers(0, 40), st.integers(3, 7), st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_naive_for_kplex(self, seed, n, s):
+        g = random_deterministic_graph(seed, n, 0.5)
+        prop = KPlexProperty(g, s)
+        expected = maximal_sets_naive(prop)
+        got = as_sorted_sets(enumerate_maximal_sets(prop).cliques)
+        assert got == expected
+
+    def test_1plex_equals_cliques(self):
+        g = random_deterministic_graph(21, 9, 0.5)
+        plexes = as_sorted_sets(enumerate_maximal_sets(KPlexProperty(g, 1)).cliques)
+        cliques = as_sorted_sets(enumerate_maximal_sets(CliqueProperty(g)).cliques)
+        assert plexes == cliques
+
+    def test_2plex_can_miss_one_edge(self):
+        # A 4-cycle is a 2-plex (each vertex misses exactly one other).
+        g = Graph([(0, 1), (1, 2), (2, 3), (3, 0)])
+        prop = KPlexProperty(g, 2)
+        assert prop.holds([0, 1, 2, 3])
+        assert not KPlexProperty(g, 1).holds([0, 1, 2, 3])
+
+    def test_kplex_validates(self):
+        with pytest.raises(ParameterError):
+            KPlexProperty(Graph(), 0)
+
+    def test_agrees_with_bron_kerbosch(self):
+        g = random_deterministic_graph(11, 10, 0.5)
+        via_framework = as_sorted_sets(
+            enumerate_maximal_sets(CliqueProperty(g)).cliques
+        )
+        assert via_framework == as_sorted_sets(maximal_cliques(g))
+
+    def test_agrees_with_specialized_pmuc(self):
+        """The general framework instantiated with the η-clique property
+        enumerates exactly what the specialized PMUC engine does (with
+        k = 1, i.e. no size filter)."""
+        from repro.core import pmuc_plus
+
+        g = random_uncertain_graph(17, 9, 0.6)
+        eta = 0.3
+        general = as_sorted_sets(
+            enumerate_maximal_sets(EtaCliqueProperty(g, eta)).cliques
+        )
+        specialized = as_sorted_sets(pmuc_plus(g, 1, eta).cliques)
+        assert general == specialized
+
+    def test_pivot_reduces_calls_on_clique(self):
+        n = 8
+        g = Graph([(i, j) for i in range(n) for j in range(i + 1, n)])
+        prop = CliqueProperty(g)
+        with_pivot = enumerate_maximal_sets(prop, use_pivot=True)
+        without = enumerate_maximal_sets(prop, use_pivot=False)
+        assert as_sorted_sets(with_pivot.cliques) == as_sorted_sets(without.cliques)
+        assert with_pivot.stats.calls < without.stats.calls
+
+    def test_naive_limit(self):
+        g = random_deterministic_graph(0, 25, 0.2)
+        with pytest.raises(ValueError):
+            maximal_sets_naive(CliqueProperty(g))

@@ -1,0 +1,113 @@
+"""End-to-end integration tests across modules and datasets."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    CliqueQuerySession,
+    enumerate_maximal_cliques,
+    verify_enumeration,
+)
+from repro.datasets import DATASET_NAMES, load_dataset
+from repro.uncertain import threshold, sharpen
+from tests.conftest import as_sorted_sets, random_uncertain_graph
+
+
+class TestEveryDataset:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_enumerate_and_verify(self, name):
+        """Load every stand-in, enumerate, and independently verify."""
+        graph = load_dataset(name)
+        eta = 0.01 if name == "dblp" else 0.1
+        result = enumerate_maximal_cliques(graph, 4, eta, "pmuc+", limit=200)
+        cliques = result.cliques
+        # Verification without cross-check (limit may truncate the set,
+        # but every reported clique must be sound).
+        report = verify_enumeration(graph, 4, eta, cliques)
+        assert not report.not_eta_cliques
+        assert not report.not_maximal
+        assert not report.too_small
+        assert not report.duplicates
+
+    @pytest.mark.parametrize("name", ("enron", "cn15k"))
+    def test_algorithms_agree_on_datasets(self, name):
+        graph = load_dataset(name)
+        results = {
+            algorithm: as_sorted_sets(
+                enumerate_maximal_cliques(graph, 5, 0.1, algorithm).cliques
+            )
+            for algorithm in ("muc", "pmuc", "pmuc+")
+        }
+        assert results["muc"] == results["pmuc"] == results["pmuc+"]
+
+
+class TestTransformTheorems:
+    @given(st.integers(0, 80), st.sampled_from([0.2, 0.4, 0.6]))
+    @settings(max_examples=25, deadline=None)
+    def test_threshold_at_eta_preserves_cliques(self, seed, eta):
+        """Every edge of an η-clique has probability >= η (the product
+        of the others is <= 1), so dropping sub-η edges changes
+        nothing about the maximal (k, η)-clique set."""
+        g = random_uncertain_graph(seed, 9, 0.55)
+        cut = threshold(g, eta)
+        for k in (1, 2, 3):
+            original = as_sorted_sets(
+                enumerate_maximal_cliques(g, k, eta).cliques
+            )
+            reduced = as_sorted_sets(
+                enumerate_maximal_cliques(cut, k, eta).cliques
+            )
+            assert original == reduced
+
+    @given(st.integers(0, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_sharpen_monotone_clique_count(self, seed):
+        """Raising all probabilities (gamma < 1) can only keep or grow
+        the set of η-cliques, so the maximum clique size never drops."""
+        g = random_uncertain_graph(seed, 9, 0.55)
+        eta = 0.3
+        base = enumerate_maximal_cliques(g, 1, eta).cliques
+        sharp = enumerate_maximal_cliques(sharpen(g, 0.5), 1, eta).cliques
+        assert max(map(len, sharp), default=0) >= max(map(len, base), default=0)
+
+
+class TestSessionMatchesAlgorithms:
+    def test_session_vs_all_algorithms(self):
+        graph = load_dataset("superuser")
+        session = CliqueQuerySession(graph, eta=0.1)
+        for k in (3, 6):
+            expected = as_sorted_sets(
+                enumerate_maximal_cliques(graph, k, 0.1, "muc").cliques
+            )
+            assert as_sorted_sets(session.query(k).cliques) == expected
+
+
+class TestPipelines:
+    def test_ppi_pipeline(self):
+        """Generate → enumerate → score → export, end to end."""
+        from repro.applications import (
+            community_to_dot,
+            ppi_cluster_with_cliques,
+            score_clusters,
+        )
+        from repro.datasets import generate_ppi_network
+
+        network = generate_ppi_network(
+            seed=3, num_proteins=120, num_complexes=12, noise_edges=300
+        )
+        clusters = ppi_cluster_with_cliques(network.graph, 4, 0.1)
+        report = score_clusters("PMUCE", clusters, network)
+        assert report.precision > 0.5
+        dot = community_to_dot(network.graph, max(clusters, key=len))
+        assert dot.startswith("graph")
+
+    def test_serialize_enumerate_round_trip(self, tmp_path):
+        from repro.uncertain import load_json, save_json
+
+        graph = load_dataset("cn15k")
+        path = tmp_path / "kg.json"
+        save_json(graph, path)
+        again = load_json(path)
+        a = as_sorted_sets(enumerate_maximal_cliques(graph, 4, 0.01).cliques)
+        b = as_sorted_sets(enumerate_maximal_cliques(again, 4, 0.01).cliques)
+        assert a == b

@@ -1,0 +1,77 @@
+"""Edge-list parsing, formatting, and file round trips."""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.uncertain import (
+    UncertainGraph,
+    format_edge_list,
+    parse_edge_list,
+    read_edge_list,
+    write_edge_list,
+)
+
+
+class TestParse:
+    def test_basic(self):
+        g = parse_edge_list("0 1 0.5\n1 2 0.75\n")
+        assert g.num_edges == 2
+        assert g.probability(1, 2) == 0.75
+
+    def test_default_probability(self):
+        g = parse_edge_list("0 1\n", default_probability=0.6)
+        assert g.probability(0, 1) == 0.6
+
+    def test_comments_and_blank_lines(self):
+        text = "# comment\n\n% konect header\n0 1 0.5\n"
+        g = parse_edge_list(text)
+        assert g.num_edges == 1
+
+    def test_string_vertices(self):
+        g = parse_edge_list("alice bob 0.9\n")
+        assert g.has_edge("alice", "bob")
+
+    def test_integer_coercion(self):
+        g = parse_edge_list("007 8 0.9\n")
+        assert g.has_edge(7, 8)
+
+    def test_bad_field_count(self):
+        with pytest.raises(DatasetError, match="line 1"):
+            parse_edge_list("0 1 0.5 extra\n")
+
+    def test_bad_probability_token(self):
+        with pytest.raises(DatasetError, match="not a number"):
+            parse_edge_list("0 1 abc\n")
+
+    def test_out_of_range_probability(self):
+        with pytest.raises(DatasetError, match="line 2"):
+            parse_edge_list("0 1 0.5\n1 2 1.7\n")
+
+    def test_self_loop_reported_with_line(self):
+        with pytest.raises(DatasetError, match="line 1"):
+            parse_edge_list("3 3 0.5\n")
+
+
+class TestFormat:
+    def test_round_trip(self):
+        g = UncertainGraph([(0, 1, 0.5), (1, 2, 0.25)])
+        again = parse_edge_list(format_edge_list(g))
+        assert again.num_edges == 2
+        assert again.probability(0, 1) == 0.5
+
+    def test_empty_graph_formats_empty(self):
+        assert format_edge_list(UncertainGraph()) == ""
+
+    def test_deterministic_order(self):
+        g = UncertainGraph([(2, 1, 0.5), (0, 1, 0.5)])
+        assert format_edge_list(g) == format_edge_list(g.copy())
+
+
+class TestFiles:
+    def test_write_and_read(self, tmp_path):
+        g = UncertainGraph([(0, 1, 0.5), (1, 2, 0.9)])
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        again = read_edge_list(path)
+        assert again.num_edges == 2
+        assert again.probability(1, 2) == 0.9

@@ -1,0 +1,73 @@
+"""KONECT-format loading."""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.datasets import (
+    load_konect_uncertain,
+    parse_konect,
+    read_konect,
+)
+
+
+SAMPLE = """% sym weighted
+% 5 4
+1 2 3 1167609600
+2 3
+1 2 2 1167696000
+3 3 9
+4 5 -2
+"""
+
+
+class TestParse:
+    def test_aggregates_parallel_edges(self):
+        edges = parse_konect(SAMPLE)
+        assert edges[(1, 2)] == 5.0  # 3 + 2
+
+    def test_default_weight_is_one(self):
+        assert parse_konect(SAMPLE)[(2, 3)] == 1.0
+
+    def test_self_loops_dropped(self):
+        assert all(u != v for (u, v) in parse_konect(SAMPLE))
+
+    def test_negative_weights_folded(self):
+        # Signed interaction counts (e.g. downvotes) count as activity.
+        assert parse_konect(SAMPLE)[(4, 5)] == 2.0
+
+    def test_comments_skipped(self):
+        assert len(parse_konect("% header only\n")) == 0
+
+    def test_missing_column(self):
+        with pytest.raises(DatasetError, match="line 1"):
+            parse_konect("42\n")
+
+    def test_non_integer_vertex(self):
+        with pytest.raises(DatasetError, match="integers"):
+            parse_konect("a b 1\n")
+
+    def test_bad_weight(self):
+        with pytest.raises(DatasetError, match="weight"):
+            parse_konect("1 2 xyz\n")
+
+
+class TestLoad:
+    def test_read_file(self, tmp_path):
+        path = tmp_path / "out.sample"
+        path.write_text(SAMPLE)
+        assert read_konect(path) == parse_konect(SAMPLE)
+
+    def test_uncertain_graph_probabilities(self, tmp_path):
+        path = tmp_path / "out.sample"
+        path.write_text(SAMPLE)
+        graph = load_konect_uncertain(path)
+        import math
+
+        assert graph.probability(1, 2) == pytest.approx(1 - math.exp(-2.5))
+        assert graph.probability(2, 3) == pytest.approx(1 - math.exp(-0.5))
+
+    def test_other_probability_model(self, tmp_path):
+        path = tmp_path / "out.sample"
+        path.write_text(SAMPLE)
+        graph = load_konect_uncertain(path, probability_model="uniform")
+        assert all(0.5 <= p <= 1 for _u, _v, p in graph.edges())

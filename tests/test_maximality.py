@@ -1,0 +1,113 @@
+"""World-maximality probability and α-maximal cliques."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ParameterError
+from repro.uncertain import (
+    UncertainGraph,
+    alpha_maximal_cliques,
+    enumerate_worlds,
+    estimate_maximal_clique_probability,
+    maximal_clique_probability,
+)
+from tests.conftest import random_uncertain_graph
+
+
+def maximality_by_world_enumeration(graph, members):
+    """Reference: sum the probabilities of worlds where H is maximal."""
+    total = 0
+    member_set = set(members)
+    for world, p in enumerate_worlds(graph):
+        if not world.is_clique(members):
+            continue
+        if members:
+            extenders = set(world.neighbors(members[0]))
+            for v in members[1:]:
+                extenders &= world.neighbors(v)
+            extenders -= member_set
+        else:
+            extenders = set(world.vertices())
+        if not extenders:
+            total += p
+    return total
+
+
+class TestClosedForm:
+    def test_pendant_pair(self):
+        g = UncertainGraph([(0, 1, 0.9), (1, 2, 0.5), (0, 2, 0.5)])
+        # {0,1} maximal iff edge (0,1) present and 2 fails to connect
+        # to both: 0.9 * (1 - 0.25) = 0.675.
+        assert maximal_clique_probability(g, [0, 1]) == pytest.approx(0.675)
+
+    def test_whole_triangle(self, triangle_graph):
+        # No outside vertices: maximality == clique probability.
+        assert maximal_clique_probability(
+            triangle_graph, [0, 1, 2]
+        ) == pytest.approx(0.9**3)
+
+    def test_non_clique_is_zero(self):
+        g = UncertainGraph([(0, 1, 0.9)])
+        g.add_vertex(2)
+        assert maximal_clique_probability(g, [0, 1, 2]) == 0
+
+    def test_empty_set(self):
+        assert maximal_clique_probability(UncertainGraph(), []) == 1
+        g = UncertainGraph()
+        g.add_vertex(0)
+        assert maximal_clique_probability(g, []) == 0
+
+    def test_singleton(self):
+        g = UncertainGraph([(0, 1, 0.3)])
+        # {0} is maximal iff the edge is absent.
+        assert maximal_clique_probability(g, [0]) == pytest.approx(0.7)
+
+    @given(st.integers(0, 60), st.integers(3, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_world_enumeration(self, seed, n):
+        g = random_uncertain_graph(seed, n, 0.6)
+        if g.num_edges > 12:
+            return
+        members = list(range(min(3, n)))
+        exact = maximal_clique_probability(g, members)
+        reference = maximality_by_world_enumeration(g, members)
+        assert float(exact) == pytest.approx(float(reference), abs=1e-12)
+
+    def test_monte_carlo_agrees(self):
+        g = random_uncertain_graph(3, 7, 0.6)
+        members = [0, 1]
+        exact = maximal_clique_probability(g, members)
+        estimate = estimate_maximal_clique_probability(
+            g, members, samples=8000, seed=2
+        )
+        assert estimate == pytest.approx(float(exact), abs=0.03)
+
+    def test_estimator_validates_samples(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            estimate_maximal_clique_probability(triangle_graph, [0], samples=0)
+
+
+class TestAlphaMaximal:
+    def test_filters_by_alpha(self, two_communities):
+        everything = alpha_maximal_cliques(two_communities, 3, 0.5, alpha=0.0)
+        assert len(everything) == 2
+        strict = alpha_maximal_cliques(two_communities, 3, 0.5, alpha=0.99)
+        assert len(strict) <= len(everything)
+
+    def test_sorted_by_probability(self):
+        g = random_uncertain_graph(11, 10, 0.6)
+        scored = alpha_maximal_cliques(g, 2, 0.3, alpha=0.0)
+        probabilities = [p for _c, p in scored]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_scores_are_exact(self, two_communities):
+        for clique, probability in alpha_maximal_cliques(
+            two_communities, 3, 0.5, alpha=0.0
+        ):
+            assert probability == maximal_clique_probability(
+                two_communities, clique
+            )
+
+    def test_alpha_validation(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            alpha_maximal_cliques(triangle_graph, 1, 0.5, alpha=1.5)

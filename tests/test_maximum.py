@@ -1,0 +1,93 @@
+"""Maximum (k, η)-clique search and top-r queries."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ParameterError
+from repro.core import (
+    SearchStats,
+    enumerate_maximal_cliques,
+    maximum_k_eta_clique,
+    top_r_maximal_cliques,
+)
+from repro.datasets import figure1_graph, load_dataset
+from repro.uncertain import UncertainGraph, clique_probability
+from tests.conftest import random_uncertain_graph
+
+
+def maximum_by_enumeration(graph, k, eta):
+    cliques = enumerate_maximal_cliques(graph, k, eta, "pmuc+").cliques
+    return max((len(c) for c in cliques), default=0)
+
+
+class TestMaximumClique:
+    def test_figure1(self):
+        g = figure1_graph()
+        best = maximum_k_eta_clique(g, 1, 0.53)
+        assert best == frozenset({4, 5, 6, 7, 8})
+
+    def test_none_when_no_clique(self, triangle_graph):
+        assert maximum_k_eta_clique(triangle_graph, 4, 0.5) is None
+
+    def test_k1_isolated_vertex(self):
+        g = UncertainGraph()
+        g.add_vertex("solo")
+        assert maximum_k_eta_clique(g, 1, 0.5) == frozenset({"solo"})
+
+    def test_empty_graph(self):
+        assert maximum_k_eta_clique(UncertainGraph(), 1, 0.5) is None
+
+    def test_parameter_validation(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            maximum_k_eta_clique(triangle_graph, 0, 0.5)
+        with pytest.raises(ParameterError):
+            maximum_k_eta_clique(triangle_graph, 1, 0)
+
+    @given(st.integers(0, 200), st.integers(4, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_size_matches_enumeration(self, seed, n):
+        g = random_uncertain_graph(seed, n, 0.55)
+        for k, eta in ((1, 0.3), (2, 0.5), (3, 0.1)):
+            best = maximum_k_eta_clique(g, k, eta)
+            expected = maximum_by_enumeration(g, k, eta)
+            if best is None:
+                assert expected == 0
+            else:
+                assert len(best) == expected
+                assert clique_probability(g, best) >= eta
+
+    def test_prunes_versus_enumeration(self):
+        g = load_dataset("soflow")
+        stats = SearchStats()
+        best = maximum_k_eta_clique(g, 4, 0.1, stats)
+        full = enumerate_maximal_cliques(
+            g, 4, 0.1, "pmuc+", on_clique=lambda c: None
+        )
+        assert best is not None
+        assert stats.calls < full.stats.calls / 3
+
+
+class TestTopR:
+    def test_ranked_by_size_then_probability(self, two_communities):
+        ranked = top_r_maximal_cliques(two_communities, 2, 0.5, r=3)
+        sizes = [len(c) for c, _p in ranked]
+        assert sizes == sorted(sizes, reverse=True)
+        for clique, prob in ranked:
+            assert prob == clique_probability(two_communities, clique)
+
+    def test_r_bounds_output(self, two_communities):
+        assert len(top_r_maximal_cliques(two_communities, 2, 0.5, r=1)) == 1
+
+    def test_fewer_cliques_than_r(self, triangle_graph):
+        ranked = top_r_maximal_cliques(triangle_graph, 3, 0.5, r=10)
+        assert len(ranked) == 1
+
+    def test_r_validation(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            top_r_maximal_cliques(triangle_graph, 1, 0.5, r=0)
+
+    def test_top1_matches_maximum_size(self):
+        g = random_uncertain_graph(9, 12, 0.6)
+        ranked = top_r_maximal_cliques(g, 1, 0.3, r=1)
+        best = maximum_k_eta_clique(g, 1, 0.3)
+        assert len(ranked[0][0]) == len(best)

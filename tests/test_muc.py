@@ -1,0 +1,103 @@
+"""Algorithm 1 (MUC baseline): correctness, stats, and reductions."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.core import muc
+from repro.datasets import figure1_core_subgraph, figure1_graph
+from repro.uncertain import (
+    UncertainGraph,
+    exact_maximal_eta_cliques_by_worlds,
+)
+from tests.conftest import (
+    as_sorted_sets,
+    brute_force_maximal_k_eta_cliques,
+    random_uncertain_graph,
+)
+
+
+class TestCorrectness:
+    def test_triangle(self, triangle_graph):
+        result = muc(triangle_graph, 3, 0.5)
+        assert result.cliques == [frozenset({0, 1, 2})]
+
+    def test_matches_world_oracle_once(self):
+        """One (slow) spot check against the possible-world oracle; the
+        broad sweeps below use the cheap Eq.-2 brute force, which the
+        world oracle itself validates in test_possible_worlds.py."""
+        g = random_uncertain_graph(0, 6, 0.5)
+        assert g.num_edges <= 12
+        oracle = set(exact_maximal_eta_cliques_by_worlds(g, 2, 0.4))
+        assert set(muc(g, 2, 0.4).cliques) == oracle
+
+    def test_matches_brute_force_on_random_graphs(self):
+        for seed in range(12):
+            g = random_uncertain_graph(seed, 8, 0.55)
+            for k, eta in ((1, 0.4), (2, 0.2), (3, 0.6)):
+                oracle = set(brute_force_maximal_k_eta_cliques(g, k, eta))
+                for reduction in (False, True):
+                    got = set(muc(g, k, eta, use_reduction=reduction).cliques)
+                    assert got == oracle, (seed, k, eta, reduction)
+
+    def test_k1_reports_isolated_vertices(self):
+        g = UncertainGraph([(0, 1, 0.9)])
+        g.add_vertex(7)
+        got = as_sorted_sets(muc(g, 1, 0.5).cliques)
+        assert got == [frozenset({7}), frozenset({0, 1})]
+
+    def test_high_eta_splits_into_edges(self, triangle_graph):
+        got = as_sorted_sets(muc(triangle_graph, 2, 0.85).cliques)
+        assert got == [frozenset({0, 1}), frozenset({0, 2}), frozenset({1, 2})]
+
+    def test_empty_graph(self):
+        assert muc(UncertainGraph(), 1, 0.5).cliques == []
+
+    def test_no_results_when_k_too_large(self, triangle_graph):
+        assert muc(triangle_graph, 4, 0.5).cliques == []
+
+
+class TestParameters:
+    @pytest.mark.parametrize("k", [0, -1, 1.5])
+    def test_bad_k(self, triangle_graph, k):
+        with pytest.raises(ParameterError):
+            muc(triangle_graph, k, 0.5)
+
+    @pytest.mark.parametrize("eta", [0, -0.5, 1.1])
+    def test_bad_eta(self, triangle_graph, eta):
+        with pytest.raises(ParameterError):
+            muc(triangle_graph, 3, eta)
+
+
+class TestSearchBehaviour:
+    def test_explores_all_subsets_of_a_maximal_clique(self):
+        """The paper's Section-1 example: on the {v4..v8} subgraph with
+        k=1, η=0.5, set enumeration visits all 31 non-empty subsets."""
+        g = figure1_core_subgraph()
+        result = muc(g, 1, 0.5, use_reduction=False)
+        assert result.cliques == [frozenset({4, 5, 6, 7, 8})]
+        # 31 subset nodes + the root call.
+        assert result.stats.calls == 32
+
+    def test_outputs_counted(self, two_communities):
+        result = muc(two_communities, 3, 0.5)
+        assert result.stats.outputs == len(result.cliques)
+
+    def test_callback_streams_without_storing(self, two_communities):
+        seen = []
+        result = muc(two_communities, 3, 0.5, on_clique=seen.append)
+        assert result.cliques == []
+        assert len(seen) == result.stats.outputs > 0
+
+    def test_reduction_shrinks_search(self):
+        g = figure1_graph()
+        # k=4: the reduction peels nothing essential but prunes the
+        # sparse periphery, so the reduced search visits fewer nodes.
+        full = muc(g, 4, 0.5, use_reduction=False)
+        reduced = muc(g, 4, 0.5, use_reduction=True)
+        assert as_sorted_sets(full.cliques) == as_sorted_sets(reduced.cliques)
+        assert reduced.stats.calls <= full.stats.calls
+
+    def test_connected_components_processed_independently(self):
+        g = UncertainGraph([(0, 1, 0.9), (2, 3, 0.9)])
+        got = as_sorted_sets(muc(g, 2, 0.5).cliques)
+        assert got == [frozenset({0, 1}), frozenset({2, 3})]

@@ -1,0 +1,120 @@
+"""Partitioned/parallel enumeration and multi-k query sessions."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.core import (
+    CliqueQuerySession,
+    PivotEnumerator,
+    enumerate_maximal_cliques,
+    enumerate_parallel,
+    enumerate_partitioned,
+    seed_partitions,
+)
+from repro.datasets import figure1_graph, load_dataset
+from tests.conftest import as_sorted_sets, random_uncertain_graph
+
+
+class TestSeedFilter:
+    def test_disjoint_seed_runs_union_to_full(self):
+        g = random_uncertain_graph(12, 14, 0.5)
+        k, eta = 2, 0.4
+        full = as_sorted_sets(PivotEnumerator(g, k, eta).run().cliques)
+        chunks = seed_partitions(g, 3, eta)
+        union = []
+        for chunk in chunks:
+            union.extend(PivotEnumerator(g, k, eta).run(seeds=chunk).cliques)
+        assert as_sorted_sets(union) == full
+        assert len(union) == len(set(union))  # no cross-chunk duplicates
+
+    def test_empty_seed_set(self):
+        g = random_uncertain_graph(12, 8, 0.5)
+        result = PivotEnumerator(g, 2, 0.4).run(seeds=[])
+        assert result.cliques == []
+
+
+class TestPartitioned:
+    def test_matches_monolithic(self):
+        g = random_uncertain_graph(13, 16, 0.5)
+        expected = as_sorted_sets(
+            enumerate_maximal_cliques(g, 2, 0.4, "pmuc+").cliques
+        )
+        for parts in (1, 2, 5):
+            merged = enumerate_partitioned(g, 2, 0.4, parts=parts)
+            assert as_sorted_sets(merged.cliques) == expected
+            assert merged.stats.outputs == len(expected)
+
+    def test_parts_validation(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            seed_partitions(triangle_graph, 0, 0.5)
+
+    def test_partitions_cover_all_vertices(self):
+        g = random_uncertain_graph(3, 10, 0.5)
+        chunks = seed_partitions(g, 3, 0.5)
+        flat = [v for c in chunks for v in c]
+        assert sorted(flat, key=repr) == sorted(g.vertices(), key=repr)
+
+    def test_more_parts_than_vertices(self, triangle_graph):
+        chunks = seed_partitions(triangle_graph, 10, 0.5)
+        assert len(chunks) == 3
+
+
+class TestParallel:
+    def test_parallel_matches_monolithic(self):
+        g = load_dataset("enron")
+        expected = as_sorted_sets(
+            enumerate_maximal_cliques(g, 6, 0.1, "pmuc+").cliques
+        )
+        merged = enumerate_parallel(g, 6, 0.1, parts=4, processes=2)
+        assert as_sorted_sets(merged.cliques) == expected
+
+    def test_single_chunk_short_circuits(self, triangle_graph):
+        merged = enumerate_parallel(triangle_graph, 3, 0.5, parts=1)
+        assert merged.cliques == [frozenset({0, 1, 2})]
+
+
+class TestQuerySession:
+    def test_matches_direct_enumeration(self):
+        g = load_dataset("enron")
+        session = CliqueQuerySession(g, eta=0.1)
+        for k in (2, 3, 5, 7):
+            expected = as_sorted_sets(
+                enumerate_maximal_cliques(g, k, 0.1, "pmuc+").cliques
+            )
+            got = as_sorted_sets(session.query(k).cliques)
+            assert got == expected, k
+
+    def test_figure1_profile(self):
+        session = CliqueQuerySession(figure1_graph(), eta=0.53)
+        profile = session.size_profile([3, 4, 5, 6])
+        assert profile[5] == 1 and profile[6] == 0
+        assert profile[3] >= profile[4] >= profile[5]
+
+    def test_k1_uses_full_graph(self):
+        from repro.uncertain import UncertainGraph
+
+        g = UncertainGraph([(0, 1, 0.9)])
+        g.add_vertex(5)
+        session = CliqueQuerySession(g, eta=0.5)
+        got = as_sorted_sets(session.query(1).cliques)
+        assert frozenset({5}) in got
+
+    def test_reduced_graph_monotone_in_k(self):
+        g = load_dataset("enron")
+        session = CliqueQuerySession(g, eta=0.1)
+        sizes = [session.reduced_graph(k).num_edges for k in (2, 4, 6, 8)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_validation(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            CliqueQuerySession(triangle_graph, eta=0)
+        session = CliqueQuerySession(triangle_graph, eta=0.5)
+        with pytest.raises(ParameterError):
+            session.reduced_graph(0)
+
+    def test_streaming_callback(self, two_communities):
+        session = CliqueQuerySession(two_communities, eta=0.5)
+        seen = []
+        result = session.query(3, on_clique=seen.append)
+        assert result.cliques == []
+        assert len(seen) == 2

@@ -1,0 +1,78 @@
+"""Unit tests for the pivot-selection strategies (Section 4.6)."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.core.pivot import (
+    PivotContext,
+    get_strategy,
+    select_first,
+    select_hybrid,
+    select_max_color,
+    select_max_degree,
+    STRATEGIES,
+)
+from repro.deterministic import Graph
+
+
+def make_context(**overrides) -> PivotContext:
+    base = dict(
+        degree={"a": 5, "b": 3, "c": 5},
+        color={"a": 0, "b": 1, "c": 2},
+        color_number={"a": 2, "b": 4, "c": 3},
+        lower_bound={"a": 1, "b": 1, "c": 1},
+        k=3,
+    )
+    base.update(overrides)
+    return PivotContext(**base)
+
+
+class TestStrategies:
+    def test_first(self):
+        assert select_first(["b", "a"], make_context()) == "b"
+
+    def test_max_degree_breaks_by_value(self):
+        ctx = make_context()
+        picked = select_max_degree(["a", "b", "c"], ctx)
+        assert picked in {"a", "c"}  # both have degree 5
+
+    def test_max_color(self):
+        assert select_max_color(["a", "b", "c"], make_context()) == "b"
+
+    def test_hybrid_prefers_lower_bound_when_above_k(self):
+        ctx = make_context(lower_bound={"a": 1, "b": 9, "c": 1})
+        # b has the max color number AND LB(b) = 9 > k = 3 -> pick b.
+        assert select_hybrid(["a", "b", "c"], ctx) == "b"
+
+    def test_hybrid_falls_back_to_degree_color(self):
+        ctx = make_context()  # all LB = 1 <= k
+        # among max-degree {a, c}, c has the larger color number.
+        assert select_hybrid(["a", "b", "c"], ctx) == "c"
+
+    def test_registry_lookup(self):
+        assert set(STRATEGIES) == {"first", "degree", "color", "hybrid"}
+        assert get_strategy("degree") is select_max_degree
+        with pytest.raises(ParameterError):
+            get_strategy("nope")
+
+
+class TestPivotContext:
+    def test_from_backbone(self):
+        g = Graph([(0, 1), (1, 2), (0, 2), (2, 3)])
+        ctx = PivotContext.from_backbone(g, k=2)
+        assert ctx.degree[2] == 3
+        # vertex 2's neighbors span all three other colors or fewer.
+        assert 1 <= ctx.color_number[2] <= 3
+        assert all(lb == 1 for lb in ctx.lower_bound.values())
+
+    def test_raise_lower_bound(self):
+        ctx = make_context()
+        ctx.raise_lower_bound(["a", "b"], 7)
+        assert ctx.lower_bound["a"] == 7
+        ctx.raise_lower_bound(["a"], 4)  # never lowers
+        assert ctx.lower_bound["a"] == 7
+
+    def test_raise_lower_bound_unknown_vertex(self):
+        ctx = make_context()
+        ctx.raise_lower_bound(["zz"], 3)
+        assert ctx.lower_bound["zz"] == 3

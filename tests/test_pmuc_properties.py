@@ -1,0 +1,100 @@
+"""Property-based tests: all enumerators agree with the oracle.
+
+Probabilities are exact :class:`~fractions.Fraction` values so clique
+probabilities are independent of multiplication order; any disagreement
+between algorithms is then a real logic bug, never floating-point
+noise at the η boundary.
+"""
+
+import random
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PivotConfig, PivotEnumerator, muc
+from repro.uncertain import (
+    UncertainGraph,
+    clique_probability,
+    is_maximal_k_eta_clique,
+)
+from tests.conftest import (
+    EXACT_PROBABILITIES,
+    as_sorted_sets,
+    brute_force_maximal_k_eta_cliques,
+)
+
+
+@st.composite
+def small_uncertain_graphs(draw):
+    """Graphs with <= 8 vertices, <= 18 edges, exact probabilities."""
+    n = draw(st.integers(3, 8))
+    seed = draw(st.integers(0, 10_000))
+    density = draw(st.sampled_from([0.35, 0.5, 0.65]))
+    rng = random.Random(seed)
+    g = UncertainGraph()
+    for v in range(n):
+        g.add_vertex(v)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < density:
+                g.add_edge(u, v, rng.choice(EXACT_PROBABILITIES))
+    return g
+
+
+ETAS = tuple(Fraction(i, 20) for i in (1, 4, 8, 12))
+
+
+@given(
+    small_uncertain_graphs(),
+    st.integers(1, 4),
+    st.sampled_from(ETAS),
+)
+@settings(max_examples=60, deadline=None)
+def test_all_algorithms_match_brute_force(graph, k, eta):
+    oracle = brute_force_maximal_k_eta_cliques(graph, k, eta)
+    assert as_sorted_sets(muc(graph, k, eta).cliques) == oracle
+    assert (
+        as_sorted_sets(muc(graph, k, eta, use_reduction=False).cliques) == oracle
+    )
+    for config in (
+        PivotConfig(),  # PMUC defaults
+        PivotConfig(kpivot="color", reduction="triangle"),  # PMUC+
+        PivotConfig(ordering="as-is", pivot="first", mpivot="basic",
+                    kpivot="plain", reduction="off"),
+        PivotConfig(ordering="degeneracy", pivot="color", mpivot="off",
+                    kpivot="off", reduction="core"),
+    ):
+        result = PivotEnumerator(graph, k, eta, config).run()
+        assert as_sorted_sets(result.cliques) == oracle
+
+
+@given(small_uncertain_graphs(), st.integers(1, 3), st.sampled_from(ETAS))
+@settings(max_examples=60, deadline=None)
+def test_outputs_are_maximal_and_unique(graph, k, eta):
+    result = PivotEnumerator(
+        graph, k, eta, PivotConfig(kpivot="color", reduction="triangle")
+    ).run()
+    assert len(result.cliques) == len(set(result.cliques))
+    for clique in result.cliques:
+        assert is_maximal_k_eta_clique(graph, clique, k, eta)
+        assert clique_probability(graph, clique) >= eta
+
+
+@given(small_uncertain_graphs(), st.sampled_from(ETAS))
+@settings(max_examples=40, deadline=None)
+def test_k_monotonicity(graph, eta):
+    """Raising k can only filter the result set: every maximal
+    (k+1, η)-clique is also a maximal (k, η)-clique."""
+    smaller = set(PivotEnumerator(graph, 2, eta).run().cliques)
+    larger = set(PivotEnumerator(graph, 3, eta).run().cliques)
+    assert larger <= smaller
+
+
+@given(small_uncertain_graphs(), st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_eta_monotonicity_of_probabilities(graph, k):
+    """All cliques reported at a high η are η-cliques at any lower η
+    (though possibly no longer maximal there)."""
+    high = PivotEnumerator(graph, k, Fraction(3, 5)).run()
+    for clique in high.cliques:
+        assert clique_probability(graph, clique) >= Fraction(1, 5)

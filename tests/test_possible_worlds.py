@@ -1,0 +1,113 @@
+"""Possible-world semantics: Eq. 1, sampling, and the Eq. 2 validation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ParameterError
+from repro.uncertain import (
+    UncertainGraph,
+    clique_probability,
+    enumerate_worlds,
+    estimate_clique_probability,
+    exact_maximal_eta_cliques_by_worlds,
+    sample_world,
+    sample_worlds,
+)
+from tests.conftest import random_uncertain_graph
+
+
+class TestEnumerateWorlds:
+    def test_counts_and_total_probability(self, triangle_graph):
+        worlds = list(enumerate_worlds(triangle_graph))
+        assert len(worlds) == 2**3
+        assert sum(p for _w, p in worlds) == pytest.approx(1.0)
+
+    def test_world_probability_formula(self):
+        g = UncertainGraph([(0, 1, 0.25)])
+        worlds = {w.num_edges: p for w, p in enumerate_worlds(g)}
+        assert worlds[0] == pytest.approx(0.75)
+        assert worlds[1] == pytest.approx(0.25)
+
+    def test_refuses_large_graphs(self):
+        g = random_uncertain_graph(0, 10, density=0.9)
+        assert g.num_edges > 20
+        with pytest.raises(ParameterError):
+            list(enumerate_worlds(g))
+
+    def test_worlds_preserve_vertices(self, triangle_graph):
+        for world, _p in enumerate_worlds(triangle_graph):
+            assert world.num_vertices == 3
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_eq2_matches_world_sum(self, seed):
+        """Definition 1 (sum over worlds) equals Eq. 2 (edge product)."""
+        g = random_uncertain_graph(seed, 5, density=0.6)
+        if g.num_edges > 10:
+            return
+        members = [0, 1, 2]
+        by_worlds = sum(
+            p for w, p in enumerate_worlds(g) if w.is_clique(members)
+        )
+        assert by_worlds == pytest.approx(
+            clique_probability(g, members), abs=1e-12
+        )
+
+
+class TestSampling:
+    def test_sample_worlds_deterministic_by_seed(self, triangle_graph):
+        a = [w.num_edges for w in sample_worlds(triangle_graph, 10, seed=3)]
+        b = [w.num_edges for w in sample_worlds(triangle_graph, 10, seed=3)]
+        assert a == b
+
+    def test_sample_worlds_count(self, triangle_graph):
+        assert len(list(sample_worlds(triangle_graph, 7))) == 7
+
+    def test_negative_count_rejected(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            list(sample_worlds(triangle_graph, -1))
+
+    def test_certain_edges_always_sampled(self):
+        import random
+
+        g = UncertainGraph([(0, 1, 1.0)])
+        world = sample_world(g, random.Random(0))
+        assert world.has_edge(0, 1)
+
+    def test_monte_carlo_estimate_close(self, triangle_graph):
+        estimate = estimate_clique_probability(
+            triangle_graph, [0, 1, 2], samples=20000, seed=1
+        )
+        assert estimate == pytest.approx(0.9**3, abs=0.02)
+
+    def test_estimate_zero_for_non_clique(self):
+        g = UncertainGraph([(0, 1, 0.9)])
+        g.add_vertex(2)
+        assert estimate_clique_probability(g, [0, 1, 2], samples=10) == 0.0
+
+    def test_estimate_requires_positive_samples(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            estimate_clique_probability(triangle_graph, [0, 1], samples=0)
+
+
+class TestOracle:
+    def test_oracle_on_triangle(self, triangle_graph):
+        result = exact_maximal_eta_cliques_by_worlds(triangle_graph, 3, 0.5)
+        assert result == [frozenset({0, 1, 2})]
+
+    def test_oracle_respects_k(self, triangle_graph):
+        assert exact_maximal_eta_cliques_by_worlds(triangle_graph, 4, 0.5) == []
+
+    def test_oracle_splits_below_threshold(self, triangle_graph):
+        # At eta = 0.85 only pairs survive; all three are maximal.
+        result = exact_maximal_eta_cliques_by_worlds(triangle_graph, 2, 0.85)
+        assert result == [
+            frozenset({0, 1}),
+            frozenset({0, 2}),
+            frozenset({1, 2}),
+        ]
+
+    def test_oracle_vertex_limit(self):
+        g = random_uncertain_graph(0, 13, density=0.1)
+        with pytest.raises(ParameterError):
+            exact_maximal_eta_cliques_by_worlds(g, 1, 0.5)

@@ -1,0 +1,131 @@
+"""Markdown reports, the enumeration limit, and truss decomposition."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.baselines import k_gamma_truss, truss_decomposition
+from repro.bench import markdown_table, render_report, speedup_summary
+from repro.core import PivotEnumerator, enumerate_maximal_cliques, muc
+from repro.datasets import load_dataset
+from repro.uncertain import UncertainGraph, normalize_edge
+from tests.conftest import random_uncertain_graph
+
+
+class TestLimit:
+    def test_limit_stops_early(self):
+        g = load_dataset("enron")
+        capped = enumerate_maximal_cliques(g, 4, 0.1, "pmuc+", limit=5)
+        assert len(capped.cliques) == 5
+        full = enumerate_maximal_cliques(
+            g, 4, 0.1, "pmuc+", on_clique=lambda c: None
+        )
+        assert capped.stats.calls < full.stats.calls
+
+    def test_limited_output_is_subset_of_full(self):
+        g = random_uncertain_graph(5, 14, 0.5)
+        full = set(enumerate_maximal_cliques(g, 2, 0.4).cliques)
+        capped = enumerate_maximal_cliques(g, 2, 0.4, limit=3)
+        assert set(capped.cliques) <= full
+
+    def test_limit_larger_than_result_is_harmless(self, triangle_graph):
+        result = enumerate_maximal_cliques(triangle_graph, 3, 0.5, limit=99)
+        assert len(result.cliques) == 1
+
+    def test_muc_limit(self):
+        g = random_uncertain_graph(6, 12, 0.5)
+        capped = muc(g, 2, 0.4, limit=2)
+        assert len(capped.cliques) == 2
+
+    def test_limit_validation(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            enumerate_maximal_cliques(triangle_graph, 2, 0.5, limit=0)
+        with pytest.raises(ParameterError):
+            muc(triangle_graph, 2, 0.5, limit=-1)
+
+    def test_existence_probe(self):
+        """limit=1 is a cheap 'does any (k, η)-clique exist' probe."""
+        g = load_dataset("soflow")
+        probe = enumerate_maximal_cliques(g, 8, 0.1, "pmuc+", limit=1)
+        assert len(probe.cliques) == 1
+        assert probe.stats.calls < 200
+
+    def test_pivot_enumerator_limit_kwarg(self, two_communities):
+        result = PivotEnumerator(two_communities, 3, 0.5, limit=1).run()
+        assert len(result.cliques) == 1
+
+
+class TestTrussDecomposition:
+    def test_consistent_with_peeling(self):
+        g = random_uncertain_graph(9, 12, 0.6)
+        gamma = 0.2
+        levels = truss_decomposition(g, gamma)
+        top = max(levels.values(), default=2)
+        for k in range(2, top + 1):
+            truss = k_gamma_truss(g, k, gamma)
+            expected = {
+                normalize_edge(u, v) for u, v, _p in truss.edges()
+            }
+            by_level = {e for e, lvl in levels.items() if lvl >= k}
+            assert by_level == expected, k
+
+    def test_triangle_graph_levels(self, triangle_graph):
+        levels = truss_decomposition(triangle_graph, 0.5)
+        assert set(levels.values()) == {3}
+
+    def test_gamma_validation(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            truss_decomposition(triangle_graph, 1.5)
+
+
+class TestReport:
+    ROWS = [
+        {"dataset": "d", "sweep": "k", "k": 4, "eta": 0.1,
+         "algorithm": "muc", "seconds": 1.0, "cliques": 5, "calls": 1000},
+        {"dataset": "d", "sweep": "k", "k": 4, "eta": 0.1,
+         "algorithm": "pmuc+", "seconds": 0.25, "cliques": 5, "calls": 100},
+    ]
+
+    def test_markdown_table(self):
+        text = markdown_table(self.ROWS)
+        assert text.startswith("| dataset |")
+        assert "| muc |" in text and "|---|" in text
+
+    def test_markdown_escapes_pipes(self):
+        text = markdown_table([{"a": "x|y"}])
+        assert "x\\|y" in text
+
+    def test_empty_table(self):
+        assert "no rows" in markdown_table([])
+
+    def test_speedup_summary(self):
+        summary = speedup_summary(self.ROWS)
+        assert summary == [
+            {"dataset": "d", "sweep": "k", "k": 4, "eta": 0.1,
+             "speedup_time": 4.0, "speedup_calls": 10.0}
+        ]
+
+    def test_speedup_skips_unpaired(self):
+        assert speedup_summary(self.ROWS[:1]) == []
+
+    def test_render_report_structure(self):
+        report = render_report(
+            {"fig3": {"title": "Fig. 3", "rows": self.ROWS}},
+            title="Test run",
+            preamble="seed 0",
+        )
+        assert report.startswith("# Test run")
+        assert "## Fig. 3" in report
+        assert "PMUC+ speedup over MUC" in report
+
+    def test_report_round_trip_via_json(self, tmp_path):
+        """The CLI --json dump feeds render_report directly."""
+        import json
+
+        from repro.cli import main
+
+        path = tmp_path / "results.json"
+        assert main(["table2", "--json", str(path)]) == 0
+        sections = json.loads(path.read_text())
+        report = render_report(sections)
+        assert "## Table 2" in report
+        assert "PMUCE" in report

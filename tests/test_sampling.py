@@ -1,0 +1,193 @@
+"""Monte-Carlo estimators, stratified sampling, and reliability."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ParameterError
+from repro.sampling import (
+    Estimate,
+    clique_reliability,
+    estimate,
+    estimate_clique_indicator,
+    exact_reliability,
+    reliability,
+    sample_edge_matrix,
+    stratified_estimate,
+)
+from repro.uncertain import UncertainGraph, clique_probability
+from tests.conftest import random_uncertain_graph
+
+
+class TestEstimate:
+    def test_indicator_convergence(self, triangle_graph):
+        result = estimate(
+            triangle_graph,
+            lambda w: 1.0 if w.is_clique([0, 1, 2]) else 0.0,
+            samples=4000,
+            seed=1,
+        )
+        assert result.value == pytest.approx(0.9**3, abs=0.03)
+        assert 0.9**3 in result
+
+    def test_interval_shrinks_with_samples(self, triangle_graph):
+        small = estimate(triangle_graph, lambda w: 1.0, samples=100)
+        large = estimate(triangle_graph, lambda w: 1.0, samples=10000)
+        assert large.half_width < small.half_width
+
+    def test_bounds_enforced(self, triangle_graph):
+        with pytest.raises(ParameterError, match="outside"):
+            estimate(triangle_graph, lambda w: 5.0, samples=3)
+
+    def test_custom_bounds(self, triangle_graph):
+        result = estimate(
+            triangle_graph,
+            lambda w: float(w.num_edges),
+            samples=2000,
+            seed=0,
+            bounded=(0.0, 3.0),
+        )
+        assert result.value == pytest.approx(2.7, abs=0.15)
+
+    def test_parameter_validation(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            estimate(triangle_graph, lambda w: 0.0, samples=0)
+        with pytest.raises(ParameterError):
+            estimate(triangle_graph, lambda w: 0.0, confidence=1.0)
+        with pytest.raises(ParameterError):
+            estimate(triangle_graph, lambda w: 0.0, bounded=(1.0, 1.0))
+
+    def test_estimate_container(self):
+        e = Estimate(0.5, 0.4, 0.6, 100)
+        assert e.half_width == pytest.approx(0.1)
+        assert 0.45 in e and 0.7 not in e
+
+
+class TestEdgeMatrix:
+    def test_shape(self, triangle_graph):
+        matrix, edges = sample_edge_matrix(triangle_graph, 50, seed=0)
+        assert matrix.shape == (50, 3)
+        assert len(edges) == 3
+
+    def test_deterministic_by_seed(self, triangle_graph):
+        a, _ = sample_edge_matrix(triangle_graph, 20, seed=5)
+        b, _ = sample_edge_matrix(triangle_graph, 20, seed=5)
+        assert (a == b).all()
+
+    def test_marginals(self):
+        g = UncertainGraph([(0, 1, 0.2), (1, 2, 0.8)])
+        matrix, edges = sample_edge_matrix(g, 20000, seed=1)
+        rates = matrix.mean(axis=0)
+        by_edge = dict(zip(edges, rates))
+        for (u, v), rate in by_edge.items():
+            assert rate == pytest.approx(float(g.probability(u, v)), abs=0.02)
+
+    def test_validation(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            sample_edge_matrix(triangle_graph, 0)
+
+    def test_clique_indicator_close_to_eq2(self):
+        g = random_uncertain_graph(4, 6, 0.7)
+        members = [0, 1, 2]
+        result = estimate_clique_indicator(g, members, samples=20000, seed=2)
+        assert result.value == pytest.approx(
+            float(clique_probability(g, members)), abs=0.02
+        )
+
+
+class TestStratified:
+    def test_unbiased_on_indicator(self, triangle_graph):
+        truth = 0.9**3
+        result = stratified_estimate(
+            triangle_graph,
+            lambda w: 1.0 if w.is_clique([0, 1, 2]) else 0.0,
+            samples=4000,
+            pivot_edges=2,
+            seed=3,
+        )
+        assert result.value == pytest.approx(truth, abs=0.03)
+
+    def test_explicit_pivots(self, triangle_graph):
+        result = stratified_estimate(
+            triangle_graph,
+            lambda w: 1.0 if w.has_edge(0, 1) else 0.0,
+            samples=64,
+            pivots=[(0, 1)],
+            seed=0,
+        )
+        # Conditioning on the queried edge makes the estimate exact.
+        assert result.value == pytest.approx(0.9)
+
+    def test_invalid_pivot(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            stratified_estimate(
+                triangle_graph, lambda w: 0.0, pivots=[(0, 99)]
+            )
+
+    def test_needs_pivots(self):
+        g = UncertainGraph()
+        g.add_vertex(0)
+        with pytest.raises(ParameterError):
+            stratified_estimate(g, lambda w: 0.0)
+
+    def test_lower_error_than_naive_on_skewed_query(self):
+        """With the decisive edge as pivot, the stratified estimator's
+        error on a fixed budget beats naive sampling on average."""
+        g = UncertainGraph([(0, 1, 0.5), (1, 2, 0.95), (0, 2, 0.95)])
+        truth = float(clique_probability(g, [0, 1, 2]))
+
+        def query(world):
+            return 1.0 if world.is_clique([0, 1, 2]) else 0.0
+
+        naive_err = strat_err = 0.0
+        trials = 30
+        for trial in range(trials):
+            naive_err += abs(estimate(g, query, samples=60, seed=trial).value - truth)
+            strat_err += abs(
+                stratified_estimate(
+                    g, query, samples=60, pivots=[(0, 1)], seed=trial
+                ).value
+                - truth
+            )
+        assert strat_err < naive_err
+
+
+class TestReliability:
+    def test_exact_single_edge(self):
+        g = UncertainGraph([(0, 1, 0.3)])
+        assert exact_reliability(g, 0, 1) == pytest.approx(0.3)
+
+    def test_exact_two_paths(self):
+        g = UncertainGraph([(0, 1, 0.5), (1, 2, 0.5), (0, 2, 0.5)])
+        # direct edge or the two-hop path: 0.5 + 0.5*0.25 = 0.625
+        assert exact_reliability(g, 0, 2) == pytest.approx(0.625)
+
+    def test_same_vertex(self):
+        g = UncertainGraph([(0, 1, 0.5)])
+        assert exact_reliability(g, 0, 0) == pytest.approx(1.0)
+
+    def test_estimate_matches_exact(self):
+        g = random_uncertain_graph(6, 6, 0.5)
+        if g.num_edges > 14:
+            g = g.subgraph(list(range(5)))
+        truth = exact_reliability(g, 0, 1)
+        for stratified in (False, True):
+            result = reliability(
+                g, 0, 1, samples=4000, seed=7, stratified=stratified
+            )
+            assert result.value == pytest.approx(truth, abs=0.04)
+
+    def test_unknown_vertices(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            reliability(triangle_graph, 0, 99)
+        with pytest.raises(ParameterError):
+            exact_reliability(triangle_graph, 99, 0)
+
+    def test_clique_reliability_at_least_clique_probability(self):
+        g = random_uncertain_graph(8, 7, 0.7)
+        members = [0, 1, 2]
+        result = clique_reliability(g, members, samples=4000, seed=0)
+        assert result.value >= float(clique_probability(g, members)) - 0.03
+
+    def test_clique_reliability_unknown_vertex(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            clique_reliability(triangle_graph, [0, 99])

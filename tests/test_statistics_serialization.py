@@ -1,0 +1,133 @@
+"""Graph statistics and JSON serialization."""
+
+import math
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.uncertain import (
+    UncertainGraph,
+    edge_entropy,
+    expected_degree,
+    expected_num_edges,
+    expected_num_triangles,
+    from_json,
+    load_json,
+    probability_histogram,
+    read_metadata,
+    sample_worlds,
+    save_json,
+    summarize,
+    to_json,
+)
+from tests.conftest import random_uncertain_graph
+
+
+class TestExpectations:
+    def test_expected_degree(self, triangle_graph):
+        assert expected_degree(triangle_graph, 0) == pytest.approx(1.8)
+
+    def test_expected_num_edges(self, triangle_graph):
+        assert expected_num_edges(triangle_graph) == pytest.approx(2.7)
+
+    def test_expected_triangles_formula(self, triangle_graph):
+        assert expected_num_triangles(triangle_graph) == pytest.approx(0.9**3)
+
+    def test_expected_values_match_sampling(self):
+        g = random_uncertain_graph(1, 8, 0.6)
+        n_samples = 3000
+        edge_sum = tri_sum = 0
+        for world in sample_worlds(g, n_samples, seed=4):
+            edge_sum += world.num_edges
+            from repro.deterministic import count_triangles
+
+            tri_sum += count_triangles(world)
+        assert edge_sum / n_samples == pytest.approx(
+            expected_num_edges(g), rel=0.05
+        )
+        assert tri_sum / n_samples == pytest.approx(
+            expected_num_triangles(g), rel=0.25, abs=0.3
+        )
+
+    def test_entropy_zero_for_deterministic(self):
+        g = UncertainGraph([(0, 1, 1.0)])
+        assert edge_entropy(g) == 0.0
+
+    def test_entropy_maximal_at_half(self):
+        g = UncertainGraph([(0, 1, 0.5)])
+        assert edge_entropy(g) == pytest.approx(1.0)
+
+    def test_histogram(self):
+        g = UncertainGraph([(0, 1, 0.05), (1, 2, 0.55), (0, 2, 1.0)])
+        counts = probability_histogram(g, bins=10)
+        assert counts[0] == 1 and counts[5] == 1 and counts[9] == 1
+        assert sum(counts) == 3
+
+    def test_histogram_validation(self, triangle_graph):
+        with pytest.raises(ValueError):
+            probability_histogram(triangle_graph, bins=0)
+
+    def test_summarize_row(self, two_communities):
+        summary = summarize(two_communities)
+        row = summary.as_row()
+        assert row["|V|"] == 7
+        assert row["mean_p"] > 0.5
+        assert summary.degeneracy == 3
+
+    def test_summarize_empty(self):
+        summary = summarize(UncertainGraph())
+        assert summary.mean_probability == 0.0
+
+
+class TestJson:
+    def test_round_trip(self):
+        g = random_uncertain_graph(2, 9, 0.5)
+        again = from_json(to_json(g))
+        assert sorted(again.vertices(), key=repr) == sorted(
+            g.vertices(), key=repr
+        )
+        assert sorted(again.edges()) == sorted(g.edges())
+
+    def test_isolated_vertices_preserved(self):
+        g = UncertainGraph([(0, 1, 0.5)])
+        g.add_vertex(9)
+        assert 9 in from_json(to_json(g))
+
+    def test_metadata_round_trip(self, triangle_graph):
+        text = to_json(triangle_graph, metadata={"source": "unit-test", "k": 3})
+        assert read_metadata(text) == {"source": "unit-test", "k": 3}
+
+    def test_string_vertices(self):
+        g = UncertainGraph([("a", "b", 0.7)])
+        assert from_json(to_json(g)).has_edge("a", "b")
+
+    def test_invalid_json(self):
+        with pytest.raises(DatasetError, match="invalid JSON"):
+            from_json("{nope")
+
+    def test_wrong_format_marker(self):
+        with pytest.raises(DatasetError, match="format"):
+            from_json('{"format": "other", "version": 1}')
+
+    def test_wrong_version(self):
+        with pytest.raises(DatasetError, match="version"):
+            from_json('{"format": "repro-uncertain-graph", "version": 99}')
+
+    def test_malformed_edge(self):
+        text = (
+            '{"format": "repro-uncertain-graph", "version": 1, '
+            '"vertices": [], "edges": [[1, 2]]}'
+        )
+        with pytest.raises(DatasetError, match="edge entry"):
+            from_json(text)
+
+    def test_non_object_root(self):
+        with pytest.raises(DatasetError, match="root"):
+            from_json("[1, 2]")
+
+    def test_file_round_trip(self, tmp_path, triangle_graph):
+        path = tmp_path / "graph.json"
+        save_json(triangle_graph, path, metadata={"note": "x"})
+        again = load_json(path)
+        assert again.num_edges == 3
+        assert again.probability(0, 1) == 0.9

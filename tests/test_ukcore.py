@@ -1,0 +1,117 @@
+"""UKCore baseline: Bernoulli tail DP, η-degree, and (k, η)-core peeling."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ParameterError
+from repro.baselines import (
+    core_community,
+    eta_degree,
+    k_eta_core,
+    k_eta_core_vertices,
+    tail_distribution,
+)
+from repro.uncertain import UncertainGraph
+from tests.conftest import random_uncertain_graph
+
+
+def naive_tail(probs, k):
+    """Pr[at least k successes] by full outcome enumeration."""
+    import itertools
+
+    total = 0.0
+    for outcome in itertools.product([0, 1], repeat=len(probs)):
+        if sum(outcome) >= k:
+            mass = 1.0
+            for bit, p in zip(outcome, probs):
+                mass *= p if bit else (1 - p)
+            total += mass
+    return total
+
+
+class TestTailDistribution:
+    def test_empty(self):
+        assert tail_distribution([]) == [1.0]
+
+    def test_single_edge(self):
+        tail = tail_distribution([0.3])
+        assert tail[0] == pytest.approx(1.0)
+        assert tail[1] == pytest.approx(0.3)
+
+    def test_monotone_decreasing(self):
+        tail = tail_distribution([0.2, 0.5, 0.9])
+        assert all(a >= b - 1e-12 for a, b in zip(tail, tail[1:]))
+
+    @given(st.lists(st.sampled_from([0.1, 0.4, 0.7, 1.0]), min_size=1, max_size=7))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_enumeration(self, probs):
+        tail = tail_distribution(probs)
+        for k in range(len(probs) + 1):
+            assert tail[k] == pytest.approx(naive_tail(probs, k), abs=1e-10)
+
+
+class TestEtaDegree:
+    def test_certain_edges(self):
+        g = UncertainGraph([(0, 1, 1.0), (0, 2, 1.0)])
+        assert eta_degree(g, 0, 0.9) == 2
+
+    def test_threshold_behaviour(self):
+        g = UncertainGraph([(0, 1, 0.5), (0, 2, 0.5)])
+        # Pr[deg >= 1] = 0.75, Pr[deg >= 2] = 0.25.
+        assert eta_degree(g, 0, 0.7) == 1
+        assert eta_degree(g, 0, 0.2) == 2
+        assert eta_degree(g, 0, 0.8) == 0
+
+    def test_eta_validation(self):
+        g = UncertainGraph([(0, 1, 0.5)])
+        with pytest.raises(ParameterError):
+            eta_degree(g, 0, -0.1)
+
+
+class TestKEtaCore:
+    def test_strong_clique_survives(self, two_communities):
+        core = k_eta_core(two_communities, 2, 0.5)
+        assert set(core.vertices()) == set(range(7))
+
+    def test_weak_pendant_peeled(self):
+        g = UncertainGraph(
+            [(0, 1, 0.95), (1, 2, 0.95), (0, 2, 0.95), (2, 3, 0.2)]
+        )
+        core = k_eta_core(g, 2, 0.5)
+        assert 3 not in core
+
+    def test_core_condition_holds_internally(self):
+        for seed in range(5):
+            g = random_uncertain_graph(seed + 40, 14, 0.4)
+            core = k_eta_core(g, 2, 0.3)
+            work = core
+            for v in work.vertices():
+                assert eta_degree(work, v, 0.3) >= 2
+
+    def test_negative_k_rejected(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            k_eta_core_vertices(triangle_graph, -1, 0.5)
+
+    def test_k0_keeps_everything(self, triangle_graph):
+        assert k_eta_core_vertices(triangle_graph, 0, 0.5) == {0, 1, 2}
+
+
+class TestCoreCommunity:
+    def test_query_component(self, two_communities):
+        community = core_community(two_communities, 0, 2, 0.5)
+        assert 0 in community and len(community) >= 4
+
+    def test_peeled_query_gives_empty(self):
+        g = UncertainGraph([(0, 1, 0.95), (1, 2, 0.95), (0, 2, 0.95), (2, 3, 0.1)])
+        assert core_community(g, 3, 2, 0.5) == frozenset()
+
+    def test_disconnected_components_separated(self):
+        g = UncertainGraph()
+        for base in (0, 10):
+            for i in range(3):
+                for j in range(i + 1, 3):
+                    g.add_edge(base + i, base + j, 0.9)
+        community = core_community(g, 0, 2, 0.5)
+        assert community == frozenset({0, 1, 2})

@@ -1,0 +1,162 @@
+"""UKTruss, USCAN-style clustering, and PCluster baselines."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.baselines import (
+    edge_support_probability,
+    k_gamma_truss,
+    pkwik_cluster,
+    structural_similarity,
+    truss_community,
+    uscan,
+)
+from repro.uncertain import UncertainGraph, sample_worlds
+from tests.conftest import random_uncertain_graph
+
+
+class TestEdgeSupportProbability:
+    def test_support_zero_is_edge_probability(self, triangle_graph):
+        assert edge_support_probability(triangle_graph, 0, 1, 0) == pytest.approx(0.9)
+
+    def test_one_triangle(self, triangle_graph):
+        # p_e * p(0,2) * p(1,2) = 0.9^3
+        assert edge_support_probability(triangle_graph, 0, 1, 1) == pytest.approx(
+            0.9**3
+        )
+
+    def test_more_support_than_triangles_is_zero(self, triangle_graph):
+        assert edge_support_probability(triangle_graph, 0, 1, 2) == 0.0
+
+    def test_non_edge_rejected(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            edge_support_probability(triangle_graph, 0, 99, 1)
+
+    def test_negative_support_rejected(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            edge_support_probability(triangle_graph, 0, 1, -1)
+
+    def test_matches_monte_carlo(self):
+        g = random_uncertain_graph(5, 7, 0.7)
+        edges = list(g.edges())
+        u, v, _p = edges[0]
+        support = 1
+        exact = edge_support_probability(g, u, v, support)
+        hits = 0
+        n_samples = 4000
+        for world in sample_worlds(g, n_samples, seed=9):
+            if not world.has_edge(u, v):
+                continue
+            triangles = sum(
+                1
+                for w in world.neighbors(u)
+                if w in world.neighbors(v)
+            )
+            if triangles >= support:
+                hits += 1
+        assert hits / n_samples == pytest.approx(exact, abs=0.03)
+
+
+class TestKGammaTruss:
+    def test_triangle_survives(self, triangle_graph):
+        truss = k_gamma_truss(triangle_graph, 3, 0.5)
+        assert truss.num_edges == 3
+
+    def test_triangle_peeled_at_high_gamma(self, triangle_graph):
+        truss = k_gamma_truss(triangle_graph, 3, 0.8)
+        assert truss.num_edges == 0
+
+    def test_pendant_edge_removed(self):
+        g = UncertainGraph(
+            [(0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.9), (2, 3, 0.9)]
+        )
+        truss = k_gamma_truss(g, 3, 0.5)
+        assert not truss.has_edge(2, 3)
+        assert truss.has_edge(0, 1)
+
+    def test_truss_condition_holds_internally(self):
+        for seed in range(4):
+            g = random_uncertain_graph(seed + 60, 12, 0.6)
+            truss = k_gamma_truss(g, 3, 0.2)
+            for u, v, _p in truss.edges():
+                assert edge_support_probability(truss, u, v, 1) >= 0.2
+
+    def test_parameter_validation(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            k_gamma_truss(triangle_graph, 1, 0.5)
+        with pytest.raises(ParameterError):
+            k_gamma_truss(triangle_graph, 3, 1.5)
+
+    def test_truss_community(self, two_communities):
+        community = truss_community(two_communities, 0, 3, 0.3)
+        assert 0 in community
+        missing = truss_community(two_communities, 0, 3, 0.99)
+        assert missing == frozenset()
+
+
+class TestStructuralSimilarity:
+    def test_symmetric(self, two_communities):
+        for u, v, _p in two_communities.edges():
+            assert structural_similarity(
+                two_communities, u, v
+            ) == pytest.approx(structural_similarity(two_communities, v, u))
+
+    def test_bounded(self):
+        g = random_uncertain_graph(2, 12, 0.5)
+        for u, v, _p in g.edges():
+            sim = structural_similarity(g, u, v)
+            assert 0 <= sim <= 1.0 + 1e-9
+
+    def test_identical_neighborhoods_high_similarity(self):
+        g = UncertainGraph(
+            [(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)]
+        )
+        assert structural_similarity(g, 0, 1) == pytest.approx(1.0)
+
+
+class TestUscan:
+    def test_clusters_two_communities(self, two_communities):
+        clusters = uscan(two_communities, epsilon=0.5, mu=3)
+        assert clusters
+        covered = set().union(*clusters)
+        assert covered <= set(range(7))
+
+    def test_parameter_validation(self, two_communities):
+        with pytest.raises(ParameterError):
+            uscan(two_communities, epsilon=0)
+        with pytest.raises(ParameterError):
+            uscan(two_communities, mu=0)
+
+    def test_no_clusters_on_sparse_graph(self):
+        g = UncertainGraph([(0, 1, 0.1), (2, 3, 0.1)])
+        assert uscan(g, epsilon=0.9, mu=3) == []
+
+
+class TestPkwikCluster:
+    def test_partitions_vertices(self):
+        g = random_uncertain_graph(3, 20, 0.3)
+        clusters = pkwik_cluster(g, seed=1)
+        flat = [v for c in clusters for v in c]
+        assert sorted(flat) == sorted(g.vertices())
+
+    def test_deterministic_by_seed(self):
+        g = random_uncertain_graph(4, 15, 0.4)
+        a = pkwik_cluster(g, seed=5)
+        b = pkwik_cluster(g, seed=5)
+        assert a == b
+
+    def test_majority_threshold_respected(self):
+        g = UncertainGraph([(0, 1, 0.9), (1, 2, 0.1)])
+        clusters = pkwik_cluster(g, threshold=0.5, seed=0)
+        for cluster in clusters:
+            if 0 in cluster and 1 in cluster:
+                break
+        else:
+            pytest.fail("strong edge (0,1) should be clustered together "
+                        "whenever 0 or 1 is chosen as pivot first")
+
+    def test_threshold_validation(self, triangle_graph):
+        with pytest.raises(ParameterError):
+            pkwik_cluster(triangle_graph, threshold=0)

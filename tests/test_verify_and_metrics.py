@@ -1,0 +1,107 @@
+"""The result verifier and the extended clustering metrics."""
+
+import pytest
+
+from repro.applications import complex_recovery, score_clusters
+from repro.core import enumerate_maximal_cliques, verify_enumeration
+from repro.datasets import generate_ppi_network
+from repro.uncertain import UncertainGraph
+from tests.conftest import random_uncertain_graph
+
+
+@pytest.fixture(scope="module")
+def ppi():
+    return generate_ppi_network(seed=0)
+
+
+class TestVerifier:
+    def test_accepts_correct_output(self):
+        g = random_uncertain_graph(4, 12, 0.5)
+        result = enumerate_maximal_cliques(g, 2, 0.4)
+        report = verify_enumeration(g, 2, 0.4, result.cliques)
+        assert report.ok
+        assert report.summary().startswith("OK")
+        assert report.checked == len(result.cliques)
+
+    def test_detects_below_eta(self, triangle_graph):
+        report = verify_enumeration(triangle_graph, 3, 0.99, [[0, 1, 2]])
+        assert not report.ok
+        assert report.not_eta_cliques == [frozenset({0, 1, 2})]
+
+    def test_detects_too_small(self, triangle_graph):
+        report = verify_enumeration(triangle_graph, 4, 0.5, [[0, 1, 2]])
+        assert report.too_small == [frozenset({0, 1, 2})]
+
+    def test_detects_non_maximal(self, triangle_graph):
+        report = verify_enumeration(triangle_graph, 2, 0.5, [[0, 1]])
+        assert report.not_maximal == [frozenset({0, 1})]
+        assert "non-maximal" in report.summary()
+
+    def test_detects_duplicates(self, triangle_graph):
+        report = verify_enumeration(
+            triangle_graph, 3, 0.5, [[0, 1, 2], [2, 1, 0]]
+        )
+        assert report.duplicates == [frozenset({0, 1, 2})]
+
+    def test_detects_nested_pairs(self):
+        g = UncertainGraph([(0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.9), (2, 3, 0.9)])
+        report = verify_enumeration(g, 2, 0.5, [[0, 1], [0, 1, 2]])
+        assert report.nested == [(frozenset({0, 1}), frozenset({0, 1, 2}))]
+
+    def test_cross_check_finds_missing(self, two_communities):
+        full = enumerate_maximal_cliques(two_communities, 3, 0.5).cliques
+        report = verify_enumeration(
+            two_communities, 3, 0.5, full[:1], cross_check="muc"
+        )
+        assert report.missing and not report.spurious
+        assert not report.ok
+
+    def test_cross_check_clean(self, two_communities):
+        full = enumerate_maximal_cliques(two_communities, 3, 0.5).cliques
+        report = verify_enumeration(
+            two_communities, 3, 0.5, full, cross_check="muc"
+        )
+        assert report.ok and report.missing == [] and report.spurious == []
+
+
+class TestExtendedMetrics:
+    def test_recall_and_f1(self, ppi):
+        perfect = [sorted(c) for c in ppi.complexes]
+        report = score_clusters("oracle", perfect, ppi)
+        assert report.recall == 1.0
+        assert report.f1 == 1.0
+        assert report.as_extended_row()["Recall"] == 1.0
+
+    def test_partial_recall(self, ppi):
+        half = [sorted(c) for c in ppi.complexes[: len(ppi.complexes) // 2]]
+        report = score_clusters("half", half, ppi)
+        assert 0 < report.recall < 1
+        assert 0 < report.f1 < 1
+
+    def test_zero_denominators(self):
+        from repro.applications import PrecisionReport
+
+        empty = PrecisionReport("x", 0, 0, 0, 0)
+        assert empty.recall == 0.0 and empty.f1 == 0.0
+
+    def test_complex_recovery_perfect(self, ppi):
+        perfect = [set(c) for c in ppi.complexes]
+        assert complex_recovery(perfect, ppi) == 1.0
+
+    def test_complex_recovery_partial_overlap(self, ppi):
+        # Clusters missing one member still pass at overlap = 0.5.
+        clipped = [sorted(c)[:-1] for c in ppi.complexes]
+        rate = complex_recovery(clipped, ppi, overlap=0.5)
+        assert rate == 1.0
+        strict = complex_recovery(clipped, ppi, overlap=0.95)
+        assert strict < 1.0
+
+    def test_complex_recovery_validation(self, ppi):
+        with pytest.raises(ValueError):
+            complex_recovery([], ppi, overlap=0)
+
+    def test_cliques_recover_most_complexes(self, ppi):
+        from repro.applications import ppi_cluster_with_cliques
+
+        clusters = ppi_cluster_with_cliques(ppi.graph, 5, 0.1)
+        assert complex_recovery(clusters, ppi, overlap=0.4) > 0.6

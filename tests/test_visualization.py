@@ -1,0 +1,56 @@
+"""GraphViz DOT export."""
+
+from repro.applications import community_to_dot, to_dot
+from repro.uncertain import UncertainGraph
+
+
+class TestToDot:
+    def test_basic_structure(self, triangle_graph):
+        dot = to_dot(triangle_graph)
+        assert dot.startswith('graph "uncertain" {')
+        assert dot.rstrip().endswith("}")
+        assert dot.count("--") == 3
+        assert '"0" -- "1"' in dot
+
+    def test_probability_labels_and_width(self, triangle_graph):
+        dot = to_dot(triangle_graph)
+        assert 'label="0.90"' in dot
+        assert "penwidth=2.70" in dot
+
+    def test_highlight_groups_colored(self, two_communities):
+        dot = to_dot(two_communities, highlights=[[0, 1, 2, 3], [4, 5, 6]])
+        assert "lightblue" in dot
+        assert "lightgoldenrod" in dot
+        assert "style=bold" in dot
+
+    def test_min_probability_filters_edges(self, two_communities):
+        dot = to_dot(two_communities, min_probability=0.5)
+        # the weak 0.2 bridge (0, 6) is omitted
+        assert '"0" -- "6"' not in dot
+
+    def test_labels_override(self):
+        g = UncertainGraph([(0, 1, 0.5)])
+        dot = to_dot(g, labels={0: "alice"})
+        assert 'label="alice"' in dot
+
+    def test_quoting(self):
+        g = UncertainGraph([('he said "hi"', "b", 0.5)])
+        dot = to_dot(g)
+        assert '\\"hi\\"' in dot
+
+    def test_isolated_vertices_rendered(self):
+        g = UncertainGraph([(0, 1, 0.5)])
+        g.add_vertex(9)
+        assert '"9"' in to_dot(g)
+
+
+class TestCommunityToDot:
+    def test_query_double_circle(self, two_communities):
+        dot = community_to_dot(two_communities, [0, 1, 2, 3], query=0)
+        assert '"0" [peripheries=2];' in dot
+        # vertices outside the community never appear
+        assert '"5"' not in dot
+
+    def test_query_outside_community_ignored(self, two_communities):
+        dot = community_to_dot(two_communities, [0, 1, 2], query=6)
+        assert "peripheries" not in dot
