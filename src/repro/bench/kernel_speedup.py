@@ -1,0 +1,316 @@
+"""Dict-vs-kernel backend speedup benchmark (perf trajectory artifact).
+
+Produces ``BENCH_pr1.json``: wall-clock comparisons of the two
+:class:`~repro.core.config.PivotConfig` backends on fixed synthetic
+workloads, in a stable schema future PRs can extend with further
+trajectory points.
+
+Measurement protocol — the numbers are CPU-noise-hardened:
+
+* ``time.process_time`` (CPU time, immune to scheduler gaps);
+* garbage collection disabled around each timed run;
+* a streaming no-op sink so clique storage never enters the timing;
+* backends run in **interleaved rounds with alternating order**, so
+  drifting machine load hits both backends symmetrically;
+* per-round **paired ratios** plus best-of-N per backend, since a
+  single noisy round should not define the trajectory.
+
+Every workload is also parity-checked (identical clique sets and
+identical :class:`~repro.core.stats.SearchStats`) in an untimed pass,
+so a recorded speedup can never come from diverging search trees.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.kernel_speedup --out BENCH_pr1.json
+    PYTHONPATH=src python -m repro.bench.kernel_speedup --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import statistics
+import time
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.bench.harness import format_table
+from repro.core.config import PMUC_PLUS_CONFIG
+from repro.core.pmuc import PivotEnumerator
+from repro.datasets.random_graphs import planted_communities_weighted
+from repro.datasets.registry import uncertain_from_weights
+from repro.uncertain.graph import UncertainGraph
+
+SCHEMA_VERSION = 1
+SPEEDUP_TARGET = 2.0
+
+#: Fixed workloads.  ``params`` feed ``planted_communities_weighted``
+#: verbatim, so the graphs are reproducible from the JSON alone.
+WORKLOADS = (
+    {
+        "name": "communities-300",
+        "params": {
+            "n": 300,
+            "communities": 18,
+            "community_size": 24,
+            "overlap": 8,
+            "p_in": 0.92,
+            "p_out_edges": 500,
+            "seed": 7,
+        },
+        "k": 8,
+        "eta": 0.05,
+    },
+    {
+        "name": "blob-130",
+        "params": {
+            "n": 130,
+            "communities": 1,
+            "community_size": 130,
+            "overlap": 0,
+            "p_in": 0.55,
+            "p_out_edges": 0,
+            "seed": 3,
+        },
+        "k": 5,
+        "eta": 0.3,
+    },
+    {
+        "name": "communities-150",
+        "params": {
+            "n": 150,
+            "communities": 9,
+            "community_size": 24,
+            "overlap": 8,
+            "p_in": 0.92,
+            "p_out_edges": 250,
+            "seed": 7,
+        },
+        "k": 8,
+        "eta": 0.05,
+    },
+    {
+        "name": "communities-100",
+        "params": {
+            "n": 100,
+            "communities": 6,
+            "community_size": 20,
+            "overlap": 6,
+            "p_in": 0.9,
+            "p_out_edges": 150,
+            "seed": 7,
+        },
+        "k": 7,
+        "eta": 0.05,
+    },
+)
+
+#: The quick (CI smoke) subset must finish well under a minute.
+QUICK_NAMES = ("communities-100",)
+
+
+def build_graph(params: Dict[str, object]) -> UncertainGraph:
+    """Materialise a workload graph from its generator parameters."""
+    weights = planted_communities_weighted(**params)  # type: ignore[arg-type]
+    return uncertain_from_weights(weights)
+
+
+def timed_run(
+    graph: UncertainGraph, k: int, eta: float, backend: str
+) -> float:
+    """One timed enumeration; returns CPU seconds."""
+    config = replace(PMUC_PLUS_CONFIG, backend=backend)
+    enumerator = PivotEnumerator(
+        graph, k=k, eta=eta, config=config, on_clique=lambda _c: None
+    )
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.process_time()
+        enumerator.run()
+        return time.process_time() - start
+    finally:
+        gc.enable()
+
+
+def parity_check(
+    graph: UncertainGraph, k: int, eta: float
+) -> Dict[str, object]:
+    """Untimed dict-vs-kernel run recording clique/stats equality."""
+    results = {}
+    for backend in ("dict", "kernel"):
+        config = replace(PMUC_PLUS_CONFIG, backend=backend)
+        results[backend] = PivotEnumerator(
+            graph, k=k, eta=eta, config=config
+        ).run()
+    return {
+        "cliques_equal": set(results["dict"].cliques)
+        == set(results["kernel"].cliques),
+        "stats_equal": results["dict"].stats.__dict__
+        == results["kernel"].stats.__dict__,
+        "outputs": results["dict"].stats.outputs,
+    }
+
+
+def bench_workload(
+    spec: Dict[str, object], rounds: int
+) -> Dict[str, object]:
+    """Benchmark one workload spec; returns its JSON record."""
+    graph = build_graph(spec["params"])  # type: ignore[index]
+    k = spec["k"]
+    eta = spec["eta"]
+    times: Dict[str, List[float]] = {"dict": [], "kernel": []}
+    for rnd in range(rounds):
+        order = ("dict", "kernel") if rnd % 2 == 0 else ("kernel", "dict")
+        for backend in order:
+            times[backend].append(timed_run(graph, k, eta, backend))
+    paired = sorted(
+        d / kt for d, kt in zip(times["dict"], times["kernel"])
+    )
+    parity = parity_check(graph, k, eta)
+    record: Dict[str, object] = {
+        "name": spec["name"],
+        "generator": "planted_communities_weighted",
+        "params": spec["params"],
+        "k": k,
+        "eta": eta,
+        "outputs": parity["outputs"],
+        "rounds_s": {
+            backend: [round(s, 4) for s in series]
+            for backend, series in times.items()
+        },
+        "best_s": {b: round(min(s), 4) for b, s in times.items()},
+        "median_s": {
+            b: round(statistics.median(s), 4) for b, s in times.items()
+        },
+        "paired_ratios": [round(r, 3) for r in paired],
+        "speedup_best": round(
+            min(times["dict"]) / min(times["kernel"]), 3
+        ),
+        "speedup_median": round(statistics.median(paired), 3),
+        "speedup_max": round(paired[-1], 3),
+        "parity": {
+            "cliques_equal": parity["cliques_equal"],
+            "stats_equal": parity["stats_equal"],
+        },
+    }
+    return record
+
+
+def run_benchmark(
+    quick: bool = False, rounds: Optional[int] = None
+) -> Dict[str, object]:
+    """Run the full (or quick) suite; returns the JSON document."""
+    if rounds is None:
+        rounds = 2 if quick else 7
+    names = QUICK_NAMES if quick else tuple(w["name"] for w in WORKLOADS)
+    records = [
+        bench_workload(spec, rounds)
+        for spec in WORKLOADS
+        if spec["name"] in names
+    ]
+    # Headline estimator: best-of-N per backend (timeit-style min —
+    # system noise only ever adds time, so min is the noise-robust
+    # lower-bound estimate of true cost for both backends alike).
+    best = max(r["speedup_best"] for r in records)
+    best_median = max(r["speedup_median"] for r in records)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "kernel-backend-speedup",
+        "pr": 1,
+        "algorithm": "pmuc+",
+        "backends": ["dict", "kernel"],
+        "protocol": {
+            "timer": "process_time",
+            "rounds": rounds,
+            "interleaved_alternating": True,
+            "gc_disabled": True,
+            "sink": "streaming-noop",
+            "quick": quick,
+        },
+        "workloads": records,
+        "summary": {
+            "speedup_target": SPEEDUP_TARGET,
+            "estimator": "best-of-rounds per backend (timeit-style min)",
+            "best_speedup": best,
+            "best_median_speedup": best_median,
+            "target_met": best >= SPEEDUP_TARGET,
+            "parity_ok": all(
+                r["parity"]["cliques_equal"] and r["parity"]["stats_equal"]
+                for r in records
+            ),
+        },
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.kernel_speedup",
+        description="Benchmark the dict vs kernel enumeration backends.",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=None, help="write JSON to PATH"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: smallest workload, 2 rounds, <60s",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=None, help="override round count"
+    )
+    parser.add_argument(
+        "--require",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit non-zero unless best speedup >= X",
+    )
+    args = parser.parse_args(argv)
+    if args.rounds is not None and args.rounds < 1:
+        parser.error("--rounds must be at least 1")
+    document = run_benchmark(quick=args.quick, rounds=args.rounds)
+    rows = [
+        {
+            "workload": r["name"],
+            "k": r["k"],
+            "eta": r["eta"],
+            "cliques": r["outputs"],
+            "dict_best_s": r["best_s"]["dict"],
+            "kernel_best_s": r["best_s"]["kernel"],
+            "speedup_median": r["speedup_median"],
+            "speedup_max": r["speedup_max"],
+            "parity": "ok"
+            if r["parity"]["cliques_equal"] and r["parity"]["stats_equal"]
+            else "MISMATCH",
+        }
+        for r in document["workloads"]
+    ]
+    print(format_table(rows, title="dict vs kernel backend (pmuc+)"))
+    summary = document["summary"]
+    print(
+        f"best speedup: {summary['best_speedup']}x best-of-rounds "
+        f"({summary['best_median_speedup']}x median; "
+        f"target {summary['speedup_target']}x, "
+        f"met={summary['target_met']})"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if not summary["parity_ok"]:
+        print("PARITY MISMATCH between backends")
+        return 1
+    if (
+        args.require is not None
+        and summary["best_speedup"] < args.require
+    ):
+        print(f"speedup below required {args.require}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,7 @@ from repro.core.api import (
     maximum_eta_clique,
 )
 from repro.core.config import (
+    BACKEND_CHOICES,
     KPIVOT_CHOICES,
     MPIVOT_CHOICES,
     ORDERING_CHOICES,
@@ -26,7 +27,7 @@ from repro.core.partition import (
 )
 from repro.core.session import CliqueQuerySession
 from repro.core.verify import VerificationReport, verify_enumeration
-from repro.core.pmuc import PivotEnumerator, pmuc, pmuc_plus
+from repro.core.pmuc import PivotEnumerator, pmuc, pmuc_plus, reduce_graph
 from repro.core.pivot import PivotContext, STRATEGIES, get_strategy
 from repro.core.stats import EnumerationResult, SearchStats
 
@@ -43,6 +44,8 @@ __all__ = [
     "MPIVOT_CHOICES",
     "KPIVOT_CHOICES",
     "REDUCTION_CHOICES",
+    "BACKEND_CHOICES",
+    "reduce_graph",
     "DynamicCliqueIndex",
     "maximum_k_eta_clique",
     "top_r_maximal_cliques",

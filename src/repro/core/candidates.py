@@ -11,6 +11,14 @@ everywhere is::
 ``generate_set`` restricts such a dictionary to the neighbors of a
 newly-added vertex ``v`` and refreshes the ``r`` values, keeping only
 entries that still satisfy the invariant for ``R' = R ∪ {v}``.
+
+This module is the *reference* implementation, generic over vertex
+labels and probability types (including exact ``Fraction``).  The
+kernel backend (``PivotConfig.backend = "kernel"``) inlines the same
+projection over integer-id bitsets — the neighborhood restriction
+becomes one big-int ``&`` and the threshold test a ``-log p`` sum with
+a float-boundary guard — in :mod:`repro.kernel.enumerate`; the two
+must stay decision-for-decision identical (``tests/test_kernel_parity``).
 """
 
 from __future__ import annotations

@@ -17,6 +17,7 @@ PIVOT_CHOICES = ("first", "degree", "color", "hybrid")
 MPIVOT_CHOICES = ("off", "basic", "improved")
 KPIVOT_CHOICES = ("off", "plain", "color")
 REDUCTION_CHOICES = ("off", "core", "triangle")
+BACKEND_CHOICES = ("dict", "kernel")
 
 
 def _require(value: str, choices, name: str) -> None:
@@ -49,6 +50,14 @@ class PivotConfig:
         Pre-enumeration graph reduction (Section 5.2): ``"off"``,
         ``"core"`` ((Top_{k-1}, η)-core) or ``"triangle"``
         ((Top_{k-2}, η)-triangle applied after the core).
+    backend:
+        Execution backend: ``"dict"`` (hashable vertices, arbitrary
+        numeric probabilities, e.g. :class:`~fractions.Fraction`) or
+        ``"kernel"`` (dense int ids + neighbor bitsets, float
+        probabilities only; see :mod:`repro.kernel`).  The kernel
+        backend produces identical clique sets and statistics, and
+        falls back to ``"dict"`` automatically when the graph or
+        ``eta`` is not float-valued.
     """
 
     ordering: str = "topk-core"
@@ -56,6 +65,7 @@ class PivotConfig:
     mpivot: str = "improved"
     kpivot: str = "off"
     reduction: str = "core"
+    backend: str = "dict"
 
     def __post_init__(self) -> None:
         _require(self.ordering, ORDERING_CHOICES, "ordering")
@@ -63,6 +73,7 @@ class PivotConfig:
         _require(self.mpivot, MPIVOT_CHOICES, "mpivot")
         _require(self.kpivot, KPIVOT_CHOICES, "kpivot")
         _require(self.reduction, REDUCTION_CHOICES, "reduction")
+        _require(self.backend, BACKEND_CHOICES, "backend")
 
 
 #: The paper's ``PMUC``: every Section-4 technique, core reduction for a
@@ -76,12 +87,14 @@ PMUC_CONFIG = PivotConfig(
 )
 
 #: The paper's ``PMUC+``: PMUC plus the Section-5 optimizations
-#: (color K-pivot and the (Top_k, η)-triangle reduction).
+#: (color K-pivot and the (Top_k, η)-triangle reduction), running on
+#: the bitset kernel backend (parity-tested against the dict backend).
 PMUC_PLUS_CONFIG = PivotConfig(
     ordering="topk-core",
     pivot="hybrid",
     mpivot="improved",
     kpivot="color",
     reduction="triangle",
+    backend="kernel",
 )
 

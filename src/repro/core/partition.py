@@ -12,20 +12,23 @@ embarrassingly parallel, and this module exploits that:
   independently (useful for incremental/checkpointed jobs, and the
   correctness reference for the parallel path);
 * :func:`enumerate_parallel` — fan the chunks out to a
-  ``multiprocessing`` pool.  Each worker re-runs the (cheap) reduction
-  and ordering; only the cliques travel back.
+  ``multiprocessing`` pool.
 
-Note the ordering/reduction must be identical in every worker, which
-they are because all inputs are deterministic functions of the graph.
+The reduction and the vertex ordering are computed **once** in the
+parent and shipped to every worker along with its chunk: workers no
+longer repeat that preprocessing, and — just as importantly — every
+worker provably uses the *same* ordering.  (Before this, each worker
+recomputed both; any ordering divergence between spawn workers would
+break the one-emitting-seed-per-clique invariant.)
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.exceptions import ParameterError
 from repro.core.config import PMUC_PLUS_CONFIG, PivotConfig
-from repro.core.pmuc import PivotEnumerator
+from repro.core.pmuc import PivotEnumerator, reduce_graph
 from repro.core.stats import EnumerationResult
 from repro.reduction.ordering import vertex_ordering
 from repro.uncertain.graph import UncertainGraph, Vertex
@@ -47,6 +50,30 @@ def seed_partitions(
     return [c for c in chunks if c]
 
 
+def _prepare_jobs(
+    graph: UncertainGraph,
+    k: int,
+    eta,
+    parts: int,
+    config: PivotConfig,
+) -> Tuple[UncertainGraph, List[Vertex], List[List[Vertex]]]:
+    """Reduce and order once; chunk the ordering round-robin.
+
+    Chunking the *reduced* ordering (rather than the full-graph
+    ordering of :func:`seed_partitions`) skips seeds the reduction
+    already eliminated, so no worker burns a slot on a root with no
+    surviving candidates.
+    """
+    if parts < 1:
+        raise ParameterError(f"parts must be positive, got {parts}")
+    reduced = reduce_graph(graph, k, eta, config)
+    order = vertex_ordering(reduced, config.ordering, eta)
+    chunks: List[List[Vertex]] = [[] for _ in range(parts)]
+    for i, v in enumerate(order):
+        chunks[i % parts].append(v)
+    return reduced, list(order), [c for c in chunks if c]
+
+
 def enumerate_partitioned(
     graph: UncertainGraph,
     k: int,
@@ -57,13 +84,16 @@ def enumerate_partitioned(
     """Enumerate by running each seed chunk as an independent job.
 
     The merged result equals a single full run (each clique has one
-    emitting seed); the merged statistics sum the per-chunk counters,
-    so ``calls`` is comparable to — though slightly above — the
-    monolithic run (per-chunk reduction/ordering overheads repeat).
+    emitting seed).  Reduction and ordering happen once up front and
+    are reused by every chunk, so the merged ``calls`` counter matches
+    the monolithic run exactly.
     """
+    reduced, order, chunks = _prepare_jobs(graph, k, eta, parts, config)
     merged = EnumerationResult()
-    for chunk in seed_partitions(graph, parts, eta, config):
-        result = PivotEnumerator(graph, k, eta, config).run(seeds=chunk)
+    for chunk in chunks:
+        result = PivotEnumerator(reduced, k, eta, config).run(
+            seeds=chunk, reduced_graph=reduced, order=order
+        )
         merged.cliques.extend(result.cliques)
         _accumulate(merged, result)
     return merged
@@ -77,17 +107,29 @@ def enumerate_parallel(
     processes: Optional[int] = None,
     config: PivotConfig = PMUC_PLUS_CONFIG,
 ) -> EnumerationResult:
-    """Enumerate with a multiprocessing pool (one task per seed chunk)."""
+    """Enumerate with a multiprocessing pool (one task per seed chunk).
+
+    The parent reduces the graph and fixes the vertex ordering; each
+    worker receives the reduced graph, the shared ordering and its
+    chunk, so per-worker preprocessing is limited to unpickling.
+    """
     import multiprocessing
 
-    chunks = seed_partitions(graph, parts, eta, config)
+    reduced, order, chunks = _prepare_jobs(graph, k, eta, parts, config)
     if len(chunks) <= 1:
-        return enumerate_partitioned(graph, k, eta, parts, config)
+        merged = EnumerationResult()
+        for chunk in chunks:
+            result = PivotEnumerator(reduced, k, eta, config).run(
+                seeds=chunk, reduced_graph=reduced, order=order
+            )
+            merged.cliques.extend(result.cliques)
+            _accumulate(merged, result)
+        return merged
     merged = EnumerationResult()
     with multiprocessing.get_context("spawn").Pool(
         processes=processes or min(len(chunks), multiprocessing.cpu_count())
     ) as pool:
-        jobs = [(graph, k, eta, config, chunk) for chunk in chunks]
+        jobs = [(reduced, k, eta, config, chunk, order) for chunk in chunks]
         for result in pool.map(_run_chunk, jobs):
             merged.cliques.extend(result.cliques)
             _accumulate(merged, result)
@@ -95,8 +137,10 @@ def enumerate_parallel(
 
 
 def _run_chunk(job) -> EnumerationResult:
-    graph, k, eta, config, chunk = job
-    return PivotEnumerator(graph, k, eta, config).run(seeds=chunk)
+    reduced, k, eta, config, chunk, order = job
+    return PivotEnumerator(reduced, k, eta, config).run(
+        seeds=chunk, reduced_graph=reduced, order=order
+    )
 
 
 def _accumulate(merged: EnumerationResult, part: EnumerationResult) -> None:

@@ -13,6 +13,11 @@ a *large* maximum η-clique.  The paper proposes three heuristics:
 All strategies receive a :class:`PivotContext` with the precomputed
 degree/color data and the mutable ``LB`` table the enumerator updates
 as it discovers cliques.
+
+The kernel backend mirrors these strategies over integer ids with
+fused per-vertex key arrays (see ``repro.kernel.enumerate``); any
+change to a strategy's tie-breaking here must be replicated there —
+the parity tests compare the resulting search trees stat-for-stat.
 """
 
 from __future__ import annotations

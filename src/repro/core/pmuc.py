@@ -29,7 +29,7 @@ branch has been explored.
 from __future__ import annotations
 
 import sys
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.exceptions import ParameterError
 from repro.core.candidates import generate_set, initial_candidates
@@ -46,6 +46,26 @@ Sink = Callable[[frozenset], None]
 
 class _StopEnumeration(Exception):
     """Internal signal: the configured output limit was reached."""
+
+
+def reduce_graph(
+    graph: UncertainGraph, k: int, eta, config: PivotConfig
+) -> UncertainGraph:
+    """Apply the configured pre-enumeration graph reduction.
+
+    Reductions drop vertices that cannot appear in any maximal
+    ``(k, η)``-clique; they are only sound for ``k >= 2`` (core) and
+    ``k >= 3`` (triangle), because smaller cliques need no incident
+    structure at all.  Exposed at module level so the partitioned and
+    parallel drivers can reduce once and ship the result to workers.
+    """
+    mode = config.reduction
+    if mode == "off" or k < 2:
+        return graph
+    reduced = topk_core(graph, k - 1, eta)
+    if mode == "triangle" and k >= 3:
+        reduced = topk_triangle(reduced, k - 2, eta)
+    return reduced
 
 
 class PivotEnumerator:
@@ -105,7 +125,13 @@ class PivotEnumerator:
         """Search counters of the (possibly still running) run."""
         return self._result.stats
 
-    def run(self, seeds=None) -> EnumerationResult:
+    def run(
+        self,
+        seeds=None,
+        *,
+        reduced_graph: Optional[UncertainGraph] = None,
+        order: Optional[Sequence[Vertex]] = None,
+    ) -> EnumerationResult:
         """Execute the enumeration and return cliques plus statistics.
 
         Parameters
@@ -118,11 +144,28 @@ class PivotEnumerator:
             taking the union reproduces the full result — the basis of
             the partitioned/parallel driver in
             :mod:`repro.core.partition`.
+        reduced_graph:
+            Optional pre-reduced graph (as returned by
+            :func:`reduce_graph` for this configuration); skips the
+            in-run reduction.  Used by the parallel driver so workers
+            do not repeat the reduction.
+        order:
+            Optional precomputed vertex ordering over
+            ``reduced_graph``; skips the in-run ordering computation.
         """
-        self._search_graph = self._reduce()
-        order = vertex_ordering(
-            self._search_graph, self._config.ordering, self._eta
+        if self._config.backend == "kernel":
+            kernel = self._make_kernel()
+            if kernel is not None:
+                return kernel.run(
+                    seeds, reduced_graph=reduced_graph, order=order
+                )
+        self._search_graph = (
+            reduced_graph if reduced_graph is not None else self._reduce()
         )
+        if order is None:
+            order = vertex_ordering(
+                self._search_graph, self._config.ordering, self._eta
+            )
         self._rank = {v: i for i, v in enumerate(order)}
         backbone = self._search_graph.to_deterministic()
         self._ctx = PivotContext.from_backbone(backbone, self._k)
@@ -150,22 +193,30 @@ class PivotEnumerator:
         return self._result
 
     # ------------------------------------------------------------------
-    def _reduce(self) -> UncertainGraph:
-        """Apply the configured pre-enumeration graph reduction.
+    def _make_kernel(self):
+        """Build the bitset fast path, or None when unsupported.
 
-        Reductions drop vertices that cannot appear in any maximal
-        ``(k, η)``-clique; they are only sound for ``k >= 2`` (core) and
-        ``k >= 3`` (triangle), because smaller cliques need no incident
-        structure at all.
+        The kernel requires float (or int) probabilities and ``eta``;
+        exact :class:`~fractions.Fraction` runs silently keep the dict
+        path, which handles arbitrary numeric types.
         """
-        mode = self._config.reduction
-        graph = self._graph
-        if mode == "off" or self._k < 2:
-            return graph
-        reduced = topk_core(graph, self._k - 1, self._eta)
-        if mode == "triangle" and self._k >= 3:
-            reduced = topk_triangle(reduced, self._k - 2, self._eta)
-        return reduced
+        from repro.kernel.enumerate import KernelEnumerator, supports
+
+        if not supports(self._graph, self._eta):
+            return None
+        return KernelEnumerator(
+            self._graph,
+            self._k,
+            self._eta,
+            self._config,
+            self._result,
+            self._sink,
+            self._limit,
+        )
+
+    def _reduce(self) -> UncertainGraph:
+        """Apply the configured pre-enumeration graph reduction."""
+        return reduce_graph(self._graph, self._k, self._eta, self._config)
 
     def _candidate_bound(self, vertices) -> int:
         """Upper bound on how many of ``vertices`` one clique can use."""

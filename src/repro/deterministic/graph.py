@@ -8,7 +8,16 @@ style of :class:`repro.uncertain.UncertainGraph` without probabilities.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    AbstractSet,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.exceptions import GraphError
 
@@ -16,7 +25,15 @@ Vertex = Hashable
 
 
 class Graph:
-    """A simple undirected graph backed by adjacency sets.
+    """A simple undirected graph backed by insertion-ordered adjacency.
+
+    Neighbor iteration follows edge-insertion order, never hash order:
+    peeling-style algorithms (degeneracy ordering) are sensitive to the
+    visit order, and hash order both varies across processes under
+    ``PYTHONHASHSEED`` randomization and cannot be mirrored by the
+    integer-id kernel backend.  Neighborhoods are exposed as dict key
+    views, which support the set algebra (``&``, ``-``, ``in``) the
+    clique algorithms use.
 
     >>> g = Graph([(1, 2), (2, 3)])
     >>> g.degree(2)
@@ -28,28 +45,28 @@ class Graph:
     __slots__ = ("_adj",)
 
     def __init__(self, edges: Optional[Iterable[Tuple[Vertex, Vertex]]] = None):
-        self._adj: Dict[Vertex, Set[Vertex]] = {}
+        self._adj: Dict[Vertex, Dict[Vertex, None]] = {}
         if edges is not None:
             for u, v in edges:
                 self.add_edge(u, v)
 
     def add_vertex(self, v: Vertex) -> None:
         """Insert an isolated vertex (no-op if present)."""
-        self._adj.setdefault(v, set())
+        self._adj.setdefault(v, {})
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         """Insert edge ``(u, v)``; self-loops are rejected."""
         if u == v:
             raise GraphError(f"self-loop ({u!r}, {v!r}) is not allowed")
-        self._adj.setdefault(u, set()).add(v)
-        self._adj.setdefault(v, set()).add(u)
+        self._adj.setdefault(u, {})[v] = None
+        self._adj.setdefault(v, {})[u] = None
 
     def remove_vertex(self, v: Vertex) -> None:
         """Remove ``v`` and incident edges; raises if absent."""
         if v not in self._adj:
             raise GraphError(f"vertex {v!r} does not exist")
         for u in self._adj[v]:
-            self._adj[u].discard(v)
+            self._adj[u].pop(v, None)
         del self._adj[v]
 
     def __contains__(self, v: Vertex) -> bool:
@@ -88,10 +105,10 @@ class Graph:
         """Return True if the edge exists."""
         return u in self._adj and v in self._adj[u]
 
-    def neighbors(self, v: Vertex) -> Set[Vertex]:
-        """Return the neighbor set of ``v`` (do not mutate)."""
+    def neighbors(self, v: Vertex) -> AbstractSet[Vertex]:
+        """Neighbors of ``v``: a set-like view in insertion order."""
         try:
-            return self._adj[v]
+            return self._adj[v].keys()
         except KeyError:
             raise GraphError(f"vertex {v!r} does not exist") from None
 
@@ -118,20 +135,26 @@ class Graph:
         return True
 
     def subgraph(self, vertices: Iterable[Vertex]) -> "Graph":
-        """Return the induced subgraph on ``vertices`` (unknown ignored)."""
-        keep = {v for v in vertices if v in self._adj}
+        """Return the induced subgraph on ``vertices`` (unknown ignored).
+
+        The result keeps this graph's insertion order (never the
+        argument's iteration order, which may be a hash-ordered set).
+        """
+        requested = set(vertices)
         sub = Graph()
-        for v in keep:
+        for v in self._adj:
+            if v not in requested:
+                continue
             sub.add_vertex(v)
             for u in self._adj[v]:
-                if u in keep:
+                if u in requested:
                     sub.add_edge(u, v)
         return sub
 
     def copy(self) -> "Graph":
         """Return an independent copy of this graph."""
         dup = Graph()
-        dup._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        dup._adj = {v: dict(nbrs) for v, nbrs in self._adj.items()}
         return dup
 
     def __repr__(self) -> str:

@@ -34,3 +34,14 @@ class ParameterError(ReproError):
 
 class DatasetError(ReproError):
     """Raised when a dataset generator or loader receives bad input."""
+
+
+class KernelBackendError(ReproError):
+    """Raised when a graph cannot be compiled for the kernel backend.
+
+    The bitset kernel requires float (or int) edge probabilities and a
+    float-comparable ``eta``; exact :class:`~fractions.Fraction` runs
+    must use the dict backend.  The enumerator catches this error and
+    falls back transparently, so it only surfaces to callers that build
+    a :class:`repro.kernel.CompactGraph` directly.
+    """

@@ -1,0 +1,36 @@
+"""Bitset/integer kernel layer for the enumeration hot path.
+
+Re-encodes float-probability uncertain graphs over dense int ids with
+big-int neighbor bitsets and parallel probability / ``-log p`` arrays
+(:class:`CompactGraph`), provides int-id counterparts of the reduction,
+ordering and coloring pipeline (:mod:`repro.kernel.reduction`), and a
+fast re-implementation of the pivot recursion
+(:class:`KernelEnumerator`) selected via
+``PivotConfig(backend="kernel")``.  Clique sets and search statistics
+are identical to the dict backend by construction and by the parity
+tests in ``tests/test_kernel_parity.py``.
+"""
+
+from repro.kernel.compact import CompactGraph, bit_indices
+from repro.kernel.enumerate import KernelEnumerator, supports
+from repro.kernel.reduction import (
+    degeneracy_ordering_ids,
+    greedy_coloring_ids,
+    topk_core_ids,
+    topk_core_ordering_ids,
+    topk_triangle_edge_ids,
+    vertex_ordering_ids,
+)
+
+__all__ = [
+    "CompactGraph",
+    "KernelEnumerator",
+    "bit_indices",
+    "supports",
+    "degeneracy_ordering_ids",
+    "greedy_coloring_ids",
+    "topk_core_ids",
+    "topk_core_ordering_ids",
+    "topk_triangle_edge_ids",
+    "vertex_ordering_ids",
+]

@@ -1,0 +1,662 @@
+"""Bitset/integer fast path of the pivot enumerator.
+
+This module re-implements the recursion of
+:class:`repro.core.pmuc.PivotEnumerator` over the
+:class:`~repro.kernel.compact.CompactGraph` representation:
+
+* ``C`` and ``X`` are **bitsets** (Python big-ints).  The
+  ``GenerateSet`` kernel of Algorithm 1 becomes one word-parallel
+  ``bits & nbr_bits[u]`` followed by a per-survivor threshold test —
+  non-neighbors cost one AND for the whole set instead of one hash
+  probe each.
+* Per-candidate clique probabilities are tracked **additively** in the
+  log domain: the shared array ``sv[w]`` holds
+  ``-log Pr(R ∪ {w})/Pr(R)`` (the dict backend's ``r`` value) and the
+  scalar ``nlq`` holds ``-log Pr(R)``, so the η-threshold test is one
+  addition and one comparison.
+* Vertices are relabeled so that **id order equals enumeration rank**:
+  iterating a candidate bitset from the lowest bit up yields the
+  rank-sorted work list with no sorting at all.
+
+**Exactness guard.** The dict backend decides ``q_new * r_new >= eta``
+with IEEE-754 products; log-domain sums round differently.  Whenever
+the additive test lands within a conservative error band of the
+threshold (``REL_GUARD`` — orders of magnitude wider than the maximal
+accumulated float error), the kernel replays the dict backend's exact
+multiplication sequence for that candidate and uses *its* verdict.
+Outside the band the two tests provably agree, so the kernel emits
+byte-identical clique sets and identical ``SearchStats`` counters.
+
+Only float (or int) probabilities and thresholds are supported;
+:class:`~fractions.Fraction` graphs raise
+:class:`~repro.exceptions.KernelBackendError` at compile time and the
+caller falls back to the dict backend.
+"""
+
+from __future__ import annotations
+
+import sys
+from math import log
+from typing import Callable, List, Optional, Sequence
+
+from repro.exceptions import KernelBackendError
+from repro.core.stats import EnumerationResult
+from repro.kernel.compact import CompactGraph
+from repro.kernel.reduction import (
+    greedy_coloring_ids,
+    topk_core_ids,
+    topk_triangle_edge_ids,
+    vertex_ordering_ids,
+)
+from repro.uncertain.graph import UncertainGraph
+
+#: Relative half-width of the boundary band inside which the additive
+#: log-domain test defers to an exact float replay.  Accumulated
+#: floating-point error across both domains is bounded well below
+#: ``1e-12 * (1 + |total|)`` for any feasible recursion depth; the
+#: guard is ~1000x wider.
+REL_GUARD = 1e-9
+
+
+class _StopKernel(Exception):
+    """Internal signal: the configured output limit was reached."""
+
+
+#: Ascending bit offsets of every byte value.  The hot loops iterate a
+#: candidate bitset as ``bits.to_bytes(..., "little")`` plus one table
+#: lookup per non-zero byte: the byte scan runs at C speed, zero bytes
+#: cost one truth test, and no per-bit big-int arithmetic
+#: (``b & -b`` / ``bit_length``) is needed at all.
+_BYTE_BITS = tuple(
+    tuple(i for i in range(8) if v >> i & 1) for v in range(256)
+)
+
+
+def supports(graph: UncertainGraph, eta) -> bool:
+    """True when ``graph``/``eta`` can run on the kernel backend."""
+    if not isinstance(eta, (float, int)):
+        return False
+    return all(
+        isinstance(p, (float, int)) for _u, _v, p in graph.edges()
+    )
+
+
+class KernelEnumerator:
+    """One kernel-backend enumeration run.
+
+    Mirrors the control flow of ``PivotEnumerator._pmuce`` statement
+    for statement (same pivot strategies, same M-/K-pivot stopping
+    rules, same statistics updates) so the two backends are
+    interchangeable; see ``tests/test_kernel_parity.py``.
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        k: int,
+        eta,
+        config,
+        result: EnumerationResult,
+        sink: Callable[[frozenset], None],
+        limit: Optional[int],
+    ):
+        if not isinstance(eta, (float, int)):
+            raise KernelBackendError(
+                f"kernel backend requires a float eta, got {type(eta).__name__}"
+            )
+        self._graph = graph
+        self._k = k
+        self._eta = float(eta)
+        self._nl_eta = -log(self._eta) if self._eta < 1.0 else 0.0
+        # Constant half-width of the exactness guard band.  Near the
+        # decision boundary ``|total| ~ nl_eta``, so a band scaled to
+        # ``nl_eta`` dominates the accumulated float error (~1e-12
+        # relative) by three orders of magnitude while staying narrow
+        # enough that exact replays are rare.
+        self._guard = REL_GUARD * (2.0 + 2.0 * self._nl_eta)
+        self._config = config
+        self._result = result
+        self._sink = sink
+        self._limit = limit
+        # Hot-loop flags hoisted out of the recursion.
+        self._hybrid = config.pivot == "hybrid"
+        self._kpivot = config.kpivot != "off"
+        self._color_bound = config.kpivot == "color"
+        self._mpivot = config.mpivot
+        # Populated by _prepare():
+        self._cg: CompactGraph = CompactGraph([])
+        self._sv: List[float] = []
+        self._deg: List[int] = []
+        self._color: List[int] = []
+        self._colnum: List[int] = []
+        self._lb: List[int] = []
+
+    # ------------------------------------------------------------------
+    # preparation: reduction, ordering, coloring — all on int ids
+    # ------------------------------------------------------------------
+    def _reduce_ids(self, cg: CompactGraph) -> CompactGraph:
+        """Kernel counterpart of ``PivotEnumerator._reduce``."""
+        mode = self._config.reduction
+        k = self._k
+        if mode == "off" or k < 2:
+            return cg
+        reduced = cg.induced(topk_core_ids(cg, k - 1, self._eta))
+        if mode == "triangle" and k >= 3:
+            reduced = reduced.edge_induced(
+                topk_triangle_edge_ids(reduced, k - 2, self._eta)
+            )
+        return reduced
+
+    def _prepare(
+        self,
+        reduced_graph: Optional[UncertainGraph],
+        order_labels: Optional[Sequence],
+    ) -> None:
+        if reduced_graph is not None:
+            cg_red = CompactGraph.from_uncertain(reduced_graph)
+        else:
+            cg_red = self._reduce_ids(
+                CompactGraph.from_uncertain(self._graph)
+            )
+        if order_labels is not None:
+            order = [cg_red.index[v] for v in order_labels]
+        else:
+            order = vertex_ordering_ids(
+                cg_red, self._config.ordering, self._eta
+            )
+        # Pivot context (degree / color / color number) is computed in
+        # the reduced graph's insertion-order ids — the same processing
+        # order as the dict path — then permuted into rank ids.
+        colors_red = greedy_coloring_ids(cg_red)
+        self._cg = cg_red.relabeled(order)
+        self._deg = [cg_red.degree(old) for old in order]
+        self._color = [colors_red[old] for old in order]
+        self._colnum = [
+            len({colors_red[u] for u in cg_red.nbr_ids[old]})
+            for old in order
+        ]
+        n = self._cg.n
+        self._lb = [1] * n
+        self._sv = [0.0] * n
+        # Fused integer sort keys for the hybrid pivot rule: comparing
+        # ``colnum * (n + 1) + lb`` (resp. ``deg * (n + 1) + colnum``)
+        # is the lexicographic comparison of the pairs because both
+        # minor terms are bounded by ``n < n + 1``.  ``max`` over a
+        # list-indexing key runs at C speed and keeps the dict
+        # backend's first-max-wins tie-breaking.
+        m = n + 1
+        self._cn_base = [c * m for c in self._colnum]
+        self._cn_lb = [base + 1 for base in self._cn_base]
+        self._deg_cn = [
+            d * m + c for d, c in zip(self._deg, self._colnum)
+        ]
+        # Hot-loop aliases (the recursion reads these every expansion).
+        self._nbr_bits = self._cg.nbr_bits
+        # Dense ``-log p`` rows: ``nlogr[u][w]`` is read millions of
+        # times per run, and list indexing beats dict probing.  Only
+        # neighbor slots are ever read (survivors come out of
+        # ``bits & nbr_bits[u]``), so the 0.0 filler is never seen.
+        # O(n^2) pointers is fine at benchmark scale; huge graphs keep
+        # the sparse per-vertex dicts.
+        if n <= 2048:
+            nbr_ids = self._cg.nbr_ids
+            nbr_nlogs = self._cg.nbr_nlogs
+            rows: List[List[float]] = []
+            for u in range(n):
+                row = [0.0] * n
+                for j, nl in zip(nbr_ids[u], nbr_nlogs[u]):
+                    row[j] = nl
+                rows.append(row)
+            self._nlogr = rows
+        else:
+            self._nlogr = self._cg.nlog
+        self._hi_base = self._nl_eta + self._guard
+        self._guard2 = self._guard + self._guard
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        seeds=None,
+        reduced_graph: Optional[UncertainGraph] = None,
+        order: Optional[Sequence] = None,
+    ) -> EnumerationResult:
+        """Execute the enumeration; same contract as the dict backend."""
+        self._prepare(reduced_graph, order)
+        cg = self._cg
+        n = cg.n
+        index = cg.index
+        seed_bits = None
+        if seeds is not None:
+            seed_bits = 0
+            for v in seeds:
+                i = index.get(v)
+                if i is not None:
+                    seed_bits |= 1 << i
+        previous_limit = sys.getrecursionlimit()
+        needed = n + 100
+        if needed > previous_limit:
+            sys.setrecursionlimit(needed)
+        rec, flush = self._build_rec()
+        try:
+            eta = self._eta
+            sv = self._sv
+            nlog = cg.nlog
+            for v in range(n):
+                if seed_bits is not None and not seed_bits >> v & 1:
+                    continue
+                c_bits = 0
+                x_bits = 0
+                nlog_v = nlog[v]
+                for u, p in cg.prob[v].items():
+                    if p >= eta:
+                        sv[u] = nlog_v[u]
+                        if u > v:
+                            c_bits |= 1 << u
+                        else:
+                            x_bits |= 1 << u
+                c_list = []
+                b = c_bits
+                while b:
+                    low = b & -b
+                    b ^= low
+                    c_list.append(low.bit_length() - 1)
+                rec([v], 0.0, c_bits, c_list, x_bits, [v], 1)
+        except _StopKernel:
+            pass
+        finally:
+            flush()
+            if needed > previous_limit:
+                sys.setrecursionlimit(previous_limit)
+        return self._result
+
+    # ------------------------------------------------------------------
+    # helpers mirroring the dict backend
+    # ------------------------------------------------------------------
+    def _select_pivot(self, keys: List[int]) -> int:
+        """Pivot strategies over id arrays (same tie-breaks as dicts).
+
+        The hybrid rule is a single fused scan: the dict backend's two
+        ``max``-of-filtered passes resolve ties by first occurrence, so
+        tracking the running lexicographic best over the same key order
+        selects the identical vertex.
+        """
+        if len(keys) == 1:
+            return keys[0]
+        name = self._config.pivot
+        if name == "first":
+            return keys[0]
+        if name == "degree":
+            return max(keys, key=self._deg.__getitem__)
+        if name == "color":
+            return max(keys, key=self._colnum.__getitem__)
+        # hybrid: prefer the max-(colnum, lb) candidate when its clique
+        # lower bound already exceeds k, else fall back to max-(deg,
+        # colnum) — same rule and tie-breaks as the dict strategy.
+        v = max(keys, key=self._cn_lb.__getitem__)
+        if self._lb[v] > self._k:
+            return v
+        return max(keys, key=self._deg_cn.__getitem__)
+
+    def _exact_accept(self, w: int, r: List[int]) -> bool:
+        """Replay the dict backend's float decision for candidate ``w``.
+
+        Recomputes ``r_w`` (edge products in the order clique members
+        were added) and ``q`` (the threaded clique probability) with
+        the exact multiplication sequence of the dict backend, then
+        applies its ``q_new * r_new >= eta`` test verbatim.
+        """
+        prob = self._cg.prob
+        r_val = 1.0
+        prob_w = prob[w]
+        for t in r:
+            r_val = r_val * prob_w[t]
+        q = 1.0
+        for idx in range(1, len(r)):
+            row = prob[r[idx]]
+            r_t = 1.0
+            for jdx in range(idx):
+                r_t = r_t * row[r[jdx]]
+            q = q * r_t
+        return q * r_val >= self._eta
+
+    # ``GenerateSet`` lives inlined in the recursion (the call/return
+    # cost of a method at 600k+ expansions is measurable);
+    # ``_exact_accept`` above is its rare boundary-band escape hatch.
+
+    # ------------------------------------------------------------------
+    # the recursion (Algorithm 3, lines 6-21 — bitset edition)
+    # ------------------------------------------------------------------
+    def _build_rec(self):
+        """Compile the recursion into a closure; return ``(rec, flush)``.
+
+        Everything the recursion reads but never rebinds — graph
+        arrays, pivot tables, guard-band constants, the stats object —
+        is captured in closure cells once per run.  Cell loads cost the
+        same as locals, whereas ``self._x`` attribute lookups repeated
+        across ~500k calls are a measurable slice of the runtime (the
+        method version spent ~20 attribute loads per call on its
+        prologue).  The recursive call itself also becomes a direct
+        closure call with no attribute dispatch.
+        """
+        stats = self._result.stats
+        k = self._k
+        hybrid = self._hybrid
+        kpivot = self._kpivot
+        color_bound = self._color_bound
+        improved = self._mpivot == "improved"
+        basic = self._mpivot == "basic"
+        lb = self._lb
+        cn_lb = self._cn_lb
+        cn_base = self._cn_base
+        deg_cn = self._deg_cn
+        nbr_bits = self._nbr_bits
+        nlogr = self._nlogr
+        hi_base = self._hi_base
+        guard2 = self._guard2
+        sv = self._sv
+        color = self._color
+        # Distinct-color counting uses a bitmask accumulator instead of
+        # a set; pre-shifting each vertex's color bit makes the count
+        # one subscript + two bit-ops per element.
+        color_bit = [1 << cw for cw in color]
+        select_pivot = self._select_pivot
+        exact_accept = self._exact_accept
+        bl = int.bit_length
+        # Per-base copies of the byte table holding absolute ids
+        # (``byte_ids[base >> 3][byte]``).  Ids above 256 fall outside
+        # CPython's small-int cache, so computing ``base + off`` per
+        # scanned candidate would allocate a fresh int every time;
+        # interning the sums once turns the innermost loop into pure
+        # tuple iteration.
+        byte_ids = tuple(
+            tuple(
+                tuple(base + off for off in bits) for bits in _BYTE_BITS
+            )
+            for base in range(0, self._cg.n, 8)
+        )
+        # Emission, inlined: label translation + sink + limit check.
+        label_of = self._cg.labels.__getitem__
+        sink = self._sink
+        limit = -1 if self._limit is None else self._limit
+        # Search counters live in closure cells during the run and are
+        # folded into ``SearchStats`` by ``flush`` (attribute updates on
+        # the stats object are ~10x the cost of a cell store, and the
+        # hot loop touches a counter several times per call).
+        calls = expansions = outputs = 0
+        mpivot_skips = kpivot_stops = size_prunes = max_depth = 0
+
+        def flush() -> None:
+            stats.calls += calls
+            stats.expansions += expansions
+            stats.outputs += outputs
+            stats.mpivot_skips += mpivot_skips
+            stats.kpivot_stops += kpivot_stops
+            stats.size_prunes += size_prunes
+            if max_depth > stats.max_depth:
+                stats.max_depth = max_depth
+
+        def rec(
+            r: List[int],
+            nlq: float,
+            c_bits: int,
+            c_list: List[int],
+            x_bits: int,
+            p: List[int],
+            depth: int,
+        ) -> List[int]:
+            nonlocal calls, expansions, outputs, mpivot_skips
+            nonlocal kpivot_stops, size_prunes, max_depth
+            calls += 1
+            if depth > max_depth:
+                max_depth = depth
+            if not c_bits:
+                if not x_bits:
+                    if len(r) >= k:
+                        outputs += 1
+                        sink(frozenset(map(label_of, r)))
+                        if outputs == limit:
+                            raise _StopKernel
+                    if hybrid:
+                        size = len(r)
+                        for w in r:
+                            if lb[w] < size:
+                                lb[w] = size
+                                cn_lb[w] = cn_base[w] + size
+                return p
+            # Global lower-bound refresh, consumed only by the hybrid
+            # pivot strategy (the dict path refreshes unconditionally,
+            # but the values are dead under every other strategy).
+            if hybrid:
+                size = len(r) + 1
+                for w in c_list:
+                    if lb[w] < size:
+                        lb[w] = size
+                        cn_lb[w] = cn_base[w] + size
+            rlen = len(r)
+            need = k - rlen
+            kpivot_pos = kpivot and need > 0
+            if kpivot_pos:
+                # K-pivot bound (Lemma 5/6).  The dict backend computes
+                # the full bound and compares with ``k``; the
+                # comparison is all that is ever used, so the length
+                # pre-check decides outright when it can and the color
+                # count stops at ``need`` distinct colors.
+                if len(c_list) < need:
+                    kpivot_stops += 1
+                    return p
+                if color_bound:
+                    seen = 0
+                    cnt = 0
+                    for w in c_list:
+                        cb = color_bit[w]
+                        if not seen & cb:
+                            seen |= cb
+                            cnt += 1
+                            if cnt == need:
+                                break
+                    if cnt < need:
+                        kpivot_stops += 1
+                        return p
+            depth1 = depth + 1
+            need1 = need - 1
+            # Ids are rank-ordered and survivors are emitted in
+            # ascending id order, so c_list is already the sorted work
+            # list of the dict backend.
+            if len(c_list) == 1:
+                pivot = c_list[0]
+            elif hybrid:
+                # ``_select_pivot``'s hybrid rule, inlined here.
+                v = max(c_list, key=cn_lb.__getitem__)
+                if lb[v] > k:
+                    pivot = v
+                else:
+                    pivot = max(c_list, key=deg_cn.__getitem__)
+            else:
+                pivot = select_pivot(c_list)
+            # The caller restores ``sv`` from its survivor list after
+            # this frame returns, so the work list must be a copy:
+            # deleting expanded vertices from ``c_list`` itself would
+            # silently drop restore entries.
+            if c_list[0] == pivot:
+                unexpanded = c_list[:]
+            else:
+                unexpanded = [pivot] + [v for v in c_list if v != pivot]
+            periphery = ()
+            expanded_any = False
+            while True:
+                if expanded_any and kpivot_pos:
+                    if len(unexpanded) < need:
+                        kpivot_stops += 1
+                        break
+                    if color_bound:
+                        seen = 0
+                        cnt = 0
+                        for w in unexpanded:
+                            cb = color_bit[w]
+                            if not seen & cb:
+                                seen |= cb
+                                cnt += 1
+                                if cnt == need:
+                                    break
+                        if cnt < need:
+                            kpivot_stops += 1
+                            break
+                if not unexpanded:
+                    break
+                if not periphery:
+                    u = unexpanded[0]
+                    u_idx = 0
+                else:
+                    u_idx = -1
+                    for idx, w in enumerate(unexpanded):
+                        if w not in periphery:
+                            u = w
+                            u_idx = idx
+                            break
+                    if u_idx < 0:
+                        mpivot_skips += len(unexpanded)
+                        break
+                expanded_any = True
+                nlq_new = nlq + sv[u]
+                r.append(u)
+                # --- GenerateSet, inlined (Algorithm 1): one AND per
+                # set, then an additive threshold test per survivor.
+                # ``s_new`` below ``lo`` is a certain accept, above
+                # ``hi`` a certain reject; the narrow band in between
+                # replays the dict backend's exact float decision.
+                # Survivors restore the shared ``sv`` array by
+                # subtracting the same term after the branch returns;
+                # each add/sub pair can leave an ulp-sized residue, but
+                # cumulative drift stays orders of magnitude inside the
+                # guard band, where decisions defer to
+                # ``_exact_accept`` anyway.
+                nbr = nbr_bits[u]
+                nlog_u = nlogr[u]
+                hi = hi_base - nlq_new
+                lo = hi - guard2
+                c_new = c_bits & nbr
+                c_next: List[int] = []
+                keep = c_next.append
+                if c_new:
+                    # Skip straight to the first set byte: candidate
+                    # ranks cluster high for late seeds, and scanning
+                    # the leading zero bytes every call adds up.
+                    bb = (bl(c_new & -c_new) - 1) >> 3
+                    scan = c_new >> (bb << 3)
+                    for byte in scan.to_bytes(
+                        (bl(scan) + 7) >> 3, "little"
+                    ):
+                        if byte:
+                            for w in byte_ids[bb][byte]:
+                                s_new = sv[w] + nlog_u[w]
+                                if s_new < lo or (
+                                    s_new <= hi and exact_accept(w, r)
+                                ):
+                                    sv[w] = s_new
+                                    keep(w)
+                                else:
+                                    c_new ^= 1 << w
+                        bb += 1
+                # --- end GenerateSet (the X projection is deferred
+                # below: a size-pruned branch never reads X, so the
+                # dict backend's unconditional projection is work the
+                # kernel can skip with no observable difference)
+                viable = need1 <= 0
+                if not viable and len(c_next) >= need1:
+                    if color_bound:
+                        seen = 0
+                        cnt = 0
+                        for w in c_next:
+                            cb = color_bit[w]
+                            if not seen & cb:
+                                seen |= cb
+                                cnt += 1
+                                if cnt == need1:
+                                    break
+                        viable = cnt >= need1
+                    else:
+                        viable = True
+                if viable:
+                    x_new = x_bits & nbr
+                    if x_new:
+                        x_list: List[int] = []
+                        keep_x = x_list.append
+                        bb = (bl(x_new & -x_new) - 1) >> 3
+                        scan = x_new >> (bb << 3)
+                        for byte in scan.to_bytes(
+                            (bl(scan) + 7) >> 3, "little"
+                        ):
+                            if byte:
+                                for w in byte_ids[bb][byte]:
+                                    s_new = sv[w] + nlog_u[w]
+                                    if s_new < lo or (
+                                        s_new <= hi
+                                        and exact_accept(w, r)
+                                    ):
+                                        sv[w] = s_new
+                                        keep_x(w)
+                                    else:
+                                        x_new ^= 1 << w
+                            bb += 1
+                    else:
+                        x_list = ()
+                    expansions += 1
+                    if c_new:
+                        branch_best = rec(
+                            r, nlq_new, c_new, c_next, x_new,
+                            list(r), depth1,
+                        )
+                        blen = len(branch_best)
+                    else:
+                        # Inlined leaf: a child with no candidates only
+                        # counts itself, possibly emits, and returns
+                        # its ``p`` argument unchanged — so the copy of
+                        # ``r`` is never materialized here.
+                        calls += 1
+                        if depth1 > max_depth:
+                            max_depth = depth1
+                        if not x_new:
+                            if rlen >= k - 1:
+                                outputs += 1
+                                sink(frozenset(map(label_of, r)))
+                                if outputs == limit:
+                                    raise _StopKernel
+                            if hybrid:
+                                size = rlen + 1
+                                for w in r:
+                                    if lb[w] < size:
+                                        lb[w] = size
+                                        cn_lb[w] = cn_base[w] + size
+                        branch_best = None
+                        blen = rlen + 1
+                else:
+                    size_prunes += 1
+                    x_list = ()
+                    branch_best = None
+                    blen = rlen + 1
+                r.pop()
+                for w in c_next:
+                    sv[w] -= nlog_u[w]
+                for w in x_list:
+                    sv[w] -= nlog_u[w]
+                # ``branch_best is None`` stands for the un-materialized
+                # copy of ``r + [u]`` (length ``blen``); build it only
+                # when it actually replaces the periphery or ``p``.
+                if improved or (basic and not periphery):
+                    if len(periphery) < blen:
+                        if branch_best is None:
+                            periphery = set(r)
+                            periphery.add(u)
+                        else:
+                            periphery = set(branch_best)
+                if len(p) < blen:
+                    p = branch_best if branch_best is not None else r + [u]
+                del unexpanded[u_idx]
+                bit = 1 << u
+                c_bits &= ~bit
+                x_bits |= bit
+            return p
+
+        return rec, flush

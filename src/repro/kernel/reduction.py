@@ -1,0 +1,239 @@
+"""Kernel-backed graph reduction, orderings and coloring on int ids.
+
+These are the int-id counterparts of :mod:`repro.reduction` and the
+deterministic helpers the enumerator consults.  Every function here is
+*tie-break compatible* with its dict sibling: given the same source
+graph it produces the same vertex (label) sequences, same color
+assignment and same surviving subgraph, so the kernel backend can swap
+in without perturbing pivot choices or ``SearchStats`` counters.
+
+Results are unique where the theory says so (the maximal
+``(Top_k, η)``-core and ``(Top_k, η)``-triangle subgraphs do not depend
+on peel order), but iteration order still leaks into downstream
+insertion order — hence the explicit mirroring of the dict scan orders
+documented in :class:`repro.kernel.compact.CompactGraph`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+from repro.exceptions import ParameterError
+from repro.kernel.compact import CompactGraph
+
+
+def prefix_count(sorted_desc: List[float], eta: float) -> int:
+    """Longest prefix of a descending list whose product stays >= eta."""
+    product = 1
+    count = 0
+    for p in sorted_desc:
+        product = product * p
+        if product >= eta:
+            count += 1
+        else:
+            break
+    return count
+
+
+# ----------------------------------------------------------------------
+# (Top_k, eta)-core
+# ----------------------------------------------------------------------
+def topk_core_ids(cg: CompactGraph, k: int, eta: float) -> List[int]:
+    """Ids (ascending) of the maximal ``(Top_k, η)``-core of ``cg``."""
+    if k < 0:
+        raise ParameterError(f"k must be non-negative, got {k}")
+    n = cg.n
+    alive = (1 << n) - 1 if n else 0
+    incident = [sorted(row, reverse=True) for row in cg.nbr_probs]
+    topdeg = [prefix_count(incident[v], eta) for v in range(n)]
+    queue = [v for v in range(n) if topdeg[v] < k]
+    while queue:
+        v = queue.pop()
+        if not alive >> v & 1:
+            continue
+        alive &= ~(1 << v)
+        for u, p in zip(cg.nbr_ids[v], cg.nbr_probs[v]):
+            if not alive >> u & 1:
+                continue
+            incident[u].remove(p)
+            if topdeg[u] >= k:
+                topdeg[u] = prefix_count(incident[u], eta)
+                if topdeg[u] < k:
+                    queue.append(u)
+    out = []
+    while alive:
+        low = alive & -alive
+        out.append(low.bit_length() - 1)
+        alive ^= low
+    return out
+
+
+# ----------------------------------------------------------------------
+# (Top_k, eta)-triangle
+# ----------------------------------------------------------------------
+def _top_degree(open_probs: Dict[int, float], p_e: float, eta: float) -> int:
+    product = p_e
+    count = 0
+    for p in sorted(open_probs.values(), reverse=True):
+        product = product * p
+        if product >= eta:
+            count += 1
+        else:
+            break
+    return count
+
+
+def topk_triangle_edge_ids(
+    cg: CompactGraph, k: int, eta: float
+) -> List[Tuple[int, int]]:
+    """Surviving edges of the maximal ``(Top_k, η)``-triangle subgraph.
+
+    Edges are canonical id pairs (label-ordered, see
+    :meth:`CompactGraph.normalize_pair`) in deterministic edge-scan
+    order, ready for :meth:`CompactGraph.edge_induced`.  Common
+    neighborhoods come from one bitset ``&`` per edge — the dominant
+    cost of Algorithm 4 — instead of a hash-join of adjacency dicts.
+    """
+    if k < 0:
+        raise ParameterError(f"k must be non-negative, got {k}")
+    nbr_bits = cg.nbr_bits
+    prob = cg.prob
+    tri: Dict[Tuple[int, int], Dict[int, float]] = {}
+    for i, j, _p in cg.edges_in_insertion_order():
+        e = cg.normalize_pair(i, j)
+        common = nbr_bits[i] & nbr_bits[j]
+        pi, pj = prob[i], prob[j]
+        opens: Dict[int, float] = {}
+        while common:
+            low = common & -common
+            w = low.bit_length() - 1
+            common ^= low
+            opens[w] = pi[w] * pj[w]
+        tri[e] = opens
+    tdeg = {e: _top_degree(tri[e], prob[e[0]][e[1]], eta) for e in tri}
+    queue = [e for e, t in tdeg.items() if t < k]
+    removed = set()
+    while queue:
+        e = queue.pop()
+        if e in removed:
+            continue
+        removed.add(e)
+        u, v = e
+        for w in list(tri[e]):
+            for side in (cg.normalize_pair(u, w), cg.normalize_pair(v, w)):
+                if side in removed:
+                    continue
+                apex = v if side == cg.normalize_pair(u, w) else u
+                tri[side].pop(apex, None)
+                if tdeg[side] >= k:
+                    tdeg[side] = _top_degree(
+                        tri[side], prob[side[0]][side[1]], eta
+                    )
+                    if tdeg[side] < k:
+                        queue.append(side)
+        tri[e] = {}
+    return [e for e in tdeg if e not in removed]
+
+
+# ----------------------------------------------------------------------
+# orderings
+# ----------------------------------------------------------------------
+def topk_core_ordering_ids(cg: CompactGraph, eta: float) -> List[int]:
+    """Minimum η-topdegree peeling order over int ids.
+
+    Heap ties break on ``repr`` of the *original labels*, exactly like
+    :func:`repro.reduction.ordering.topk_core_ordering`.
+    """
+    n = cg.n
+    labels = cg.labels
+    incident = [sorted(row, reverse=True) for row in cg.nbr_probs]
+    topdeg = [prefix_count(incident[v], eta) for v in range(n)]
+    heap = [(topdeg[v], repr(labels[v]), v) for v in range(n)]
+    heapq.heapify(heap)
+    alive = (1 << n) - 1 if n else 0
+    order: List[int] = []
+    while heap:
+        d, _tie, v = heapq.heappop(heap)
+        if not alive >> v & 1 or d != topdeg[v]:
+            continue
+        alive &= ~(1 << v)
+        order.append(v)
+        for u, p in zip(cg.nbr_ids[v], cg.nbr_probs[v]):
+            if alive >> u & 1:
+                incident[u].remove(p)
+                new_deg = prefix_count(incident[u], eta)
+                if new_deg != topdeg[u]:
+                    topdeg[u] = new_deg
+                    heapq.heappush(heap, (new_deg, repr(labels[u]), u))
+    return order
+
+
+def degeneracy_ordering_ids(cg: CompactGraph) -> List[int]:
+    """Minimum-degree peeling order, bucket-queue, on int ids.
+
+    Mirrors :func:`repro.deterministic.core.degeneracy_ordering` on the
+    backbone, including its neighbor iteration order (global edge-scan
+    order, see :meth:`CompactGraph.backbone_adjacency`).
+    """
+    n = cg.n
+    adj = cg.backbone_adjacency()
+    degree = [len(adj[v]) for v in range(n)]
+    max_deg = max(degree, default=0)
+    buckets: List[List[int]] = [[] for _ in range(max_deg + 1)]
+    for v in range(n):
+        buckets[degree[v]].append(v)
+    removed = 0
+    order: List[int] = []
+    pointer = 0
+    while len(order) < n:
+        while pointer <= max_deg and not buckets[pointer]:
+            pointer += 1
+        v = buckets[pointer].pop()
+        if removed >> v & 1:
+            continue
+        if degree[v] != pointer:
+            continue
+        removed |= 1 << v
+        order.append(v)
+        for u in adj[v]:
+            if not removed >> u & 1:
+                degree[u] -= 1
+                buckets[degree[u]].append(u)
+                if degree[u] < pointer:
+                    pointer = degree[u]
+    return order
+
+
+def vertex_ordering_ids(cg: CompactGraph, name: str, eta=None) -> List[int]:
+    """Dispatch an ordering by configuration name, over int ids."""
+    if name == "as-is":
+        return list(range(cg.n))
+    if name == "degeneracy":
+        return degeneracy_ordering_ids(cg)
+    if name == "topk-core":
+        if eta is None:
+            raise ParameterError("topk-core ordering requires eta")
+        return topk_core_ordering_ids(cg, eta)
+    raise ParameterError(f"unknown ordering {name!r}")
+
+
+# ----------------------------------------------------------------------
+# coloring
+# ----------------------------------------------------------------------
+def greedy_coloring_ids(cg: CompactGraph) -> List[int]:
+    """Greedy coloring in descending-degree order (stable by id).
+
+    Same processing order as the dict path (Python's stable sort breaks
+    degree ties by insertion order = id), hence identical colors.
+    """
+    n = cg.n
+    order = sorted(range(n), key=cg.degree, reverse=True)
+    colors = [-1] * n
+    for v in order:
+        taken = {colors[u] for u in cg.nbr_ids[v] if colors[u] >= 0}
+        color = 0
+        while color in taken:
+            color += 1
+        colors[v] = color
+    return colors

@@ -34,8 +34,8 @@ def topk_triangle(graph: UncertainGraph, k: int, eta) -> UncertainGraph:
     return graph.edge_subgraph(survivors)
 
 
-def topk_triangle_edges(graph: UncertainGraph, k: int, eta) -> Set[Edge]:
-    """Edge set of the maximal ``(Top_k, η)``-triangle."""
+def topk_triangle_edges(graph: UncertainGraph, k: int, eta) -> List[Edge]:
+    """Edges of the maximal ``(Top_k, η)``-triangle, in insertion order."""
     if k < 0:
         raise ParameterError(f"k must be non-negative, got {k}")
     work = graph.copy()
@@ -73,7 +73,10 @@ def topk_triangle_edges(graph: UncertainGraph, k: int, eta) -> Set[Edge]:
                         queue.append(side)
         tri[e] = {}
         work.remove_edge(u, v)
-    return {e for e in tdeg if e not in removed}
+    # Survivors in edge-scan (insertion) order, not set order: the
+    # edge_subgraph built from them inherits this order, and downstream
+    # orderings/colorings must be deterministic across processes.
+    return [e for e in tdeg if e not in removed]
 
 
 def top_triangle_decomposition(graph: UncertainGraph, eta) -> Dict[Edge, int]:

@@ -186,14 +186,24 @@ class UncertainGraph:
 
         Unknown vertices are ignored, matching the behaviour of graph
         reduction pipelines that pass pruned vertex sets around.
+
+        The result's vertex order is this graph's insertion order
+        restricted to ``vertices`` — never the iteration order of the
+        argument.  Callers routinely pass ``set`` objects, whose
+        iteration order varies with ``PYTHONHASHSEED`` for string
+        vertices; ordering-sensitive consumers (vertex orderings,
+        greedy coloring, the parallel driver's identical-per-worker
+        invariant) need the subgraph to be a deterministic function of
+        the graph and the vertex *set* alone.
         """
-        keep = {v for v in vertices if v in self._adj}
+        requested = set(vertices)
+        keep = [v for v in self._adj if v in requested]
         sub = UncertainGraph()
         for v in keep:
             sub.add_vertex(v)
         for v in keep:
             for u, p in self._adj[v].items():
-                if u in keep and not sub.has_edge(u, v):
+                if u in requested and not sub.has_edge(u, v):
                     sub.add_edge(u, v, p)
         return sub
 

@@ -1,0 +1,184 @@
+"""Kernel-backend parity: the bitset fast path is observationally
+identical to the dict backend.
+
+The kernel (``PivotConfig.backend = "kernel"``) re-implements the
+pivot recursion over dense integer ids and big-int neighbor bitsets
+with log-domain threshold tests.  Parity here is strict: for every
+graph/config/k/eta the two backends must emit *exactly* the same
+maximal clique sets and byte-identical :class:`SearchStats` counters —
+the speedup must come from cheaper per-call work, never from a
+different search tree.  Exact :class:`~fractions.Fraction` runs are
+out of scope for the kernel and must fall back to the dict path
+silently.
+"""
+
+import random
+from dataclasses import replace
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PMUC_PLUS_CONFIG, PivotConfig, PivotEnumerator
+from repro.kernel.enumerate import supports
+from repro.uncertain import UncertainGraph
+
+CONFIGS = (
+    PMUC_PLUS_CONFIG,
+    PivotConfig(
+        pivot="degree", kpivot="plain", ordering="degeneracy",
+        reduction="off",
+    ),
+    PivotConfig(
+        pivot="color", mpivot="basic", kpivot="off",
+        ordering="degeneracy", reduction="triangle",
+    ),
+    PivotConfig(
+        pivot="first", mpivot="off", kpivot="off", ordering="as-is",
+        reduction="off",
+    ),
+)
+
+
+def run_both(graph, k, eta, config, **kwargs):
+    """Run the same enumeration on both backends."""
+    dict_result = PivotEnumerator(
+        graph, k=k, eta=eta, config=replace(config, backend="dict"),
+        **kwargs,
+    ).run()
+    kernel_result = PivotEnumerator(
+        graph, k=k, eta=eta, config=replace(config, backend="kernel"),
+        **kwargs,
+    ).run()
+    return dict_result, kernel_result
+
+
+def assert_parity(graph, k, eta, config, **kwargs):
+    dict_result, kernel_result = run_both(graph, k, eta, config, **kwargs)
+    assert set(dict_result.cliques) == set(kernel_result.cliques)
+    assert dict_result.stats.__dict__ == kernel_result.stats.__dict__
+    return dict_result, kernel_result
+
+
+@st.composite
+def float_uncertain_graphs(draw):
+    """Random float-probability graphs with up to 16 vertices."""
+    n = draw(st.integers(4, 16))
+    seed = draw(st.integers(0, 10_000))
+    density = draw(st.sampled_from([0.2, 0.4, 0.6]))
+    rng = random.Random(seed)
+    g = UncertainGraph()
+    for v in range(n):
+        g.add_vertex(v)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < density:
+                g.add_edge(u, v, round(rng.uniform(0.05, 1.0), 3))
+    return g
+
+
+@given(
+    float_uncertain_graphs(),
+    st.integers(1, 4),
+    st.sampled_from((0.05, 0.25, 0.5)),
+    st.sampled_from(CONFIGS),
+)
+@settings(max_examples=60, deadline=None)
+def test_backends_agree_on_random_graphs(graph, k, eta, config):
+    assert_parity(graph, k, eta, config)
+
+
+def test_parity_on_denser_fixed_graph():
+    """A denser fixed graph exercises deep recursions in both paths."""
+    rng = random.Random(11)
+    g = UncertainGraph()
+    for u in range(40):
+        for v in range(u + 1, 40):
+            if rng.random() < 0.35:
+                g.add_edge(u, v, rng.choice([0.35, 0.6, 0.85, 0.95]))
+    for config in CONFIGS:
+        for k, eta in ((2, 0.1), (3, 0.05), (4, 0.3)):
+            assert_parity(g, k, eta, config)
+
+
+def test_emission_order_matches():
+    """Streaming sinks observe the same clique *sequence*, not just
+    the same set: the kernel mirrors the recursion order exactly."""
+    rng = random.Random(5)
+    g = UncertainGraph()
+    for u in range(25):
+        for v in range(u + 1, 25):
+            if rng.random() < 0.4:
+                g.add_edge(u, v, round(rng.uniform(0.3, 1.0), 2))
+    seen = {"dict": [], "kernel": []}
+    for backend in ("dict", "kernel"):
+        config = replace(PMUC_PLUS_CONFIG, backend=backend)
+        PivotEnumerator(
+            g, k=2, eta=0.1, config=config,
+            on_clique=seen[backend].append,
+        ).run()
+    assert seen["dict"] == seen["kernel"]
+
+
+def test_limit_truncates_identically():
+    rng = random.Random(3)
+    g = UncertainGraph()
+    for u in range(30):
+        for v in range(u + 1, 30):
+            if rng.random() < 0.4:
+                g.add_edge(u, v, round(rng.uniform(0.2, 1.0), 2))
+    for config in CONFIGS[:2]:
+        dict_result, kernel_result = run_both(
+            g, 2, 0.1, config, limit=5
+        )
+        assert dict_result.cliques == kernel_result.cliques
+        assert len(kernel_result.cliques) == 5
+        assert dict_result.stats.__dict__ == kernel_result.stats.__dict__
+
+
+def test_float_boundary_exactness():
+    """Thresholds sitting exactly on representable float products must
+    not be lost to the log-domain rewrite (the guard band replays the
+    dict backend's float arithmetic for in-band decisions)."""
+    g = UncertainGraph()
+    for u, v in ((0, 1), (0, 2), (1, 2)):
+        g.add_edge(u, v, 0.5)
+    # Pr(triangle) = 0.125 exactly; eta == 0.125 must include it.
+    for eta, expected in (
+        (0.125, {frozenset({0, 1, 2})}),
+        (0.2501, {frozenset({0, 1}), frozenset({0, 2}),
+                  frozenset({1, 2})}),
+    ):
+        for config in CONFIGS:
+            dict_result, kernel_result = assert_parity(g, 2, eta, config)
+            assert set(kernel_result.cliques) == expected
+
+
+def test_fraction_probabilities_fall_back_to_dict_path():
+    """Exact-arithmetic graphs are unsupported by the kernel and must
+    silently take the dict path with identical results."""
+    g = UncertainGraph()
+    g.add_edge("a", "b", Fraction(1, 2))
+    g.add_edge("b", "c", Fraction(3, 4))
+    g.add_edge("a", "c", Fraction(3, 4))
+    assert not supports(g, Fraction(1, 4))
+    dict_result, kernel_result = run_both(
+        g, 2, Fraction(1, 4), PMUC_PLUS_CONFIG
+    )
+    assert set(kernel_result.cliques) == set(dict_result.cliques) == {
+        frozenset({"a", "b", "c"})
+    }
+    assert dict_result.stats.__dict__ == kernel_result.stats.__dict__
+
+
+def test_float_graph_fraction_eta_falls_back():
+    """A float graph with a Fraction eta is also dict-path territory."""
+    g = UncertainGraph()
+    g.add_edge(0, 1, 0.9)
+    g.add_edge(1, 2, 0.9)
+    g.add_edge(0, 2, 0.9)
+    assert not supports(g, Fraction(1, 2))
+    dict_result, kernel_result = run_both(
+        g, 2, Fraction(1, 2), PMUC_PLUS_CONFIG
+    )
+    assert set(kernel_result.cliques) == set(dict_result.cliques)
+    assert dict_result.stats.__dict__ == kernel_result.stats.__dict__

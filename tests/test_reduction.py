@@ -189,7 +189,10 @@ class TestTopkTriangle:
         for k in (1, 2):
             survivors = topk_triangle_edges(g, k, eta)
             by_level = {e for e, s in levels.items() if s >= k}
-            assert survivors == by_level
+            # Survivors come back in deterministic edge-scan order;
+            # membership (not order) is what the levels predict.
+            assert len(survivors) == len(set(survivors))
+            assert set(survivors) == by_level
 
 
 class TestOrderings:
