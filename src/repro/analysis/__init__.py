@@ -1,0 +1,38 @@
+"""repro-lint — AST correctness analysis for the repro codebase.
+
+The package enforces, statically and on every commit, the invariant
+classes this reproduction lives by:
+
+* **determinism** — emission order must be a function of the abstract
+  graph, never of ``PYTHONHASHSEED`` or construction history (REP001,
+  REP002);
+* **numeric safety** — probability/threshold floats are never compared
+  with ``==`` unguarded, APIs avoid the classic mutable-default /
+  bare-except traps (REP003, REP004);
+* **mirror parity** — the dict and kernel enumeration backends keep
+  structurally identical control flow (REP005);
+* **process isolation** — multiprocessing workers never mutate state
+  the parent is expected to see (REP006).
+
+Run it with ``python -m repro.analysis [paths…]``; see
+``docs/analysis.md`` for the rule catalog, suppression syntax and
+baseline workflow.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, all_rules, get_rule, rule
+from repro.analysis.runner import AnalysisReport, analyze
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "analyze",
+    "get_rule",
+    "rule",
+]

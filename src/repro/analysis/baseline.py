@@ -1,0 +1,154 @@
+"""The committed findings baseline.
+
+A baseline entry grandfathers one *deliberate* finding: an exact float
+sentinel, an order-insensitive set iteration the author prefers not to
+rewrite, and so on.  Every entry must carry a ``justification`` so the
+reasoning survives the commit that added it.
+
+Matching is structural, not positional: an entry matches findings with
+the same rule id, the same path (compared by suffix, so the baseline
+works from any working directory) and the same stripped source line
+text.  Line numbers are recorded for humans but ignored during
+matching — edits elsewhere in the file do not invalidate entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.analysis.findings import Finding
+
+#: File name searched for (upward from the CWD) when ``--baseline`` is
+#: not given explicitly.
+DEFAULT_BASELINE_NAME = "repro-lint.baseline.json"
+
+
+class BaselineError(ValueError):
+    """A baseline file that cannot be parsed or fails validation."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    rule: str
+    path: str
+    line_text: str
+    justification: str
+    line: int = 0
+
+    def matches(self, finding: Finding) -> bool:
+        if self.rule != finding.rule:
+            return False
+        if self.line_text != finding.line_text:
+            return False
+        return _same_path(self.path, finding.path)
+
+
+def _same_path(baseline_path: str, finding_path: str) -> bool:
+    """Suffix-tolerant path comparison (both normalized to '/')."""
+    a = baseline_path.replace(os.sep, "/").lstrip("./")
+    b = finding_path.replace(os.sep, "/").lstrip("./")
+    return a == b or a.endswith("/" + b) or b.endswith("/" + a)
+
+
+class Baseline:
+    """A set of grandfathered findings loaded from JSON."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()):
+        self.entries: List[BaselineEntry] = list(entries)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise BaselineError(f"{path}: invalid JSON ({exc})") from exc
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise BaselineError(
+                f"{path}: expected an object with a 'findings' array"
+            )
+        entries = []
+        for i, raw in enumerate(payload["findings"]):
+            missing = {"rule", "path", "line_text", "justification"} - set(raw)
+            if missing:
+                raise BaselineError(
+                    f"{path}: entry {i} is missing {sorted(missing)}"
+                )
+            if not raw["justification"].strip():
+                raise BaselineError(
+                    f"{path}: entry {i} ({raw['rule']} at {raw['path']}) "
+                    "has an empty justification — every grandfathered "
+                    "finding must explain itself"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=raw["rule"],
+                    path=raw["path"],
+                    line_text=raw["line_text"],
+                    justification=raw["justification"],
+                    line=int(raw.get("line", 0)),
+                )
+            )
+        return cls(entries)
+
+    @classmethod
+    def find_default(cls, start_dir: str = ".") -> str:
+        """Path of the nearest default baseline file, or '' if none."""
+        current = os.path.abspath(start_dir)
+        while True:
+            candidate = os.path.join(current, DEFAULT_BASELINE_NAME)
+            if os.path.isfile(candidate):
+                return candidate
+            parent = os.path.dirname(current)
+            if parent == current:
+                return ""
+            current = parent
+
+    # ------------------------------------------------------------------
+    def split(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Partition findings into (new, grandfathered) + unused entries."""
+        new: List[Finding] = []
+        grandfathered: List[Finding] = []
+        used = [False] * len(self.entries)
+        for finding in findings:
+            matched = False
+            for i, entry in enumerate(self.entries):
+                if entry.matches(finding):
+                    used[i] = True
+                    matched = True
+                    break
+            (grandfathered if matched else new).append(finding)
+        unused = [e for e, u in zip(self.entries, used) if not u]
+        return new, grandfathered, unused
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def render(findings: List[Finding], justification: str) -> str:
+        """Serialize findings as a fresh baseline document."""
+        payload = {
+            "comment": (
+                "repro-lint baseline: deliberate findings, each with a "
+                "justification.  Regenerate with "
+                "'python -m repro.analysis --write-baseline' and then "
+                "fill in real justifications."
+            ),
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "path": f.path.replace(os.sep, "/"),
+                    "line": f.line,
+                    "line_text": f.line_text,
+                    "justification": justification,
+                }
+                for f in sorted(findings)
+            ],
+        }
+        return json.dumps(payload, indent=2) + "\n"

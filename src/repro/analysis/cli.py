@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro.analysis [options] paths…``.
+
+Exit codes: 0 — clean (modulo suppressions and baseline); 1 — new
+findings; 2 — usage or configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.registry import all_rules
+from repro.analysis.runner import AnalysisReport, analyze
+
+#: Sentinel for "--baseline given without a path" (use the default).
+_AUTO = "<auto>"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "repro-lint: AST-based determinism / numeric-safety / "
+            "mirror-parity analysis for the repro codebase"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to scan (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        nargs="?",
+        const=_AUTO,
+        default=_AUTO,
+        metavar="PATH",
+        help=(
+            "baseline file of grandfathered findings; without a PATH "
+            "(and by default) the nearest repro-lint.baseline.json "
+            "above the working directory is used when present"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (report every finding as new)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help=(
+            "write the current findings to PATH as a baseline skeleton "
+            "(justifications must then be filled in by hand) and exit 0"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _load_baseline(args) -> Optional[Baseline]:
+    if args.no_baseline:
+        return None
+    if args.baseline == _AUTO:
+        found = Baseline.find_default()
+        return Baseline.load(found) if found else None
+    return Baseline.load(args.baseline)
+
+
+def _print_text(report: AnalysisReport, out) -> None:
+    for finding in report.findings:
+        print(finding.format_text(), file=out)
+    for entry in report.unused_baseline:
+        print(
+            f"note: unused baseline entry {entry.rule} for {entry.path} "
+            f"({entry.line_text!r}) — the finding is gone; drop the entry",
+            file=out,
+        )
+    print(
+        f"{len(report.findings)} finding(s) "
+        f"({len(report.grandfathered)} baselined, "
+        f"{len(report.suppressed)} suppressed) "
+        f"in {report.files_scanned} file(s)",
+        file=out,
+    )
+
+
+def _print_json(report: AnalysisReport, out) -> None:
+    payload = {
+        "findings": [f.as_dict() for f in report.findings],
+        "grandfathered": [f.as_dict() for f in report.grandfathered],
+        "suppressed": [f.as_dict() for f in report.suppressed],
+        "unused_baseline": [
+            {
+                "rule": e.rule,
+                "path": e.path,
+                "line_text": e.line_text,
+                "justification": e.justification,
+            }
+            for e in report.unused_baseline
+        ],
+        "files_scanned": report.files_scanned,
+        "ok": report.ok,
+    }
+    json.dump(payload, out, indent=2)
+    out.write("\n")
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(
+                f"{rule.id}  {rule.severity}  [{rule.scope}]  "
+                f"{rule.name}: {rule.description}",
+                file=out,
+            )
+        return 0
+    try:
+        baseline = _load_baseline(args)
+    except (BaselineError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = analyze(args.paths, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        with open(args.write_baseline, "w", encoding="utf-8") as handle:
+            handle.write(
+                Baseline.render(
+                    report.findings, justification="TODO: justify or fix"
+                )
+            )
+        print(
+            f"wrote {len(report.findings)} finding(s) to "
+            f"{args.write_baseline}",
+            file=out,
+        )
+        return 0
+    if args.format == "json":
+        _print_json(report, out)
+    else:
+        _print_text(report, out)
+    return 0 if report.ok else 1

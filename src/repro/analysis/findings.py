@@ -1,0 +1,64 @@
+"""Finding and severity objects shared by every repro-lint rule.
+
+A :class:`Finding` is one diagnosed violation: a rule id, a severity,
+a source location and a human-readable message.  Findings are plain
+frozen dataclasses so they can be sorted, hashed, serialized to JSON
+and compared against baseline entries without any rule-specific logic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings break reproducibility or backend parity
+    outright; ``WARNING`` findings are numeric-hygiene smells that a
+    reviewer must either fix or explicitly justify.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: Severity = field(compare=False)
+    message: str = field(compare=False)
+    #: The stripped source line the finding points at.  Baseline
+    #: matching keys on this text instead of the line number, so
+    #: unrelated edits above a grandfathered finding do not invalidate
+    #: the baseline entry.
+    line_text: str = field(compare=False, default="")
+
+    def format_text(self) -> str:
+        """Render in the classic ``path:line:col: RULE sev: msg`` shape."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity}: {self.message}"
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (used by ``--format=json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+            "line_text": self.line_text,
+        }

@@ -1,0 +1,246 @@
+"""Normalized control-flow fingerprints for the dict/kernel mirror.
+
+The dict backend (:meth:`repro.core.pmuc.PivotEnumerator._pmuce`) and
+the kernel backend (the ``rec`` closure built by
+:meth:`repro.kernel.enumerate.KernelEnumerator._build_rec`) promise
+byte-identical output and identical ``SearchStats`` counters.  That
+contract is invisible to ordinary tests until a divergence produces a
+wrong answer on some input; this module makes it checkable statically.
+
+A fingerprint is the sequence of *semantic events* the recursion
+performs, in linearized control-flow order:
+
+========== =========================================================
+event      detected from
+========== =========================================================
+call       ``... calls += 1``
+depth      ``observe_depth(...)`` call or a store to ``max_depth``
+emit       ``... outputs += 1`` or a call to ``_emit``/``emit``
+kpivot-stop ``... kpivot_stops += 1``
+mpivot-skip ``... mpivot_skips += 1`` (or ``+= len(...)``)
+expand     ``... expansions += 1``
+size-prune ``... size_prunes += 1``
+pivot      an assignment to a name ``pivot``
+acc        a probability-accumulation statement: ``X = param OP Y``
+           where ``OP`` is ``*`` (probability domain) or ``+`` (log
+           domain), ``param`` is a parameter of the fingerprinted
+           function and ``Y`` is not an integer literal — i.e. the
+           threaded clique probability update ``q_new = q * r_u`` /
+           ``nlq_new = nlq + sv[u]``
+loop[ ]loop boundaries of loops that contain a recursion or counter
+           event (bookkeeping-only loops such as byte scans, color
+           counting or ``sv`` restores stay invisible)
+recurse    a call to the fingerprinted function itself
+========== =========================================================
+
+Branches are linearized (``if`` body then ``else``); loops that carry
+no events vanish.  Two normalization passes absorb the documented,
+*intentional* asymmetries between the backends:
+
+1. **inlined-leaf fold** — inside a loop, a run of
+   ``call``/``depth``/``emit`` directly after ``recurse`` is folded
+   into the ``recurse`` (the kernel inlines the no-candidate leaf call
+   for speed; its counter signature is exactly that run);
+2. **adjacent dedupe** — consecutive identical events collapse (the
+   kernel splits one logical check across specialised branches, e.g.
+   the length pre-check and the color-count check of the K-pivot
+   bound, or the three ways of assigning ``pivot``).
+
+After normalization the two fingerprints must be *identical*; any
+difference is REP005 mirror drift.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.analysis.source import terminal_name
+
+#: counter attribute/name -> event label
+_COUNTER_EVENTS = {
+    "calls": "call",
+    "expansions": "expand",
+    "outputs": "emit",
+    "mpivot_skips": "mpivot-skip",
+    "kpivot_stops": "kpivot-stop",
+    "size_prunes": "size-prune",
+}
+
+_LOOP_OPEN = "loop["
+_LOOP_CLOSE = "]loop"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One fingerprint event with its source line (for diagnostics)."""
+
+    label: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.label}@{self.line}"
+
+
+class _Extractor:
+    """Linearizes one function body into the raw event sequence."""
+
+    def __init__(self, func: ast.AST):
+        self.func = func
+        self.name = func.name
+        self.params = {
+            arg.arg
+            for arg in (
+                func.args.posonlyargs + func.args.args + func.args.kwonlyargs
+            )
+        }
+
+    def extract(self) -> List[Event]:
+        return self._visit_block(self.func.body)
+
+    # ------------------------------------------------------------------
+    def _visit_block(self, stmts) -> List[Event]:
+        events: List[Event] = []
+        for stmt in stmts:
+            events.extend(self._visit_stmt(stmt))
+        return events
+
+    def _visit_stmt(self, stmt: ast.stmt) -> List[Event]:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return []  # nested scopes are fingerprinted separately
+        if isinstance(stmt, ast.AugAssign):
+            return self._counter_event(stmt)
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            return self._assign_events(stmt)
+        if isinstance(stmt, ast.Expr):
+            return self._call_events(stmt.value)
+        if isinstance(stmt, ast.If):
+            return self._visit_block(stmt.body) + self._visit_block(stmt.orelse)
+        if isinstance(stmt, (ast.While, ast.For)):
+            body = self._visit_block(stmt.body) + self._visit_block(stmt.orelse)
+            if any(e.label != _LOOP_OPEN and e.label != _LOOP_CLOSE for e in body):
+                return (
+                    [Event(_LOOP_OPEN, stmt.lineno)]
+                    + body
+                    + [Event(_LOOP_CLOSE, stmt.lineno)]
+                )
+            return body
+        if isinstance(stmt, ast.Try):
+            events = self._visit_block(stmt.body)
+            for handler in stmt.handlers:
+                events.extend(self._visit_block(handler.body))
+            events.extend(self._visit_block(stmt.orelse))
+            events.extend(self._visit_block(stmt.finalbody))
+            return events
+        if isinstance(stmt, ast.With):
+            return self._visit_block(stmt.body)
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            return self._call_events(stmt.value)
+        return []
+
+    # ------------------------------------------------------------------
+    def _counter_event(self, stmt: ast.AugAssign) -> List[Event]:
+        if not isinstance(stmt.op, ast.Add):
+            return []
+        name = terminal_name(stmt.target)
+        label = _COUNTER_EVENTS.get(name or "")
+        if label is None:
+            return []
+        return [Event(label, stmt.lineno)]
+
+    def _assign_events(self, stmt) -> List[Event]:
+        events: List[Event] = []
+        targets = (
+            stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        )
+        names = {terminal_name(t) for t in targets}
+        if "max_depth" in names:
+            events.append(Event("depth", stmt.lineno))
+        if "pivot" in names:
+            events.append(Event("pivot", stmt.lineno))
+        value = stmt.value
+        if value is not None:
+            if self._is_accumulation(value):
+                events.append(Event("acc", stmt.lineno))
+            events.extend(self._call_events(value))
+        return events
+
+    def _is_accumulation(self, value: ast.AST) -> bool:
+        if not isinstance(value, ast.BinOp):
+            return False
+        if not isinstance(value.op, (ast.Mult, ast.Add)):
+            return False
+        param_side = other = None
+        for side, partner in (
+            (value.left, value.right),
+            (value.right, value.left),
+        ):
+            if isinstance(side, ast.Name) and side.id in self.params:
+                param_side, other = side, partner
+                break
+        if param_side is None:
+            return False
+        return not (
+            isinstance(other, ast.Constant) and isinstance(other.value, int)
+        )
+
+    def _call_events(self, expr: ast.AST) -> List[Event]:
+        events: List[Event] = []
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = terminal_name(node.func)
+            if callee == self.name:
+                events.append(Event("recurse", node.lineno))
+            elif callee == "observe_depth":
+                events.append(Event("depth", node.lineno))
+            elif callee in ("_emit", "emit"):
+                events.append(Event("emit", node.lineno))
+        return events
+
+
+def _normalize(events: List[Event]) -> List[Event]:
+    """Apply the inlined-leaf fold, then adjacent dedupe."""
+    folded: List[Event] = []
+    loop_depth = 0
+    folding = False
+    for event in events:
+        if event.label == _LOOP_OPEN:
+            loop_depth += 1
+            folding = False
+        elif event.label == _LOOP_CLOSE:
+            loop_depth -= 1
+            folding = False
+        if folding and event.label in ("call", "depth", "emit"):
+            continue  # part of an inlined leaf call's counter signature
+        folding = loop_depth > 0 and event.label == "recurse"
+        folded.append(event)
+    deduped: List[Event] = []
+    for event in folded:
+        if deduped and deduped[-1].label == event.label:
+            continue
+        deduped.append(event)
+    return deduped
+
+
+def fingerprint_function(func: ast.AST) -> List[Event]:
+    """The normalized event fingerprint of one function definition."""
+    return _normalize(_Extractor(func).extract())
+
+
+def labels(events: List[Event]) -> List[str]:
+    """Just the event labels (what the parity comparison compares)."""
+    return [e.label for e in events]
+
+
+def first_divergence(
+    a: List[Event], b: List[Event]
+) -> Optional[Tuple[int, Optional[Event], Optional[Event]]]:
+    """Index and events at the first position where ``a``/``b`` differ."""
+    for i in range(max(len(a), len(b))):
+        ea = a[i] if i < len(a) else None
+        eb = b[i] if i < len(b) else None
+        if ea is None or eb is None or ea.label != eb.label:
+            return i, ea, eb
+    return None

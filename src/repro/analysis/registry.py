@@ -1,0 +1,84 @@
+"""The repro-lint rule registry.
+
+Rules self-register at import time through the :func:`rule` decorator;
+the runner asks the registry for the active set.  Two rule scopes
+exist:
+
+* ``file`` — the checker is called once per parsed
+  :class:`~repro.analysis.source.SourceFile` and diagnoses that file
+  in isolation;
+* ``project`` — the checker is called once with *all* parsed files and
+  may relate declarations across files (the mirror-parity rule REP005
+  needs both backends at once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.source import SourceFile
+
+FileChecker = Callable[[SourceFile], Iterable[Finding]]
+ProjectChecker = Callable[[List[SourceFile]], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata plus checker for one registered rule."""
+
+    id: str
+    name: str
+    severity: Severity
+    scope: str  # "file" | "project"
+    description: str
+    checker: Callable
+
+    def run(self, target) -> List[Finding]:
+        """Run the checker and materialize its findings."""
+        return list(self.checker(target))
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(
+    id: str,
+    name: str,
+    severity: Severity,
+    description: str,
+    scope: str = "file",
+):
+    """Class/function decorator registering a checker under ``id``."""
+    if scope not in ("file", "project"):
+        raise ValueError(f"unknown rule scope {scope!r}")
+
+    def decorate(checker: Callable) -> Callable:
+        if id in _REGISTRY:
+            raise ValueError(f"rule {id} registered twice")
+        _REGISTRY[id] = Rule(
+            id=id,
+            name=name,
+            severity=severity,
+            scope=scope,
+            description=description,
+            checker=checker,
+        )
+        return checker
+
+    return decorate
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by id (imports rule modules)."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Optional[Rule]:
+    """Look up one rule by id (None when unknown)."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return _REGISTRY.get(rule_id)

@@ -1,0 +1,14 @@
+"""The repro-lint rule catalog.
+
+Importing this package registers every rule with
+:mod:`repro.analysis.registry`.  Rules live one concern per module:
+
+* :mod:`~repro.analysis.rules.determinism` — REP001, REP002
+* :mod:`~repro.analysis.rules.numeric` — REP003, REP004
+* :mod:`~repro.analysis.rules.mirror` — REP005
+* :mod:`~repro.analysis.rules.parallel` — REP006
+"""
+
+from repro.analysis.rules import determinism, mirror, numeric, parallel
+
+__all__ = ["determinism", "mirror", "numeric", "parallel"]

@@ -1,0 +1,117 @@
+"""REP005 — dict/kernel mirror drift.
+
+PR 1 introduced ``repro.kernel.enumerate.KernelEnumerator`` as a
+statement-for-statement mirror of
+``repro.core.pmuc.PivotEnumerator._pmuce``; the runtime parity tests
+(``tests/test_kernel_parity.py``) can only catch a divergence that
+changes the output *on the inputs they run*.  This rule checks the
+contract structurally on every lint run: the normalized control-flow
+fingerprints (see :mod:`repro.analysis.fingerprint`) of the two
+recursions must be identical.
+
+The rule has project scope — it needs both backends in the scanned
+set.  When only one anchor is present (e.g. a single-file scan) the
+rule stays silent; the self-scan test asserts that a full ``src/repro``
+scan finds both.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.fingerprint import (
+    Event,
+    fingerprint_function,
+    first_divergence,
+    labels,
+)
+from repro.analysis.registry import rule
+from repro.analysis.source import SourceFile, walk_functions
+
+#: The dict-backend anchor: a method named ``_pmuce`` defined directly
+#: inside a class.
+_DICT_METHOD = "_pmuce"
+#: The kernel-backend anchor: a function named ``rec`` nested inside a
+#: function named ``_build_rec``.
+_KERNEL_FUNC = "rec"
+_KERNEL_BUILDER = "_build_rec"
+
+
+def find_mirror_anchors(
+    files: List[SourceFile],
+) -> Tuple[Optional[Tuple[SourceFile, ast.AST]], Optional[Tuple[SourceFile, ast.AST]]]:
+    """Locate the (dict, kernel) recursion definitions in the scan set.
+
+    Files are searched in scan order and the first match on each side
+    wins, so a project containing exactly one backend pair — the normal
+    case — is unambiguous.
+    """
+    dict_anchor = kernel_anchor = None
+    for src in files:
+        for func, stack in walk_functions(src.tree):
+            if (
+                dict_anchor is None
+                and func.name == _DICT_METHOD
+                and stack
+                and isinstance(stack[-1], ast.ClassDef)
+            ):
+                dict_anchor = (src, func)
+            if (
+                kernel_anchor is None
+                and func.name == _KERNEL_FUNC
+                and stack
+                and isinstance(stack[-1], ast.FunctionDef)
+                and stack[-1].name == _KERNEL_BUILDER
+            ):
+                kernel_anchor = (src, func)
+    return dict_anchor, kernel_anchor
+
+
+@rule(
+    "REP005",
+    "mirror-drift",
+    Severity.ERROR,
+    "the dict and kernel enumeration recursions have diverging "
+    "control-flow fingerprints",
+    scope="project",
+)
+def check_mirror_drift(files: List[SourceFile]) -> Iterator[Finding]:
+    dict_anchor, kernel_anchor = find_mirror_anchors(files)
+    if dict_anchor is None or kernel_anchor is None:
+        return
+    dict_src, dict_func = dict_anchor
+    kernel_src, kernel_func = kernel_anchor
+    dict_fp = fingerprint_function(dict_func)
+    kernel_fp = fingerprint_function(kernel_func)
+    divergence = first_divergence(dict_fp, kernel_fp)
+    if divergence is None:
+        return
+    index, dict_event, kernel_event = divergence
+    yield Finding(
+        path=kernel_src.path,
+        line=kernel_func.lineno,
+        col=kernel_func.col_offset,
+        rule="REP005",
+        severity=Severity.ERROR,
+        message=(
+            "mirror drift between "
+            f"{dict_src.path}::{_DICT_METHOD} and "
+            f"{kernel_src.path}::{_KERNEL_BUILDER}.{_KERNEL_FUNC}: "
+            f"fingerprints diverge at event {index} "
+            f"(dict: {_show(dict_event, dict_src)}, "
+            f"kernel: {_show(kernel_event, kernel_src)}); "
+            f"dict fingerprint {labels(dict_fp)} vs "
+            f"kernel fingerprint {labels(kernel_fp)} — the two backends "
+            "must mirror each other statement for statement (see "
+            "docs/analysis.md)"
+        ),
+        line_text=kernel_src.line_text(kernel_func.lineno),
+    )
+
+
+def _show(event: Optional[Event], src: SourceFile) -> str:
+    if event is None:
+        return "<end of fingerprint>"
+    return f"{event.label} at line {event.line} ({src.line_text(event.line)!r})"

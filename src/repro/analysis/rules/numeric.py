@@ -1,0 +1,146 @@
+"""Numeric-safety and API-hygiene rules.
+
+REP003 — float equality.  Probabilities and thresholds in this
+codebase are accumulated products (or log-domain sums) of floats;
+``==`` / ``!=`` against them is at best an exact-sentinel check and at
+worst a latent order-of-evaluation bug.  Every such comparison must be
+rewritten with an epsilon / ``math.isclose`` guard or explicitly
+recorded (suppression or baseline) as an intentional sentinel.
+
+REP004 — mutable default arguments and bare ``except:``.  The two
+classic correctness traps: a shared mutable default leaks state across
+calls, and a bare except swallows ``KeyboardInterrupt`` /
+``SystemExit`` along with the error it meant to catch.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import rule
+from repro.analysis.source import SourceFile, terminal_name
+
+#: Identifiers that (by this repo's conventions) carry probabilities,
+#: thresholds or log-domain values.
+_PROB_NAME = re.compile(
+    r"""(?x)
+    ^(
+        p | q | eta | gamma | epsilon | eps | weight | threshold
+      | similarity | prob | probability | reliability | density
+    )\d*$
+    | ^(p|q|log|nl)_       # p_e, q_new, log_prob, nl_eta, ...
+    | prob                 # prob, probs, clique_prob, probability, ...
+    | _(p|eta|weight|threshold|similarity)\d*$
+    """
+)
+
+
+def _is_prob_operand(node: ast.AST) -> Optional[str]:
+    """A short description when ``node`` looks probability-valued."""
+    name = terminal_name(node)
+    if name is not None and _PROB_NAME.search(name):
+        return f"'{name}'"
+    if isinstance(node, ast.Call):
+        callee = terminal_name(node.func)
+        if callee is not None and _PROB_NAME.search(callee):
+            return f"'{callee}(...)'"
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return f"float literal {node.value!r}"
+    return None
+
+
+@rule(
+    "REP003",
+    "float-equality",
+    Severity.WARNING,
+    "== / != on probability- or threshold-valued floats; use an "
+    "epsilon guard or record the exact-sentinel intent",
+)
+def check_float_equality(src: SourceFile) -> Iterator[Finding]:
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            what = _is_prob_operand(left) or _is_prob_operand(right)
+            if what is None:
+                continue
+            # `x == None` style comparisons are a different lint's job.
+            if any(
+                isinstance(side, ast.Constant) and side.value is None
+                for side in (left, right)
+            ):
+                continue
+            sym = "==" if isinstance(op, ast.Eq) else "!="
+            yield Finding(
+                path=src.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="REP003",
+                severity=Severity.WARNING,
+                message=(
+                    f"exact float comparison '{sym}' involving {what}; "
+                    "use math.isclose / an inequality, or mark the "
+                    "exact-sentinel intent with a suppression or "
+                    "baseline entry"
+                ),
+                line_text=src.line_text(node.lineno),
+            )
+
+
+# ----------------------------------------------------------------------
+# REP004 — mutable defaults and bare except
+# ----------------------------------------------------------------------
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("list", "dict", "set", "bytearray")
+    return False
+
+
+@rule(
+    "REP004",
+    "mutable-default-or-bare-except",
+    Severity.ERROR,
+    "mutable default argument values and bare except: clauses",
+)
+def check_mutable_defaults(src: SourceFile) -> Iterator[Finding]:
+    for node in ast.walk(src.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield Finding(
+                        path=src.path,
+                        line=default.lineno,
+                        col=default.col_offset,
+                        rule="REP004",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"mutable default argument in '{node.name}'; "
+                            "default to None and construct inside the "
+                            "function"
+                        ),
+                        line_text=src.line_text(default.lineno),
+                    )
+        elif isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield Finding(
+                path=src.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="REP004",
+                severity=Severity.ERROR,
+                message=(
+                    "bare 'except:' also catches KeyboardInterrupt/"
+                    "SystemExit; catch Exception (or narrower) instead"
+                ),
+                line_text=src.line_text(node.lineno),
+            )

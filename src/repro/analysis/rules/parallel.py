@@ -1,0 +1,180 @@
+"""REP006 — cross-process state mutation in parallel worker paths.
+
+``repro.core.partition.enumerate_parallel`` ships work to a spawn
+``multiprocessing`` pool.  Anything a worker function writes to shared-
+looking state — module globals, attributes of the objects it received
+in its pickled arguments, ``os.environ`` — is silently confined to the
+worker process: the parent never sees it, and whether *tests* see it
+depends on which backend/platform ran the job.  The rule finds worker
+entry points syntactically (functions dispatched through ``Pool.map``
+and friends or ``Process(target=...)``) and flags mutation of
+non-local state inside them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import rule
+from repro.analysis.source import SourceFile, root_name
+
+#: Pool methods whose first positional argument is a worker function.
+_DISPATCH_METHODS = {
+    "map",
+    "map_async",
+    "imap",
+    "imap_unordered",
+    "starmap",
+    "starmap_async",
+    "apply",
+    "apply_async",
+}
+
+
+def _worker_names(tree: ast.Module) -> Set[str]:
+    """Names of functions dispatched to another process in this module."""
+    workers: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _DISPATCH_METHODS
+            and node.args
+            and isinstance(node.args[0], ast.Name)
+        ):
+            workers.add(node.args[0].id)
+        if isinstance(func, ast.Name) and func.id in ("Process", "Thread"):
+            for kw in node.keywords:
+                if kw.arg == "target" and isinstance(kw.value, ast.Name):
+                    workers.add(kw.value.id)
+    return workers
+
+
+def _function_defs(tree: ast.Module) -> Dict[str, ast.FunctionDef]:
+    """Top-level function definitions by name."""
+    return {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+@rule(
+    "REP006",
+    "cross-process-mutation",
+    Severity.ERROR,
+    "multiprocessing workers mutating globals, self, or argument "
+    "attributes — the writes never reach the parent process",
+)
+def check_cross_process_mutation(src: SourceFile) -> Iterator[Finding]:
+    workers = _worker_names(src.tree)
+    if not workers:
+        return
+    defs = _function_defs(src.tree)
+    for name in sorted(workers):
+        func = defs.get(name)
+        if func is None:
+            continue
+        yield from _check_worker(src, func)
+
+
+def _check_worker(
+    src: SourceFile, func: ast.FunctionDef
+) -> Iterator[Finding]:
+    params = {
+        arg.arg
+        for arg in (
+            func.args.posonlyargs + func.args.args + func.args.kwonlyargs
+        )
+    }
+    #: Names rebound from the arguments (tuple-unpacked jobs); mutating
+    #: their attributes is equally lost on return.
+    arg_aliases = set(params)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            yield _mutation_finding(
+                src,
+                node,
+                func.name,
+                f"declares global {', '.join(node.names)}",
+            )
+        elif isinstance(node, ast.Assign):
+            # Track job unpacking: x, y = job  /  x = job[0]
+            if (
+                len(node.targets) == 1
+                and isinstance(node.targets[0], (ast.Tuple, ast.Name))
+                and root_name(node.value) in arg_aliases
+            ):
+                target = node.targets[0]
+                names = (
+                    [target]
+                    if isinstance(target, ast.Name)
+                    else list(target.elts)
+                )
+                for elt in names:
+                    if isinstance(elt, ast.Name):
+                        arg_aliases.add(elt.id)
+                continue
+            yield from _attribute_writes(
+                src, func, node.targets, arg_aliases
+            )
+        elif isinstance(node, ast.AugAssign):
+            yield from _attribute_writes(src, func, [node.target], arg_aliases)
+    return
+
+
+def _attribute_writes(
+    src: SourceFile,
+    func: ast.FunctionDef,
+    targets: List[ast.AST],
+    arg_aliases: Set[str],
+) -> Iterator[Finding]:
+    for target in targets:
+        if not isinstance(target, (ast.Attribute, ast.Subscript)):
+            continue
+        base = target.value
+        root = root_name(base)
+        if root == "self" and isinstance(target, ast.Attribute):
+            yield _mutation_finding(
+                src, target, func.name, f"assigns self.{target.attr}"
+            )
+        elif (
+            isinstance(target, ast.Attribute)
+            and root in arg_aliases
+            and isinstance(base, ast.Name)
+        ):
+            yield _mutation_finding(
+                src,
+                target,
+                func.name,
+                f"mutates attribute '{target.attr}' of argument "
+                f"'{root}' (a pickled copy)",
+            )
+        elif root == "environ" or (
+            isinstance(base, ast.Attribute) and base.attr == "environ"
+        ):
+            yield _mutation_finding(
+                src, target, func.name, "writes os.environ"
+            )
+
+
+def _mutation_finding(
+    src: SourceFile, node: ast.AST, worker: str, what: str
+) -> Finding:
+    return Finding(
+        path=src.path,
+        line=node.lineno,
+        col=node.col_offset,
+        rule="REP006",
+        severity=Severity.ERROR,
+        message=(
+            f"worker function '{worker}' {what}; workers run in spawned "
+            "processes, so the mutation never reaches the parent — "
+            "return the data instead"
+        ),
+        line_text=src.line_text(node.lineno),
+    )

@@ -1,0 +1,132 @@
+"""The repro-lint analysis driver.
+
+Collects python files, parses each once, runs every file-scope rule on
+every file and every project-scope rule on the whole set, applies
+inline suppressions, and returns one :class:`AnalysisReport`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, all_rules
+from repro.analysis.source import SourceFile
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    grandfathered: List[Finding] = field(default_factory=list)
+    unused_baseline: List[BaselineEntry] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no new (unsuppressed, unbaselined) findings exist."""
+        return not self.findings
+
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    seen = []
+    for path in paths:
+        if os.path.isfile(path):
+            seen.append(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [
+                    d for d in dirnames
+                    if d not in ("__pycache__", ".git")
+                ]
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        seen.append(os.path.join(dirpath, name))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return seen
+
+
+def parse_files(paths: Iterable[str]) -> List[SourceFile]:
+    """Parse every path; syntax errors become PARSE findings upstream."""
+    return [SourceFile.read(path) for path in paths]
+
+
+def run_rules(
+    files: List[SourceFile], rules: Optional[List[Rule]] = None
+) -> "tuple[List[Finding], List[Finding]]":
+    """Raw ``(kept, suppressed)`` findings (baseline not yet applied)."""
+    if rules is None:
+        rules = all_rules()
+    findings: List[Finding] = []
+    for rule in rules:
+        if rule.scope == "file":
+            for src in files:
+                findings.extend(rule.run(src))
+        else:
+            findings.extend(rule.run(files))
+    by_path = {src.path: src for src in files}
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        src = by_path.get(finding.path)
+        if src is not None and src.is_suppressed(finding.rule, finding.line):
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    return sorted(kept), suppressed
+
+
+def analyze(
+    paths: Sequence[str],
+    baseline: Optional[Baseline] = None,
+    rules: Optional[List[Rule]] = None,
+) -> AnalysisReport:
+    """Run the full analysis over ``paths``.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories to scan.
+    baseline:
+        Optional committed baseline; matching findings are reported as
+        grandfathered instead of new.
+    rules:
+        Optional explicit rule list (defaults to the full registry).
+    """
+    report = AnalysisReport()
+    file_paths = collect_files(paths)
+    report.files_scanned = len(file_paths)
+    try:
+        files = parse_files(file_paths)
+    except SyntaxError as exc:
+        report.findings.append(
+            Finding(
+                path=exc.filename or "<unknown>",
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                rule="PARSE",
+                severity=Severity.ERROR,
+                message=f"syntax error: {exc.msg}",
+            )
+        )
+        return report
+    findings, report.suppressed = run_rules(files, rules)
+    if baseline is not None:
+        new, grandfathered, unused = baseline.split(findings)
+        report.findings = new
+        report.grandfathered = grandfathered
+        report.unused_baseline = unused
+    else:
+        report.findings = findings
+    return report

@@ -1,0 +1,128 @@
+"""Parsed source files and shared AST helpers for repro-lint rules.
+
+Every rule receives :class:`SourceFile` objects — the parsed module
+plus the raw lines — so the expensive work (reading, parsing, parent
+links, per-line suppression scanning) happens exactly once per file no
+matter how many rules run.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+#: Inline suppression syntax, e.g.::
+#:
+#:     for v in vertex_set:  # repro-lint: ok REP001 result set is unordered
+#:
+#: A bare ``# repro-lint: ok`` (no ids) silences every rule on that
+#: line.  The comment may sit on the flagged line or on the line
+#: directly above it.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ok\b\s*((?:REP\d+[\s,]*)*)"
+)
+
+
+class SourceFile:
+    """One parsed python source file handed to the rules."""
+
+    def __init__(self, path: str, text: str):
+        self.path = path
+        self.text = text
+        self.lines: List[str] = text.splitlines()
+        self.tree: ast.Module = ast.parse(text, filename=path)
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self._parents[child] = node
+        #: line number -> set of suppressed rule ids (empty set = all).
+        self._suppressions: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                ids = set(re.findall(r"REP\d+", match.group(1) or ""))
+                self._suppressions[lineno] = ids
+
+    @classmethod
+    def read(cls, path: str) -> "SourceFile":
+        with open(path, encoding="utf-8") as handle:
+            return cls(path, handle.read())
+
+    # ------------------------------------------------------------------
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The syntactic parent of ``node`` (None for the module)."""
+        return self._parents.get(node)
+
+    def line_text(self, lineno: int) -> str:
+        """The stripped source text of one 1-indexed line."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def is_suppressed(self, rule: str, lineno: int) -> bool:
+        """True when the rule is silenced on ``lineno`` (or just above).
+
+        The one-line-above lookup lets long flagged statements carry
+        the comment on their own line instead of overflowing the
+        flagged one.
+        """
+        for where in (lineno, lineno - 1):
+            ids = self._suppressions.get(where)
+            if ids is not None and (not ids or rule in ids):
+                return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# small AST utilities shared by several rules
+# ----------------------------------------------------------------------
+def call_name(node: ast.AST) -> Optional[str]:
+    """The simple callee name of a Call (``f(...)`` or ``x.f(...)``)."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """The last identifier of a Name/Attribute chain (``a.b.c`` -> ``c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def root_name(node: ast.AST) -> Optional[str]:
+    """The first identifier of a Name/Attribute chain (``a.b.c`` -> ``a``)."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def walk_functions(
+    tree: ast.AST,
+) -> Iterator[Tuple[ast.AST, List[ast.AST]]]:
+    """Yield every function with its stack of enclosing scopes.
+
+    The stack contains the enclosing Module/ClassDef/FunctionDef nodes
+    from outermost to innermost (excluding the function itself).
+    """
+    def visit(node: ast.AST, stack: List[ast.AST]) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, stack
+                yield from visit(child, stack + [child])
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, stack + [child])
+            else:
+                yield from visit(child, stack)
+
+    yield from visit(tree, [tree])

@@ -78,6 +78,7 @@ def community_diameter(graph: UncertainGraph, vertices) -> Optional[int]:
         while frontier:
             nxt = []
             for v in frontier:
+                # repro-lint: ok REP001 BFS level sets and the diameter are order-independent
                 for u in sub.neighbors(v):
                     if u not in dist:
                         dist[u] = dist[v] + 1

@@ -74,12 +74,16 @@ def k_eta_core_vertices(graph: UncertainGraph, k: int, eta) -> Set[Vertex]:
 
     for v in alive:
         degrees[v] = current_eta_degree(v)
-    queue = [v for v in alive if degrees[v] < k]
+    # Canonical queue order: peeling is confluent (the core is unique),
+    # but seeding in sorted order keeps intermediate states — and any
+    # instrumentation hung off them — reproducible too.
+    queue = sorted((v for v in alive if degrees[v] < k), key=repr)
     while queue:
         v = queue.pop()
         if v not in alive:
             continue
         alive.discard(v)
+        # repro-lint: ok REP001 insertion-ordered dict view; peeling is confluent
         for u in graph.neighbors(v):
             if u in alive and degrees[u] >= k:
                 degrees[u] = current_eta_degree(u)

@@ -56,7 +56,9 @@ def k_gamma_truss(graph: UncertainGraph, k: int, gamma) -> UncertainGraph:
     def prob(e: Edge) -> float:
         return edge_support_probability(work, e[0], e[1], support)
 
-    queue = [e for e in alive if prob(e) < gamma]
+    # Canonical queue order: peeling is confluent (the truss is unique),
+    # but a sorted seed keeps the removal sequence reproducible.
+    queue = sorted((e for e in alive if prob(e) < gamma), key=repr)
     removed: Set[Edge] = set()
     while queue:
         e = queue.pop()

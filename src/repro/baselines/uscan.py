@@ -82,14 +82,19 @@ def uscan(
         while stack:
             v = stack.pop()
             members.add(v)
-            for u in similar[v]:
+            # Sorted expansion keeps the DFS (and any stats derived
+            # from it) canonical; the member set itself is confluent.
+            for u in sorted(similar[v], key=repr):
                 if u in cores and u not in cluster_of:
                     cluster_of[u] = cluster_id
                     stack.append(u)
         clusters.append(members)
     # Borders: non-core vertices ε-similar to some clustered core.
+    # The first ε-similar clustered core wins, so the candidate order
+    # must be canonical — iterating the raw set hands the choice to
+    # PYTHONHASHSEED.
     for v in sorted(set(graph.vertices()) - cores, key=repr):
-        for u in similar[v]:
+        for u in sorted(similar[v], key=repr):
             if u in cluster_of and u in cores:
                 clusters[cluster_of[u]].add(v)
                 break

@@ -73,11 +73,16 @@ def _bk(
         return
     if pivot and c:
         # Pivot on the vertex (from C ∪ X) covering most candidates.
-        pivot_vertex = max(c | x, key=lambda u: len(c & graph.neighbors(u)))
+        # Ties are broken by the canonical (repr) order, not by set
+        # iteration order, so the recursion tree is reproducible.
+        pivot_vertex = max(
+            sorted(c | x, key=repr),
+            key=lambda u: len(c & graph.neighbors(u)),
+        )
         expandable = c - graph.neighbors(pivot_vertex)
     else:
         expandable = set(c)
-    for v in expandable:
+    for v in sorted(expandable, key=repr):
         nbrs = graph.neighbors(v)
         yield from _bk(graph, r | {v}, c & nbrs, x & nbrs, pivot)
         c.discard(v)

@@ -65,6 +65,7 @@ def _peel(graph: Graph) -> Tuple[List[Vertex], Dict[Vertex, int]]:
         current_core = max(current_core, pointer)
         core[v] = current_core
         order.append(v)
+        # repro-lint: ok REP001 neighbors() is an insertion-ordered dict view
         for u in graph.neighbors(v):
             if u not in removed:
                 degree[u] -= 1

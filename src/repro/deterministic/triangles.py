@@ -33,9 +33,11 @@ def iter_triangles(graph: Graph) -> Iterator[Tuple[Vertex, Vertex, Vertex]]:
         )
     }
     for u in graph:
+        # repro-lint: ok REP001 neighbors() is an insertion-ordered dict view
         higher_u = [w for w in graph.neighbors(u) if rank[w] > rank[u]]
         higher_set = set(higher_u)
         for v in higher_u:
+            # repro-lint: ok REP001 neighbors() is an insertion-ordered dict view
             for w in graph.neighbors(v):
                 if rank[w] > rank[v] and w in higher_set:
                     yield (u, v, w)

@@ -40,7 +40,9 @@ def topk_core_vertices(graph: UncertainGraph, k: int, eta) -> Set[Vertex]:
         v: sorted(graph.neighbors(v).values(), reverse=True) for v in alive
     }
     topdeg = {v: _prefix_count(incident[v], eta) for v in alive}
-    queue = [v for v in alive if topdeg[v] < k]
+    # Canonical queue order: peeling is confluent (the core is unique),
+    # but a sorted seed keeps the removal sequence reproducible.
+    queue = sorted((v for v in alive if topdeg[v] < k), key=repr)
     while queue:
         v = queue.pop()
         if v not in alive:

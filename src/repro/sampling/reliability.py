@@ -35,6 +35,7 @@ def _connected(world: Graph, s: Vertex, t: Vertex) -> bool:
     stack = [s]
     while stack:
         v = stack.pop()
+        # repro-lint: ok REP001 reachability is a boolean; visit order cannot change it
         for u in world.neighbors(v):
             if u == t:
                 return True

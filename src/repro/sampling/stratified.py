@@ -79,7 +79,10 @@ def stratified_estimate(
         for present, (u, v) in zip(pattern, pivots):
             p = float(graph.probability(u, v))
             weight *= p if present else (1.0 - p)
-        if weight == 0.0:
+        # A stratum is dead only when some factor is *exactly* 0 or 1
+        # (the product then collapses to 0.0); <= guards against any
+        # negative rounding noise as well.
+        if weight <= 0.0:
             continue
         # Proportional allocation, at least one sample per live stratum.
         quota = max(1, round(samples * weight))

@@ -129,6 +129,7 @@ def exact_maximal_eta_cliques_by_worlds(
                     clique_prob[key] = clique_prob[key] + prob
     eta_cliques = {h for h, p in clique_prob.items() if p >= eta and h}
     results = []
+    # repro-lint: ok REP001 results are re-sorted canonically on return
     for h in eta_cliques:
         if len(h) < k:
             continue

@@ -1,0 +1,229 @@
+"""Self-scan, mirror-drift (REP005) and CLI/baseline behaviour.
+
+The self-scan is the analyzer's own acceptance test: the committed
+tree must be clean modulo the committed baseline, and the scan must
+actually see both enumeration backends — a silent REP005 because an
+anchor went missing would be a hole in the parity net.
+"""
+
+import io
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.cli import main
+from repro.analysis.fingerprint import fingerprint_function, labels
+from repro.analysis.registry import get_rule
+from repro.analysis.rules.mirror import find_mirror_anchors
+from repro.analysis.runner import analyze, collect_files, parse_files, run_rules
+from repro.analysis.source import SourceFile
+
+REPO = Path(__file__).resolve().parents[1]
+SRC_REPRO = REPO / "src" / "repro"
+BASELINE = REPO / "repro-lint.baseline.json"
+DICT_BACKEND = SRC_REPRO / "core" / "pmuc.py"
+KERNEL_BACKEND = SRC_REPRO / "kernel" / "enumerate.py"
+
+
+# ----------------------------------------------------------------------
+# self-scan
+# ----------------------------------------------------------------------
+def test_src_repro_is_clean_modulo_baseline():
+    report = analyze(
+        [str(SRC_REPRO)], baseline=Baseline.load(str(BASELINE))
+    )
+    assert report.ok, [f.format_text() for f in report.findings]
+    assert report.files_scanned > 50
+    # The committed baseline must stay minimal and fully used.
+    assert report.unused_baseline == []
+    assert len(report.grandfathered) == 1
+
+
+def test_self_scan_sees_both_mirror_anchors():
+    files = parse_files(collect_files([str(SRC_REPRO)]))
+    dict_anchor, kernel_anchor = find_mirror_anchors(files)
+    assert dict_anchor is not None, "dict backend anchor (_pmuce) missing"
+    assert kernel_anchor is not None, "kernel anchor (_build_rec.rec) missing"
+    assert dict_anchor[0].path.endswith(os.path.join("core", "pmuc.py"))
+    assert kernel_anchor[0].path.endswith(
+        os.path.join("kernel", "enumerate.py")
+    )
+
+
+def test_backend_fingerprints_currently_match():
+    files = parse_files([str(DICT_BACKEND), str(KERNEL_BACKEND)])
+    (dict_src, dict_func), (kernel_src, kernel_func) = find_mirror_anchors(
+        files
+    )
+    dict_fp = fingerprint_function(dict_func)
+    kernel_fp = fingerprint_function(kernel_func)
+    assert labels(dict_fp) == labels(kernel_fp)
+    # The fingerprint is non-trivial: it must cover the emit, the
+    # pivot choice, the expansion loop and the recursion.
+    seq = labels(dict_fp)
+    for expected in ("emit", "pivot", "loop[", "recurse", "]loop"):
+        assert expected in seq, seq
+
+
+# ----------------------------------------------------------------------
+# REP005 fires on artificial drift
+# ----------------------------------------------------------------------
+def _rep005_findings(kernel_text):
+    dict_src = SourceFile.read(str(DICT_BACKEND))
+    kernel_src = SourceFile("kernel_mutant.py", kernel_text)
+    kept, _ = run_rules([dict_src, kernel_src], [get_rule("REP005")])
+    return kept
+
+
+def _drop_line(text, fragment):
+    lines = text.splitlines(keepends=True)
+    kept = [ln for ln in lines if fragment not in ln]
+    assert len(kept) == len(lines) - 1, f"expected exactly one {fragment!r}"
+    return "".join(kept)
+
+
+def test_rep005_silent_on_the_committed_pair():
+    assert _rep005_findings(KERNEL_BACKEND.read_text()) == []
+
+
+def test_rep005_fires_when_kernel_drops_mpivot_accounting():
+    mutant = _drop_line(
+        KERNEL_BACKEND.read_text(), "mpivot_skips += len(unexpanded)"
+    )
+    found = _rep005_findings(mutant)
+    assert len(found) == 1
+    assert found[0].rule == "REP005"
+    assert "mirror drift" in found[0].message
+    assert "mpivot" in found[0].message
+
+
+def test_rep005_fires_when_kernel_drops_the_size_prune():
+    mutant = _drop_line(KERNEL_BACKEND.read_text(), "size_prunes += 1")
+    found = _rep005_findings(mutant)
+    assert len(found) == 1
+    assert "size-prune" in found[0].message
+
+
+def test_rep005_silent_when_an_anchor_is_missing():
+    dict_src = SourceFile.read(str(DICT_BACKEND))
+    kept, _ = run_rules([dict_src], [get_rule("REP005")])
+    assert kept == []
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_cli_clean_run_exits_zero():
+    code, text = run_cli(
+        [str(SRC_REPRO), "--baseline", str(BASELINE)]
+    )
+    assert code == 0
+    assert "0 finding(s)" in text
+
+
+def test_cli_without_baseline_reports_the_grandfathered_finding():
+    code, text = run_cli([str(SRC_REPRO), "--no-baseline"])
+    assert code == 1
+    assert "random_graphs.py" in text
+
+
+def test_cli_list_rules_prints_the_catalog():
+    code, text = run_cli(["--list-rules"])
+    assert code == 0
+    for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+        assert rule_id in text
+
+
+def test_cli_json_output_is_machine_readable(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(values):\n    return [v for v in set(values)]\n")
+    code, text = run_cli([str(bad), "--no-baseline", "--format=json"])
+    assert code == 1
+    payload = json.loads(text)
+    assert payload["ok"] is False
+    assert payload["findings"][0]["rule"] == "REP001"
+    assert payload["files_scanned"] == 1
+
+
+def test_cli_missing_path_is_a_usage_error(tmp_path):
+    code, _ = run_cli([str(tmp_path / "does-not-exist")])
+    assert code == 2
+
+
+def test_cli_write_baseline_roundtrips(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def f(p):\n"
+        "    if p == 0.25:\n"
+        "        return [v for v in set(range(3))]\n"
+    )
+    skeleton = tmp_path / "baseline.json"
+    code, _ = run_cli(
+        [str(bad), "--no-baseline", "--write-baseline", str(skeleton)]
+    )
+    assert code == 0
+    # The skeleton grandfathers both findings once justified.
+    payload = json.loads(skeleton.read_text())
+    assert len(payload["findings"]) == 2
+    for entry in payload["findings"]:
+        entry["justification"] = "pinned by the round-trip test"
+    skeleton.write_text(json.dumps(payload))
+    code, text = run_cli([str(bad), "--baseline", str(skeleton)])
+    assert code == 0
+    assert "(2 baselined" in text
+
+
+# ----------------------------------------------------------------------
+# baseline semantics
+# ----------------------------------------------------------------------
+def test_baseline_requires_justifications(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(
+        json.dumps(
+            {
+                "findings": [
+                    {
+                        "rule": "REP001",
+                        "path": "x.py",
+                        "line_text": "for v in s:",
+                        "justification": "   ",
+                    }
+                ]
+            }
+        )
+    )
+    with pytest.raises(BaselineError, match="justification"):
+        Baseline.load(str(path))
+    code, _ = run_cli(["--baseline", str(path), str(SRC_REPRO)])
+    assert code == 2
+
+
+def test_baseline_matching_survives_line_moves(tmp_path):
+    bad = tmp_path / "mod.py"
+    bad.write_text(
+        "def f(values):\n    return [v for v in set(values)]\n"
+    )
+    entries = Baseline.load(str(BASELINE)).entries
+    assert entries, "committed baseline unexpectedly empty"
+    report = analyze([str(bad)], baseline=Baseline.load(str(BASELINE)))
+    # Unrelated entries never match; the finding stays new, the entry
+    # is reported unused.
+    assert len(report.findings) == 1
+    assert len(report.unused_baseline) == len(entries)
+
+
+def test_unused_baseline_entries_are_reported(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("X = 1\n")
+    code, text = run_cli([str(clean), "--baseline", str(BASELINE)])
+    assert code == 0
+    assert "unused baseline entry" in text
