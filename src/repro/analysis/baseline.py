@@ -17,7 +17,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.analysis.findings import Finding
 
@@ -48,11 +48,29 @@ class BaselineEntry:
         return _same_path(self.path, finding.path)
 
 
+def _norm_path(path: str) -> str:
+    """Normalize to '/' separators and drop a single './' prefix.
+
+    Only an exact './' prefix is removed — lstrip would also eat
+    leading '..' components and make '../pkg/mod.py' match 'pkg/mod.py'
+    in a different tree.
+    """
+    path = path.replace(os.sep, "/")
+    return path[2:] if path.startswith("./") else path
+
+
 def _same_path(baseline_path: str, finding_path: str) -> bool:
     """Suffix-tolerant path comparison (both normalized to '/')."""
-    a = baseline_path.replace(os.sep, "/").lstrip("./")
-    b = finding_path.replace(os.sep, "/").lstrip("./")
-    return a == b or a.endswith("/" + b) or b.endswith("/" + a)
+    a = _norm_path(baseline_path)
+    b = _norm_path(finding_path)
+    if a == b:
+        return True
+    # Suffix tolerance assumes the shorter path is the same file seen
+    # from a deeper working directory; a '..' segment points at a
+    # different tree, so it never suffix-matches.
+    if ".." in a.split("/") or ".." in b.split("/"):
+        return False
+    return a.endswith("/" + b) or b.endswith("/" + a)
 
 
 class Baseline:
@@ -131,8 +149,25 @@ class Baseline:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def render(findings: List[Finding], justification: str) -> str:
-        """Serialize findings as a fresh baseline document."""
+    def render(
+        findings: List[Finding],
+        justification: str,
+        baseline: Optional["Baseline"] = None,
+    ) -> str:
+        """Serialize findings as a fresh baseline document.
+
+        Findings already grandfathered by ``baseline`` keep that
+        entry's justification; everything else gets ``justification``
+        as a placeholder to fill in by hand.
+        """
+
+        def _justify(finding: Finding) -> str:
+            if baseline is not None:
+                for entry in baseline.entries:
+                    if entry.matches(finding):
+                        return entry.justification
+            return justification
+
         payload = {
             "comment": (
                 "repro-lint baseline: deliberate findings, each with a "
@@ -146,7 +181,7 @@ class Baseline:
                     "path": f.path.replace(os.sep, "/"),
                     "line": f.line,
                     "line_text": f.line_text,
-                    "justification": justification,
+                    "justification": _justify(f),
                 }
                 for f in sorted(findings)
             ],

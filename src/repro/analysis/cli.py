@@ -133,23 +133,29 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return 0
     try:
         baseline = _load_baseline(args)
-    except (BaselineError, FileNotFoundError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    except (BaselineError, OSError) as exc:
+        print(f"error: cannot load baseline: {exc}", file=sys.stderr)
         return 2
     try:
         report = analyze(args.paths, baseline=baseline)
-    except FileNotFoundError as exc:
+    except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.write_baseline:
+        # Keep grandfathered findings in the regenerated file — with
+        # their existing justifications — or the documented regeneration
+        # workflow would silently drop every committed entry.
+        kept = report.findings + report.grandfathered
         with open(args.write_baseline, "w", encoding="utf-8") as handle:
             handle.write(
                 Baseline.render(
-                    report.findings, justification="TODO: justify or fix"
+                    kept,
+                    justification="TODO: justify or fix",
+                    baseline=baseline,
                 )
             )
         print(
-            f"wrote {len(report.findings)} finding(s) to "
+            f"wrote {len(kept)} finding(s) to "
             f"{args.write_baseline}",
             file=out,
         )

@@ -58,7 +58,12 @@ def collect_files(paths: Sequence[str]) -> List[str]:
 
 
 def parse_files(paths: Iterable[str]) -> List[SourceFile]:
-    """Parse every path; syntax errors become PARSE findings upstream."""
+    """Parse every path eagerly, raising on the first ``SyntaxError``.
+
+    :func:`analyze` parses per-file instead so one unparseable file
+    cannot abort a whole run; this strict variant serves callers (and
+    tests) that want the failure raised.
+    """
     return [SourceFile.read(path) for path in paths]
 
 
@@ -107,21 +112,28 @@ def analyze(
     report = AnalysisReport()
     file_paths = collect_files(paths)
     report.files_scanned = len(file_paths)
-    try:
-        files = parse_files(file_paths)
-    except SyntaxError as exc:
-        report.findings.append(
-            Finding(
-                path=exc.filename or "<unknown>",
-                line=exc.lineno or 0,
-                col=exc.offset or 0,
-                rule="PARSE",
-                severity=Severity.ERROR,
-                message=f"syntax error: {exc.msg}",
+    # Parse per file: a syntax error becomes a PARSE finding for that
+    # file and the rest of the tree is still analyzed — an eager batch
+    # parse would abort the run while claiming every file was scanned.
+    files: List[SourceFile] = []
+    parse_findings: List[Finding] = []
+    for path in file_paths:
+        try:
+            files.append(SourceFile.read(path))
+        except SyntaxError as exc:
+            parse_findings.append(
+                Finding(
+                    path=path,
+                    line=exc.lineno or 0,
+                    col=exc.offset or 0,
+                    rule="PARSE",
+                    severity=Severity.ERROR,
+                    message=f"syntax error: {exc.msg}",
+                    line_text=(exc.text or "").strip(),
+                )
             )
-        )
-        return report
     findings, report.suppressed = run_rules(files, rules)
+    findings = sorted(parse_findings + findings)
     if baseline is not None:
         new, grandfathered, unused = baseline.split(findings)
         report.findings = new

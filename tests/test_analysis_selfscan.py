@@ -159,6 +159,17 @@ def test_cli_missing_path_is_a_usage_error(tmp_path):
     assert code == 2
 
 
+def test_cli_baseline_pointing_at_a_directory_is_a_usage_error(tmp_path):
+    """`--baseline <dir>` must exit 2 cleanly, not crash with a traceback.
+
+    Regression test for the CI invocation bug where `--baseline
+    src/repro` made argparse consume the scan path as the baseline
+    file and Baseline.load raised IsADirectoryError.
+    """
+    code, _ = run_cli(["--baseline", str(tmp_path), str(SRC_REPRO)])
+    assert code == 2
+
+
 def test_cli_write_baseline_roundtrips(tmp_path):
     bad = tmp_path / "bad.py"
     bad.write_text(
@@ -180,6 +191,39 @@ def test_cli_write_baseline_roundtrips(tmp_path):
     code, text = run_cli([str(bad), "--baseline", str(skeleton)])
     assert code == 0
     assert "(2 baselined" in text
+
+
+def test_cli_write_baseline_preserves_grandfathered_entries(tmp_path):
+    """Regenerating over an existing baseline keeps its entries —
+    with their hand-written justifications — instead of silently
+    dropping everything already grandfathered."""
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def f(p):\n"
+        "    if p == 0.25:\n"
+        "        return [v for v in set(range(3))]\n"
+    )
+    first = tmp_path / "first.json"
+    code, _ = run_cli(
+        [str(bad), "--no-baseline", "--write-baseline", str(first)]
+    )
+    assert code == 0
+    payload = json.loads(first.read_text())
+    for entry in payload["findings"]:
+        entry["justification"] = "kept across regeneration"
+    first.write_text(json.dumps(payload))
+    # Regenerate against the justified baseline: every finding is now
+    # grandfathered, yet the new file must still contain all of them
+    # with the original justifications.
+    second = tmp_path / "second.json"
+    code, _ = run_cli(
+        [str(bad), "--baseline", str(first), "--write-baseline", str(second)]
+    )
+    assert code == 0
+    regenerated = json.loads(second.read_text())
+    assert len(regenerated["findings"]) == len(payload["findings"]) == 2
+    for entry in regenerated["findings"]:
+        assert entry["justification"] == "kept across regeneration"
 
 
 # ----------------------------------------------------------------------
@@ -227,3 +271,34 @@ def test_unused_baseline_entries_are_reported(tmp_path):
     code, text = run_cli([str(clean), "--baseline", str(BASELINE)])
     assert code == 0
     assert "unused baseline entry" in text
+
+
+def test_baseline_parent_dir_path_does_not_match(tmp_path):
+    """'../pkg/mod.py' points outside the tree — it must not match
+    'pkg/mod.py' (lstrip('./') used to strip the leading dots)."""
+    from repro.analysis.baseline import _same_path
+
+    assert not _same_path("../pkg/mod.py", "pkg/mod.py")
+    assert not _same_path("pkg/mod.py", "../pkg/mod.py")
+    assert _same_path("./pkg/mod.py", "pkg/mod.py")
+    assert _same_path("src/pkg/mod.py", "pkg/mod.py")
+    assert _same_path("../pkg/mod.py", "../pkg/mod.py")
+
+
+# ----------------------------------------------------------------------
+# syntax errors degrade to PARSE findings, not aborted runs
+# ----------------------------------------------------------------------
+def test_syntax_error_yields_parse_finding_and_scan_continues(tmp_path):
+    broken = tmp_path / "a_broken.py"
+    broken.write_text("def f(:\n")
+    bad = tmp_path / "b_bad.py"
+    bad.write_text("def f(values):\n    return [v for v in set(values)]\n")
+    report = analyze([str(tmp_path)])
+    assert report.files_scanned == 2
+    rules = [f.rule for f in report.findings]
+    assert "PARSE" in rules, rules
+    # The parseable file was still analyzed despite its broken sibling.
+    assert "REP001" in rules, rules
+    parse = next(f for f in report.findings if f.rule == "PARSE")
+    assert parse.path == str(broken)
+    assert parse.severity.value == "error"
