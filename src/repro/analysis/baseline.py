@@ -30,6 +30,15 @@ class BaselineError(ValueError):
     """A baseline file that cannot be parsed or fails validation."""
 
 
+#: Header comment written into every generated baseline document.
+_BASELINE_COMMENT = (
+    "repro-lint baseline: deliberate findings, each with a "
+    "justification.  Regenerate with "
+    "'python -m repro.analysis --write-baseline' and then "
+    "fill in real justifications."
+)
+
+
 @dataclass(frozen=True)
 class BaselineEntry:
     """One grandfathered finding."""
@@ -169,12 +178,7 @@ class Baseline:
             return justification
 
         payload = {
-            "comment": (
-                "repro-lint baseline: deliberate findings, each with a "
-                "justification.  Regenerate with "
-                "'python -m repro.analysis --write-baseline' and then "
-                "fill in real justifications."
-            ),
+            "comment": _BASELINE_COMMENT,
             "findings": [
                 {
                     "rule": f.rule,
@@ -184,6 +188,32 @@ class Baseline:
                     "justification": _justify(f),
                 }
                 for f in sorted(findings)
+            ],
+        }
+        return json.dumps(payload, indent=2) + "\n"
+
+    @staticmethod
+    def render_entries(entries: List[BaselineEntry]) -> str:
+        """Serialize existing entries verbatim (used by --prune-stale).
+
+        Unlike :meth:`render` this starts from entries, not findings,
+        so surviving justifications and recorded line numbers pass
+        through untouched.
+        """
+        payload = {
+            "comment": _BASELINE_COMMENT,
+            "findings": [
+                {
+                    "rule": e.rule,
+                    "path": _norm_path(e.path),
+                    "line": e.line,
+                    "line_text": e.line_text,
+                    "justification": e.justification,
+                }
+                for e in sorted(
+                    entries,
+                    key=lambda e: (e.path, e.line, e.rule, e.line_text),
+                )
             ],
         }
         return json.dumps(payload, indent=2) + "\n"

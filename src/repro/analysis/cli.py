@@ -35,9 +35,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="output format (default: text)",
+        help=(
+            "output format (default: text); 'github' emits GitHub "
+            "Actions ::error annotations so findings surface inline "
+            "on pull requests"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -65,6 +69,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--prune-stale",
+        action="store_true",
+        help=(
+            "rewrite the baseline file without its stale entries "
+            "(entries matching no current finding); requires a "
+            "baseline file"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
@@ -72,13 +85,33 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_baseline(args) -> Optional[Baseline]:
+def _load_baseline(args):
+    """The (baseline, source path) pair selected by the arguments."""
     if args.no_baseline:
-        return None
+        return None, ""
     if args.baseline == _AUTO:
         found = Baseline.find_default()
-        return Baseline.load(found) if found else None
-    return Baseline.load(args.baseline)
+        return (Baseline.load(found), found) if found else (None, "")
+    return Baseline.load(args.baseline), args.baseline
+
+
+def _summary_line(report: AnalysisReport) -> str:
+    stale = len(report.unused_baseline)
+    stale_note = (
+        ""
+        if not stale
+        else (
+            f"; {stale} stale baseline "
+            f"entr{'y' if stale == 1 else 'ies'} (--prune-stale drops "
+            "them)"
+        )
+    )
+    return (
+        f"{len(report.findings)} finding(s) "
+        f"({len(report.grandfathered)} baselined, "
+        f"{len(report.suppressed)} suppressed) "
+        f"in {report.files_scanned} file(s)" + stale_note
+    )
 
 
 def _print_text(report: AnalysisReport, out) -> None:
@@ -90,13 +123,45 @@ def _print_text(report: AnalysisReport, out) -> None:
             f"({entry.line_text!r}) — the finding is gone; drop the entry",
             file=out,
         )
-    print(
-        f"{len(report.findings)} finding(s) "
-        f"({len(report.grandfathered)} baselined, "
-        f"{len(report.suppressed)} suppressed) "
-        f"in {report.files_scanned} file(s)",
-        file=out,
+    print(_summary_line(report), file=out)
+
+
+def _gh_escape_data(value: str) -> str:
+    """Escape a GitHub Actions workflow-command message payload."""
+    return (
+        value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
     )
+
+
+def _gh_escape_prop(value: str) -> str:
+    """Escape a GitHub Actions workflow-command property value."""
+    return (
+        _gh_escape_data(value).replace(":", "%3A").replace(",", "%2C")
+    )
+
+
+def _print_github(report: AnalysisReport, out) -> None:
+    """GitHub Actions annotations: findings inline on the PR diff."""
+    for finding in report.findings:
+        print(
+            f"::error file={_gh_escape_prop(finding.path)},"
+            f"line={finding.line},col={finding.col + 1},"
+            f"title={_gh_escape_prop(finding.rule)}::"
+            f"{_gh_escape_data(finding.message)}",
+            file=out,
+        )
+    for entry in report.unused_baseline:
+        print(
+            f"::notice file={_gh_escape_prop(entry.path)},"
+            f"line={entry.line},"
+            f"title={_gh_escape_prop(entry.rule + ' stale baseline')}::"
+            + _gh_escape_data(
+                f"stale baseline entry ({entry.line_text!r}) — the "
+                "finding is gone; run --prune-stale"
+            ),
+            file=out,
+        )
+    print(_summary_line(report), file=out)
 
 
 def _print_json(report: AnalysisReport, out) -> None:
@@ -132,15 +197,42 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             )
         return 0
     try:
-        baseline = _load_baseline(args)
+        baseline, baseline_path = _load_baseline(args)
     except (BaselineError, OSError) as exc:
         print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+        return 2
+    if args.prune_stale and baseline is None:
+        print(
+            "error: --prune-stale requires a baseline file "
+            "(none found or --no-baseline given)",
+            file=sys.stderr,
+        )
         return 2
     try:
         report = analyze(args.paths, baseline=baseline)
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.prune_stale:
+        stale = set(report.unused_baseline)
+        kept = [e for e in baseline.entries if e not in stale]
+        with open(baseline_path, "w", encoding="utf-8") as handle:
+            handle.write(Baseline.render_entries(kept))
+        print(
+            f"pruned {len(stale)} stale entr"
+            f"{'y' if len(stale) == 1 else 'ies'} from {baseline_path} "
+            f"({len(kept)} kept)",
+            file=out,
+        )
+        # The rewritten file no longer has stale entries; report the
+        # state the user now has on disk.
+        report = AnalysisReport(
+            findings=report.findings,
+            suppressed=report.suppressed,
+            grandfathered=report.grandfathered,
+            unused_baseline=[],
+            files_scanned=report.files_scanned,
+        )
     if args.write_baseline:
         # Keep grandfathered findings in the regenerated file — with
         # their existing justifications — or the documented regeneration
@@ -162,6 +254,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return 0
     if args.format == "json":
         _print_json(report, out)
+    elif args.format == "github":
+        _print_github(report, out)
     else:
         _print_text(report, out)
     return 0 if report.ok else 1

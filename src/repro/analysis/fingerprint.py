@@ -56,7 +56,7 @@ import ast
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.analysis.source import terminal_name
+from repro.analysis.source import root_name, terminal_name
 
 #: counter attribute/name -> event label
 _COUNTER_EVENTS = {
@@ -84,11 +84,20 @@ class Event:
 
 
 class _Extractor:
-    """Linearizes one function body into the raw event sequence."""
+    """Linearizes one function body into the raw event sequence.
 
-    def __init__(self, func: ast.AST):
+    With ``hooks_only=True`` the extractor runs in the REP007 mode:
+    the only events are ``recurse``, loop boundaries, and
+    ``hook:on_*`` for calls to sanitizer hooks — attribute calls whose
+    receiver is the conventional local name ``san`` (both backends
+    bind their sanitizer to it precisely so the hook streams are
+    statically comparable).
+    """
+
+    def __init__(self, func: ast.AST, hooks_only: bool = False):
         self.func = func
         self.name = func.name
+        self.hooks_only = hooks_only
         self.params = {
             arg.arg
             for arg in (
@@ -141,7 +150,7 @@ class _Extractor:
 
     # ------------------------------------------------------------------
     def _counter_event(self, stmt: ast.AugAssign) -> List[Event]:
-        if not isinstance(stmt.op, ast.Add):
+        if self.hooks_only or not isinstance(stmt.op, ast.Add):
             return []
         name = terminal_name(stmt.target)
         label = _COUNTER_EVENTS.get(name or "")
@@ -151,6 +160,9 @@ class _Extractor:
 
     def _assign_events(self, stmt) -> List[Event]:
         events: List[Event] = []
+        value = stmt.value
+        if self.hooks_only:
+            return self._call_events(value) if value is not None else []
         targets = (
             stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
         )
@@ -159,7 +171,6 @@ class _Extractor:
             events.append(Event("depth", stmt.lineno))
         if "pivot" in names:
             events.append(Event("pivot", stmt.lineno))
-        value = stmt.value
         if value is not None:
             if self._is_accumulation(value):
                 events.append(Event("acc", stmt.lineno))
@@ -191,6 +202,17 @@ class _Extractor:
             if not isinstance(node, ast.Call):
                 continue
             callee = terminal_name(node.func)
+            if self.hooks_only:
+                if callee == self.name:
+                    events.append(Event("recurse", node.lineno))
+                elif (
+                    callee
+                    and callee.startswith("on_")
+                    and isinstance(node.func, ast.Attribute)
+                    and root_name(node.func) == "san"
+                ):
+                    events.append(Event("hook:" + callee, node.lineno))
+                continue
             if callee == self.name:
                 events.append(Event("recurse", node.lineno))
             elif callee == "observe_depth":
@@ -224,9 +246,42 @@ def _normalize(events: List[Event]) -> List[Event]:
     return deduped
 
 
+def _normalize_hooks(events: List[Event]) -> List[Event]:
+    """Inlined-leaf fold for hook fingerprints (no adjacent dedupe).
+
+    The kernel's inlined no-candidate leaf places its ``on_node`` /
+    ``on_emit`` hooks directly after the in-loop ``recurse`` (the dict
+    backend reaches the same hooks *through* the recursive call), so a
+    run of ``hook:*`` events immediately following ``recurse`` inside a
+    loop folds into the ``recurse`` — the exact analogue of REP005's
+    counter fold.  Unlike REP005 there is no adjacent dedupe: two
+    consecutive identical hook calls would be a real difference.
+    """
+    folded: List[Event] = []
+    loop_depth = 0
+    folding = False
+    for event in events:
+        if event.label == _LOOP_OPEN:
+            loop_depth += 1
+            folding = False
+        elif event.label == _LOOP_CLOSE:
+            loop_depth -= 1
+            folding = False
+        if folding and event.label.startswith("hook:"):
+            continue  # hooks of the kernel's inlined leaf call
+        folding = loop_depth > 0 and event.label == "recurse"
+        folded.append(event)
+    return folded
+
+
 def fingerprint_function(func: ast.AST) -> List[Event]:
     """The normalized event fingerprint of one function definition."""
     return _normalize(_Extractor(func).extract())
+
+
+def hook_fingerprint_function(func: ast.AST) -> List[Event]:
+    """The normalized sanitizer-hook fingerprint (REP007 mode)."""
+    return _normalize_hooks(_Extractor(func, hooks_only=True).extract())
 
 
 def labels(events: List[Event]) -> List[str]:

@@ -7,8 +7,15 @@ Importing this package registers every rule with
 * :mod:`~repro.analysis.rules.numeric` — REP003, REP004
 * :mod:`~repro.analysis.rules.mirror` — REP005
 * :mod:`~repro.analysis.rules.parallel` — REP006
+* :mod:`~repro.analysis.rules.sanitizer` — REP007
 """
 
-from repro.analysis.rules import determinism, mirror, numeric, parallel
+from repro.analysis.rules import (
+    determinism,
+    mirror,
+    numeric,
+    parallel,
+    sanitizer,
+)
 
-__all__ = ["determinism", "mirror", "numeric", "parallel"]
+__all__ = ["determinism", "mirror", "numeric", "parallel", "sanitizer"]

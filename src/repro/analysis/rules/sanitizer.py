@@ -1,0 +1,79 @@
+"""REP007 — sanitizer hook parity between the enumeration backends.
+
+The runtime sanitizer (:mod:`repro.sanitize`) only sees what the
+recursions tell it: each backend calls ``san.on_node`` /
+``san.on_emit`` / ``san.on_cover`` from inside its recursion.  A hook
+added to one backend but not the other makes the sanitizer silently
+weaker on the unhooked backend — exactly the class of drift REP005
+guards the *counters* against, recreated one level up.  This rule
+reuses the REP005 anchors and fingerprint extractor in a hooks-only
+mode: the normalized ``hook:*``/``recurse``/loop sequences of
+``PivotEnumerator._pmuce`` and the kernel ``rec`` closure must be
+identical.
+
+Like REP005 the rule has project scope and stays silent when either
+anchor is missing from the scan set; the self-scan test additionally
+asserts that the committed pair carries a non-empty hook fingerprint,
+so "no hooks anywhere" cannot pass silently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.fingerprint import (
+    first_divergence,
+    hook_fingerprint_function,
+    labels,
+)
+from repro.analysis.registry import rule
+from repro.analysis.rules.mirror import (
+    _DICT_METHOD,
+    _KERNEL_BUILDER,
+    _KERNEL_FUNC,
+    _show,
+    find_mirror_anchors,
+)
+from repro.analysis.source import SourceFile
+
+
+@rule(
+    "REP007",
+    "sanitizer-hook-parity",
+    Severity.ERROR,
+    "the dict and kernel recursions call different sanitizer hook "
+    "sequences",
+    scope="project",
+)
+def check_hook_parity(files: List[SourceFile]) -> Iterator[Finding]:
+    dict_anchor, kernel_anchor = find_mirror_anchors(files)
+    if dict_anchor is None or kernel_anchor is None:
+        return
+    dict_src, dict_func = dict_anchor
+    kernel_src, kernel_func = kernel_anchor
+    dict_fp = hook_fingerprint_function(dict_func)
+    kernel_fp = hook_fingerprint_function(kernel_func)
+    divergence = first_divergence(dict_fp, kernel_fp)
+    if divergence is None:
+        return
+    index, dict_event, kernel_event = divergence
+    yield Finding(
+        path=kernel_src.path,
+        line=kernel_func.lineno,
+        col=kernel_func.col_offset,
+        rule="REP007",
+        severity=Severity.ERROR,
+        message=(
+            "sanitizer hook drift between "
+            f"{dict_src.path}::{_DICT_METHOD} and "
+            f"{kernel_src.path}::{_KERNEL_BUILDER}.{_KERNEL_FUNC}: "
+            f"hook fingerprints diverge at event {index} "
+            f"(dict: {_show(dict_event, dict_src)}, "
+            f"kernel: {_show(kernel_event, kernel_src)}); "
+            f"dict hooks {labels(dict_fp)} vs "
+            f"kernel hooks {labels(kernel_fp)} — every sanitizer hook "
+            "site must exist in both backends (see docs/analysis.md)"
+        ),
+        line_text=kernel_src.line_text(kernel_func.lineno),
+    )

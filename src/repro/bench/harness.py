@@ -10,12 +10,13 @@ from __future__ import annotations
 
 import time
 import tracemalloc
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.api import enumerate_maximal_cliques
 from repro.core.config import PivotConfig
 from repro.core.pmuc import PivotEnumerator
+from repro.exceptions import SanitizerViolation
 from repro.uncertain.graph import UncertainGraph
 
 
@@ -56,9 +57,22 @@ def timed_enumeration(
 
 
 def timed_config_enumeration(
-    label: str, graph: UncertainGraph, k: int, eta, config: PivotConfig
+    label: str,
+    graph: UncertainGraph,
+    k: int,
+    eta,
+    config: PivotConfig,
+    sanitize: Optional[str] = None,
 ) -> RunRecord:
-    """Time one :class:`PivotConfig`-driven enumeration."""
+    """Time one :class:`PivotConfig`-driven enumeration.
+
+    ``sanitize`` (``"off"``/``"light"``/``"full"``) overrides the
+    config's sanitizer level for this run; checks then count toward the
+    measured time, which is the point — the harness is how sanitizer
+    overhead is quantified.
+    """
+    if sanitize is not None:
+        config = replace(config, sanitize=sanitize)
     count = [0]
 
     def sink(_clique: frozenset) -> None:
@@ -68,6 +82,43 @@ def timed_config_enumeration(
     result = PivotEnumerator(graph, k, eta, config, on_clique=sink).run()
     elapsed = time.perf_counter() - start
     return RunRecord(label, elapsed, count[0], result.stats.as_dict())
+
+
+def sanitized_config_enumeration(
+    label: str,
+    graph: UncertainGraph,
+    k: int,
+    eta,
+    config: PivotConfig,
+    sanitize: str = "full",
+) -> RunRecord:
+    """A sanitized run that records violations instead of raising.
+
+    On a violation the record carries ``extra["violation"]`` (the
+    serialized :class:`~repro.sanitize.report.ViolationReport` dict,
+    replayable via :func:`repro.sanitize.replay`) and the clique count
+    reached before the check fired.
+    """
+    config = replace(config, sanitize=sanitize)
+    count = [0]
+
+    def sink(_clique: frozenset) -> None:
+        count[0] += 1
+
+    start = time.perf_counter()
+    extra: Dict[str, object] = {"sanitize": sanitize}
+    try:
+        result = PivotEnumerator(graph, k, eta, config, on_clique=sink).run()
+        stats = result.stats.as_dict()
+    except SanitizerViolation as violation:
+        stats = {}
+        extra["violation"] = (
+            violation.report.as_dict()
+            if violation.report is not None
+            else str(violation)
+        )
+    elapsed = time.perf_counter() - start
+    return RunRecord(label, elapsed, count[0], stats, extra)
 
 
 def peak_memory_bytes(action: Callable[[], object]) -> int:

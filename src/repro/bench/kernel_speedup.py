@@ -117,10 +117,14 @@ def build_graph(params: Dict[str, object]) -> UncertainGraph:
 
 
 def timed_run(
-    graph: UncertainGraph, k: int, eta: float, backend: str
+    graph: UncertainGraph,
+    k: int,
+    eta: float,
+    backend: str,
+    sanitize: str = "off",
 ) -> float:
     """One timed enumeration; returns CPU seconds."""
-    config = replace(PMUC_PLUS_CONFIG, backend=backend)
+    config = replace(PMUC_PLUS_CONFIG, backend=backend, sanitize=sanitize)
     enumerator = PivotEnumerator(
         graph, k=k, eta=eta, config=config, on_clique=lambda _c: None
     )
@@ -154,7 +158,7 @@ def parity_check(
 
 
 def bench_workload(
-    spec: Dict[str, object], rounds: int
+    spec: Dict[str, object], rounds: int, sanitize: str = "off"
 ) -> Dict[str, object]:
     """Benchmark one workload spec; returns its JSON record."""
     graph = build_graph(spec["params"])  # type: ignore[index]
@@ -164,7 +168,9 @@ def bench_workload(
     for rnd in range(rounds):
         order = ("dict", "kernel") if rnd % 2 == 0 else ("kernel", "dict")
         for backend in order:
-            times[backend].append(timed_run(graph, k, eta, backend))
+            times[backend].append(
+                timed_run(graph, k, eta, backend, sanitize)
+            )
     paired = sorted(
         d / kt for d, kt in zip(times["dict"], times["kernel"])
     )
@@ -199,14 +205,16 @@ def bench_workload(
 
 
 def run_benchmark(
-    quick: bool = False, rounds: Optional[int] = None
+    quick: bool = False,
+    rounds: Optional[int] = None,
+    sanitize: str = "off",
 ) -> Dict[str, object]:
     """Run the full (or quick) suite; returns the JSON document."""
     if rounds is None:
         rounds = 2 if quick else 7
     names = QUICK_NAMES if quick else tuple(w["name"] for w in WORKLOADS)
     records = [
-        bench_workload(spec, rounds)
+        bench_workload(spec, rounds, sanitize)
         for spec in WORKLOADS
         if spec["name"] in names
     ]
@@ -228,6 +236,7 @@ def run_benchmark(
             "gc_disabled": True,
             "sink": "streaming-noop",
             "quick": quick,
+            "sanitize": sanitize,
         },
         "workloads": records,
         "summary": {
@@ -267,10 +276,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="X",
         help="exit non-zero unless best speedup >= X",
     )
+    parser.add_argument(
+        "--sanitize",
+        choices=("off", "light", "full"),
+        default="off",
+        help=(
+            "run the timed enumerations with the runtime sanitizer at "
+            "this level (default: off); violations abort the benchmark"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.rounds is not None and args.rounds < 1:
         parser.error("--rounds must be at least 1")
-    document = run_benchmark(quick=args.quick, rounds=args.rounds)
+    document = run_benchmark(
+        quick=args.quick, rounds=args.rounds, sanitize=args.sanitize
+    )
     rows = [
         {
             "workload": r["name"],

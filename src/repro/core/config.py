@@ -18,6 +18,7 @@ MPIVOT_CHOICES = ("off", "basic", "improved")
 KPIVOT_CHOICES = ("off", "plain", "color")
 REDUCTION_CHOICES = ("off", "core", "triangle")
 BACKEND_CHOICES = ("dict", "kernel")
+SANITIZE_CHOICES = ("off", "light", "full")
 
 
 def _require(value: str, choices, name: str) -> None:
@@ -58,6 +59,13 @@ class PivotConfig:
         backend produces identical clique sets and statistics, and
         falls back to ``"dict"`` automatically when the graph or
         ``eta`` is not float-valued.
+    sanitize:
+        Runtime invariant sanitizer (see :mod:`repro.sanitize`):
+        ``"off"`` (default; no hooks fire), ``"light"`` (checks on
+        emitted cliques and emitting subtrees) or ``"full"`` (every
+        recursion node, plus shadow cross-checks on small inputs).
+        When left at ``"off"``, the ``REPRO_SANITIZE`` environment
+        variable can still switch a level on process-wide.
     """
 
     ordering: str = "topk-core"
@@ -66,6 +74,7 @@ class PivotConfig:
     kpivot: str = "off"
     reduction: str = "core"
     backend: str = "dict"
+    sanitize: str = "off"
 
     def __post_init__(self) -> None:
         _require(self.ordering, ORDERING_CHOICES, "ordering")
@@ -74,6 +83,7 @@ class PivotConfig:
         _require(self.kpivot, KPIVOT_CHOICES, "kpivot")
         _require(self.reduction, REDUCTION_CHOICES, "reduction")
         _require(self.backend, BACKEND_CHOICES, "backend")
+        _require(self.sanitize, SANITIZE_CHOICES, "sanitize")
 
 
 #: The paper's ``PMUC``: every Section-4 technique, core reduction for a

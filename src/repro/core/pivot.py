@@ -70,6 +70,19 @@ class PivotContext:
                 lb[v] = size
 
 
+def improper_coloring_pairs(color, edges) -> List:
+    """Monochromatic edges under ``color`` — empty iff proper.
+
+    The color-based K-pivot bound (Lemma 6) and the max-color pivot
+    heuristic both treat the number of color classes as a clique-size
+    upper bound, which only holds for a *proper* coloring; the runtime
+    sanitizer calls this over the backbone edges to certify it.
+    """
+    return [
+        (u, v) for u, v in edges if color.get(u) == color.get(v)
+    ]
+
+
 Strategy = Callable[[List[Vertex], PivotContext], Vertex]
 
 

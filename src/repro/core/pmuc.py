@@ -118,6 +118,7 @@ class PivotEnumerator:
         self._ctx: PivotContext = PivotContext({}, {}, {}, {}, k)
         self._rank: Dict[Vertex, int] = {}
         self._search_graph = graph
+        self._san = None
 
     # ------------------------------------------------------------------
     @property
@@ -159,6 +160,14 @@ class PivotEnumerator:
                 return kernel.run(
                     seeds, reduced_graph=reduced_graph, order=order
                 )
+        # Imported lazily: repro.sanitize pulls in repro.core.config /
+        # repro.core.pivot, so a module-level import here would close an
+        # import cycle through the repro.core package __init__.
+        from repro.sanitize.sanitizer import build_sanitizer
+
+        san = self._san = build_sanitizer(
+            self._graph, self._k, self._eta, self._config, "dict"
+        )
         self._search_graph = (
             reduced_graph if reduced_graph is not None else self._reduce()
         )
@@ -169,6 +178,9 @@ class PivotEnumerator:
         self._rank = {v: i for i, v in enumerate(order)}
         backbone = self._search_graph.to_deterministic()
         self._ctx = PivotContext.from_backbone(backbone, self._k)
+        if san is not None:
+            san.on_reduced(list(self._search_graph.vertices()))
+            san.on_context(self._ctx.color, list(backbone.edges()))
         seed_set = None if seeds is None else set(seeds)
         # The recursion is at most one level per clique member; make
         # sure graphs with very large cliques cannot hit the default
@@ -177,6 +189,7 @@ class PivotEnumerator:
         needed = self._search_graph.num_vertices + 100
         if needed > previous_limit:
             sys.setrecursionlimit(needed)
+        complete = seeds is None
         try:
             for v in order:
                 if seed_set is not None and v not in seed_set:
@@ -186,10 +199,12 @@ class PivotEnumerator:
                 )
                 self._pmuce([v], 1, c, x, [v], depth=1)
         except _StopEnumeration:
-            pass
+            complete = False
         finally:
             if needed > previous_limit:
                 sys.setrecursionlimit(previous_limit)
+        if san is not None:
+            san.on_finish(complete)
         return self._result
 
     # ------------------------------------------------------------------
@@ -249,9 +264,14 @@ class PivotEnumerator:
         stats = self._result.stats
         stats.calls += 1
         stats.observe_depth(depth)
+        san = self._san
+        if san is not None:
+            san.on_node(depth)
         k = self._k
         if not c and not x:
             if len(r) >= k:
+                if san is not None:
+                    san.on_emit(r, q, False)
                 self._emit(r)
             self._ctx.raise_lower_bound(r, len(r))
             return p
@@ -291,6 +311,8 @@ class PivotEnumerator:
             if u is None:
                 # Every remaining candidate sits inside the single,
                 # final periphery Q (Lemma 3/4) — safe to stop.
+                if san is not None:
+                    san.on_cover(depth, r, unexpanded, periphery)
                 stats.mpivot_skips += len(unexpanded)
                 break
             expanded_any = True

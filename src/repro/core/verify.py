@@ -4,7 +4,8 @@ Downstream pipelines (and this repo's own benchmarks) want a cheap way
 to confirm a reported result set without trusting the enumerator that
 produced it.  :func:`verify_enumeration` re-checks every reported set
 against the definitions only — Eq. 2 for the probability, single-vertex
-extension for maximality, pairwise containment for duplicates/subsets —
+extension for maximality, streaming dedup/containment indexes (shared
+with the runtime sanitizer) for duplicates and nested pairs —
 and optionally cross-checks completeness against a second, independent
 algorithm.
 """
@@ -14,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
 
+from repro.sanitize.dedup import CliqueStreamIndex
 from repro.uncertain.clique_probability import (
     clique_probability,
     is_maximal_eta_clique,
@@ -83,33 +85,35 @@ def verify_enumeration(
     that algorithm, populating ``missing`` / ``spurious``.
     """
     report = VerificationReport()
-    seen = set()
-    reported: List[frozenset] = []
+    # Streaming dedup + containment (shared with the runtime
+    # sanitizer's S2 check): inverted indexes replace the historical
+    # O(n²) all-pairs containment scan, probing only cliques that share
+    # a member with the incoming one.
+    index = CliqueStreamIndex(track_containment=True)
     for raw in cliques:
         clique = frozenset(raw)
         report.checked += 1
-        if clique in seen:
+        outcome = index.add(clique)
+        if outcome.duplicate:
             report.duplicates.append(clique)
             continue
-        seen.add(clique)
-        reported.append(clique)
+        for big in outcome.supersets:
+            report.nested.append((clique, big))
+        for small in outcome.subsets:
+            report.nested.append((small, clique))
         if len(clique) < k:
             report.too_small.append(clique)
         if clique_probability(graph, clique) < eta:
             report.not_eta_cliques.append(clique)
         elif not is_maximal_eta_clique(graph, clique, eta):
             report.not_maximal.append(clique)
-    by_size = sorted(reported, key=len)
-    for i, small in enumerate(by_size):
-        for big in by_size[i + 1 :]:
-            if len(small) < len(big) and small < big:
-                report.nested.append((small, big))
     if cross_check is not None:
         from repro.core.api import enumerate_maximal_cliques
 
         truth = set(
             enumerate_maximal_cliques(graph, k, eta, cross_check).cliques
         )
+        seen = index.seen()
         report.missing = sorted(truth - seen, key=repr)
         report.spurious = sorted(seen - truth, key=repr)
     return report

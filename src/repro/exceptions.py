@@ -36,6 +36,21 @@ class DatasetError(ReproError):
     """Raised when a dataset generator or loader receives bad input."""
 
 
+class SanitizerViolation(ReproError):
+    """Raised by the runtime sanitizer when an enumeration invariant fails.
+
+    Carries a :class:`repro.sanitize.report.ViolationReport` (as
+    ``report``) naming the failed check (S1–S5), the recursion path at
+    the violation site, and enough context to replay the offending
+    subtree (see :func:`repro.sanitize.replay`).  ``report`` is typed
+    loosely here so the exception hierarchy stays import-cycle-free.
+    """
+
+    def __init__(self, message: str, report: object = None):
+        super().__init__(message)
+        self.report = report
+
+
 class KernelBackendError(ReproError):
     """Raised when a graph cannot be compiled for the kernel backend.
 

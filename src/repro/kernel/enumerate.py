@@ -224,6 +224,26 @@ class KernelEnumerator:
     ) -> EnumerationResult:
         """Execute the enumeration; same contract as the dict backend."""
         self._prepare(reduced_graph, order)
+        # Imported lazily for the same import-cycle reason as the dict
+        # backend (repro.sanitize reaches back into repro.core).
+        from repro.sanitize.sanitizer import IdSanitizer, build_sanitizer
+
+        core_san = build_sanitizer(
+            self._graph, self._k, self._eta, self._config, "kernel"
+        )
+        san = None
+        if core_san is not None:
+            core_san.on_reduced(list(self._cg.labels))
+            core_san.on_context(
+                dict(enumerate(self._color)),
+                [
+                    (u, w)
+                    for u in range(self._cg.n)
+                    for w in self._cg.nbr_ids[u]
+                    if w > u
+                ],
+            )
+            san = IdSanitizer(core_san, self._cg.labels)
         cg = self._cg
         n = cg.n
         index = cg.index
@@ -238,7 +258,8 @@ class KernelEnumerator:
         needed = n + 100
         if needed > previous_limit:
             sys.setrecursionlimit(needed)
-        rec, flush = self._build_rec()
+        rec, flush = self._build_rec(san)
+        complete = seeds is None
         try:
             eta = self._eta
             sv = self._sv
@@ -264,11 +285,13 @@ class KernelEnumerator:
                     c_list.append(low.bit_length() - 1)
                 rec([v], 0.0, c_bits, c_list, x_bits, [v], 1)
         except _StopKernel:
-            pass
+            complete = False
         finally:
             flush()
             if needed > previous_limit:
                 sys.setrecursionlimit(previous_limit)
+        if core_san is not None:
+            core_san.on_finish(complete)
         return self._result
 
     # ------------------------------------------------------------------
@@ -328,8 +351,12 @@ class KernelEnumerator:
     # ------------------------------------------------------------------
     # the recursion (Algorithm 3, lines 6-21 — bitset edition)
     # ------------------------------------------------------------------
-    def _build_rec(self):
+    def _build_rec(self, san=None):
         """Compile the recursion into a closure; return ``(rec, flush)``.
+
+        ``san`` is the (id-translating) sanitizer adapter or None; the
+        hook sites below mirror the dict backend's exactly, which the
+        REP007 lint rule enforces statically.
 
         Everything the recursion reads but never rebinds — graph
         arrays, pivot tables, guard-band constants, the stats object —
@@ -411,9 +438,13 @@ class KernelEnumerator:
             calls += 1
             if depth > max_depth:
                 max_depth = depth
+            if san is not None:
+                san.on_node(depth)
             if not c_bits:
                 if not x_bits:
                     if len(r) >= k:
+                        if san is not None:
+                            san.on_emit(r, nlq, True)
                         outputs += 1
                         sink(frozenset(map(label_of, r)))
                         if outputs == limit:
@@ -516,6 +547,8 @@ class KernelEnumerator:
                             u_idx = idx
                             break
                     if u_idx < 0:
+                        if san is not None:
+                            san.on_cover(depth, r, unexpanded, periphery)
                         mpivot_skips += len(unexpanded)
                         break
                 expanded_any = True
@@ -617,8 +650,12 @@ class KernelEnumerator:
                         calls += 1
                         if depth1 > max_depth:
                             max_depth = depth1
+                        if san is not None:
+                            san.on_node(depth1)
                         if not x_new:
                             if rlen >= k - 1:
+                                if san is not None:
+                                    san.on_emit(r, nlq_new, True)
                                 outputs += 1
                                 sink(frozenset(map(label_of, r)))
                                 if outputs == limit:

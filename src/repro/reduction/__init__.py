@@ -25,6 +25,21 @@ from repro.reduction.ordering import (
     vertex_ordering,
 )
 
+
+def reduction_victims(graph, survivors) -> list:
+    """Vertices of ``graph`` pruned by a reduction, sorted for reports.
+
+    ``survivors`` is the vertex set of the reduced graph (or any
+    iterable of surviving vertices); the deterministic ``repr`` sort
+    matches the ordering used by the runtime sanitizer's S5
+    reduction-safety reports.
+    """
+    kept = set(survivors)
+    return sorted(
+        (v for v in graph.vertices() if v not in kept), key=repr
+    )
+
+
 __all__ = [
     "eta_topdegree",
     "top_product_count",
@@ -37,6 +52,7 @@ __all__ = [
     "topk_triangle",
     "topk_triangle_edges",
     "verify_topk_triangle",
+    "reduction_victims",
     "ORDERINGS",
     "as_is_ordering",
     "degeneracy_ordering",

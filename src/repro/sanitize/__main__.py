@@ -1,0 +1,73 @@
+"""Acceptance driver: sanitized runs over the standard workloads.
+
+``python -m repro.sanitize`` runs the Figure-1 graph and (unless
+``--quick``) the ``repro.bench.kernel_speedup`` workloads on **both**
+backends with the sanitizer at the requested level, reporting per-run
+check counts.  Exit status 1 on the first violation (the serialized
+report is printed for replay), 0 when everything passes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+
+from repro.bench.kernel_speedup import WORKLOADS, build_graph
+from repro.core.config import PMUC_PLUS_CONFIG, SANITIZE_CHOICES
+from repro.core.pmuc import PivotEnumerator
+from repro.datasets.figure1 import figure1_graph
+from repro.exceptions import SanitizerViolation
+
+
+def _run(name, graph, k, eta, backend, level) -> bool:
+    config = replace(PMUC_PLUS_CONFIG, backend=backend, sanitize=level)
+    start = time.perf_counter()
+    try:
+        result = PivotEnumerator(graph, k, eta, config).run()
+    except SanitizerViolation as violation:
+        print(f"FAIL {name} [{backend}]: {violation}")
+        if violation.report is not None:
+            print(violation.report.to_json())
+        return False
+    seconds = time.perf_counter() - start
+    print(
+        f"ok   {name} [{backend}]: {result.stats.outputs} cliques, "
+        f"{seconds:.2f}s"
+    )
+    return True
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sanitize", description=__doc__
+    )
+    parser.add_argument(
+        "--sanitize",
+        choices=[c for c in SANITIZE_CHOICES if c != "off"],
+        default="full",
+        help="sanitizer level for every run (default: full)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="Figure-1 graph only (skip the benchmark workloads)",
+    )
+    args = parser.parse_args(argv)
+
+    jobs = [("figure1", figure1_graph(), 3, 0.1)]
+    if not args.quick:
+        for spec in WORKLOADS:
+            graph = build_graph(spec["params"])
+            jobs.append((spec["name"], graph, spec["k"], spec["eta"]))
+
+    ok = True
+    for name, graph, k, eta in jobs:
+        for backend in ("dict", "kernel"):
+            ok = _run(name, graph, k, eta, backend, args.sanitize) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,163 @@
+"""Exact-verdict invariant predicates for the runtime sanitizer.
+
+Recomputing every clique probability in pure :class:`~fractions.Fraction`
+arithmetic would make ``--sanitize=full`` unusable (hundreds of
+thousands of emissions × hundreds of exact multiplications, with
+denominators growing without bound).  Instead every *verdict* here is
+exact by the same guard-band discipline as the kernel backend's
+``REL_GUARD``: float-probability inputs take a float fast path, and any
+product landing inside a conservative relative band of the threshold is
+replayed in exact ``Fraction`` arithmetic.  The accumulated float error
+of a pairwise product is orders of magnitude below the band width, so
+outside the band the float comparison provably agrees with the exact
+one — the verdict is exact either way.  Non-float inputs (``Fraction``
+graphs) skip the fast path entirely.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+from math import log
+from typing import List, Optional, Tuple
+
+#: Relative half-width of the exact-replay band around ``eta``.
+#: Pairwise float products of feasible clique sizes accumulate relative
+#: error below ~1e-13; the band is four orders of magnitude wider.
+CHECK_GUARD = 1e-9
+
+#: Relative tolerance of the S4 drift check.  Legitimate accumulation
+#: error (different multiplication order, log-domain add/sub residue)
+#: stays below ~1e-12 relative; real tampering or a broken restore path
+#: lands far above 1e-8.
+DRIFT_TOL = 1e-8
+
+
+def _as_exact(value):
+    """Lift a float to an exact Fraction; exact types pass through."""
+    return Fraction(value) if isinstance(value, float) else value
+
+
+def exact_clique_probability(graph, members) -> Fraction:
+    """``Pr(members)`` with every edge probability lifted to Fraction."""
+    result = Fraction(1)
+    for u, v in combinations(members, 2):
+        p = graph.probability(u, v)
+        if not p:
+            return Fraction(0)
+        result *= _as_exact(p)
+    return result
+
+
+def reference_probability(graph, members) -> Tuple[object, bool]:
+    """Recompute ``Pr(members)`` from the graph: ``(value, exact)``.
+
+    ``exact`` is True when the value is exactly representable (a
+    missing-edge zero, or a product over non-float probabilities kept
+    in exact arithmetic); otherwise ``value`` is the float fast-path
+    product, to be interpreted through :func:`eta_verdict`.
+    """
+    probs: List[object] = []
+    for u, v in combinations(members, 2):
+        p = graph.probability(u, v)
+        if not p:
+            return 0, True
+        probs.append(p)
+    if all(isinstance(p, (float, int)) for p in probs):
+        value = 1.0
+        for p in probs:
+            value *= p
+        return value, False
+    result = Fraction(1)
+    for p in probs:
+        result *= _as_exact(p)
+    return result, True
+
+
+def eta_verdict(value, exact: bool, graph, members, eta) -> bool:
+    """Exact verdict of ``Pr(members) >= eta`` given a reference value.
+
+    ``value``/``exact`` come from :func:`reference_probability`.  A
+    float value inside the ``CHECK_GUARD`` band of ``eta`` is replayed
+    in Fraction arithmetic; outside the band (and for exact values —
+    Python compares Fraction to float exactly) the comparison is
+    already exact.
+    """
+    if exact or not isinstance(eta, float):
+        return value >= eta
+    if abs(value - eta) <= CHECK_GUARD * eta:
+        return exact_clique_probability(graph, members) >= Fraction(eta)
+    return value >= eta
+
+
+def is_eta_clique_checked(graph, members, eta) -> bool:
+    """Exact η-clique verdict (guard-banded fast path)."""
+    value, exact = reference_probability(graph, members)
+    return eta_verdict(value, exact, graph, members, eta)
+
+
+def find_extension(graph, members, eta) -> Optional[object]:
+    """A vertex extending ``members`` to a larger η-clique, or None.
+
+    The existence verdict is exact (each candidate goes through
+    :func:`is_eta_clique_checked`); candidates are probed in
+    deterministic sorted order so a violation always names the same
+    witness.  Only common neighbors of all members can extend a clique,
+    and the probe starts from the smallest neighborhood.
+    """
+    members = list(members)
+    if not members:
+        return None
+    neighbors = graph.neighbors
+    base = min(members, key=lambda v: len(neighbors(v)))
+    member_set = set(members)
+    others = [v for v in members if v != base]
+    candidates = [
+        w
+        for w in sorted(neighbors(base), key=repr)
+        if w not in member_set
+        and all(w in neighbors(v) for v in others)
+    ]
+    for w in candidates:
+        if is_eta_clique_checked(graph, members + [w], eta):
+            return w
+    return None
+
+
+def drift_message(
+    reference, exact: bool, value, log_domain: bool
+) -> Optional[str]:
+    """Describe S4 drift of an accumulated ``value``, or None if sound.
+
+    ``reference``/``exact`` come from :func:`reference_probability` for
+    the emitted members.  Kernel emissions pass ``log_domain=True``
+    with ``value = -log Pr(R)`` as accumulated by the recursion; dict
+    emissions pass the threaded probability itself.  Exact (Fraction)
+    accumulations must match the recomputation exactly — products are
+    order-independent in exact arithmetic — while float accumulations
+    get ``DRIFT_TOL`` of relative slack for order-of-evaluation ulps.
+    """
+    if log_domain:
+        ref_float = float(reference)
+        expected = -log(ref_float) if ref_float < 1.0 else 0.0
+        if abs(value - expected) > DRIFT_TOL * (1.0 + abs(expected)):
+            return (
+                f"accumulated -log probability {value!r} drifts from "
+                f"recomputed {expected!r}"
+            )
+        return None
+    if exact and not isinstance(value, float):
+        if value != reference:
+            return (
+                f"accumulated exact probability {value!r} != "
+                f"recomputed {reference!r}"
+            )
+        return None
+    value_float = float(value)
+    ref_float = float(reference)
+    if abs(value_float - ref_float) > DRIFT_TOL * max(ref_float, 1e-300):
+        return (
+            f"accumulated probability {value_float!r} drifts from "
+            f"recomputed {ref_float!r}"
+        )
+    return None

@@ -1,0 +1,120 @@
+"""Streaming duplicate / containment index over emitted cliques.
+
+One index serves two consumers with very different budgets:
+
+* the runtime sanitizer's **S2** check — duplicate detection only, on
+  every emission of a live run, so ``add`` must stay O(|clique|);
+* :func:`repro.core.verify.verify_enumeration` — duplicates *and*
+  nested (subset/superset) pairs, replacing its historical O(n²)
+  all-pairs scan with inverted indexes probed per clique.
+
+Duplicate detection hashes the ``frozenset`` itself (content-based, so
+no canonical sort is needed).  Containment, when enabled, keys two
+inverted indexes on the clique's **sorted-key anchor** — its minimum
+member under the deterministic ``repr`` order used everywhere else in
+this repo:
+
+* ``_by_vertex[v]`` — cliques containing ``v``.  A new clique's
+  *supersets* all contain its anchor member, so probing the smallest
+  member bucket suffices.
+* ``_by_anchor[v]`` — cliques whose anchor is ``v``.  A new clique's
+  *subsets* each have their anchor inside the new clique, so only the
+  buckets of the new clique's own members can hold them.
+
+Both probes touch only cliques sharing a member with the probe clique;
+for clique collections with bounded per-vertex multiplicity that is
+near-linear overall, against the quadratic pairwise scan it replaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+
+def clique_key(clique: Iterable) -> Tuple:
+    """Canonical sorted-tuple key of a clique (deterministic order).
+
+    Sorting by ``repr`` keeps mixed, non-comparable vertex types
+    deterministic — the same fallback as ``normalize_edge``.
+    """
+    return tuple(sorted(clique, key=repr))
+
+
+@dataclass(frozen=True)
+class AddOutcome:
+    """What :meth:`CliqueStreamIndex.add` learned about one clique."""
+
+    duplicate: bool
+    supersets: Tuple[FrozenSet, ...] = ()
+    subsets: Tuple[FrozenSet, ...] = ()
+
+
+class CliqueStreamIndex:
+    """Incremental dedup (and optional containment) over a clique stream.
+
+    Parameters
+    ----------
+    track_containment:
+        When True, :meth:`add` also reports previously-registered
+        proper supersets and subsets of the new clique (used by
+        ``verify_enumeration``).  The sanitizer leaves this off: a
+        nested emission is necessarily non-maximal and is already
+        caught by the S2 extension test.
+    """
+
+    def __init__(self, track_containment: bool = False):
+        self._track = track_containment
+        self._seen: set = set()
+        self._by_vertex: Dict[object, List[FrozenSet]] = {}
+        self._by_anchor: Dict[object, List[FrozenSet]] = {}
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def __contains__(self, clique) -> bool:
+        return frozenset(clique) in self._seen
+
+    def seen(self) -> set:
+        """The registered cliques, as a set of frozensets (do not mutate)."""
+        return self._seen
+
+    def add(self, clique: FrozenSet) -> AddOutcome:
+        """Register ``clique``; report duplication (and containment).
+
+        A duplicate is reported but *not* re-registered, so each
+        distinct clique participates in containment probes exactly
+        once — mirroring the pairwise check this index replaces.
+        """
+        if clique in self._seen:
+            return AddOutcome(duplicate=True)
+        supersets: Tuple[FrozenSet, ...] = ()
+        subsets: Tuple[FrozenSet, ...] = ()
+        if self._track and clique:
+            key = clique_key(clique)
+            anchor = key[0]
+            # Supersets all contain this clique's smallest *bucket*
+            # member (any member works; the smallest bucket bounds the
+            # probe cost).
+            probe = min(
+                (self._by_vertex.get(v, ()) for v in key),
+                key=len,
+                default=(),
+            )
+            supersets = tuple(
+                other for other in probe if clique < other
+            )
+            # Subsets have their own anchor inside this clique.
+            subsets = tuple(
+                other
+                for v in key
+                for other in self._by_anchor.get(v, ())
+                if other < clique
+            )
+            for v in key:
+                self._by_vertex.setdefault(v, []).append(clique)
+            self._by_anchor.setdefault(anchor, []).append(clique)
+        self._seen.add(clique)
+        return AddOutcome(
+            duplicate=False, supersets=supersets, subsets=subsets
+        )

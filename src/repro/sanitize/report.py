@@ -1,0 +1,128 @@
+"""Violation reports: what failed, where in the recursion, how to replay.
+
+A sanitizer violation is useless if it cannot be reproduced without
+re-running the whole enumeration, so every report serializes the
+**recursion path** ``R`` (in insertion order — its first element is the
+outer-loop seed vertex that roots the offending subtree).  Re-running
+the same enumeration with ``seeds=[path[0]]`` and the sanitizer at
+``full`` revisits only that subtree; :func:`repro.sanitize.replay`
+wraps exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Tuple
+
+from repro.exceptions import SanitizerViolation
+
+#: check id -> short human name (mirrors the ISSUE/docs nomenclature).
+CHECK_NAMES = {
+    "S1": "eta-clique",
+    "S2": "maximality-dedup",
+    "S3": "pivot-cover",
+    "S4": "numeric-drift",
+    "S5": "reduction-safety",
+}
+
+
+def _plain(value):
+    """JSON-safe scalar: numbers and strings pass, the rest go repr."""
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    if isinstance(value, Fraction):
+        return str(value)
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class ViolationReport:
+    """One invariant violation, with replay context.
+
+    ``path`` is the recursion path ``R`` at the violation site in
+    insertion order; ``detail`` carries check-specific extras (the
+    inadmissible extension vertex, the drift magnitudes, …).
+    """
+
+    check: str
+    message: str
+    path: Tuple
+    k: int
+    eta: object
+    level: str
+    backend: str
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return CHECK_NAMES.get(self.check, self.check)
+
+    def as_dict(self) -> dict:
+        return {
+            "check": self.check,
+            "name": self.name,
+            "message": self.message,
+            "path": [_plain(v) for v in self.path],
+            "k": self.k,
+            "eta": _plain(self.eta),
+            "level": self.level,
+            "backend": self.backend,
+            "detail": {key: _plain(v) for key, v in self.detail.items()},
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ViolationReport":
+        """Rebuild a report from :meth:`to_json` output.
+
+        Vertex labels survive when they are JSON scalars (ints,
+        strings — every label type this repo's datasets produce); an
+        ``eta`` serialized from a :class:`~fractions.Fraction` comes
+        back exact.
+        """
+        raw = json.loads(text)
+        eta = raw["eta"]
+        if isinstance(eta, str) and "/" in eta:
+            eta = Fraction(eta)
+        return cls(
+            check=raw["check"],
+            message=raw["message"],
+            path=tuple(raw["path"]),
+            k=raw["k"],
+            eta=eta,
+            level=raw["level"],
+            backend=raw["backend"],
+            detail=dict(raw.get("detail", {})),
+        )
+
+
+def fail(
+    check: str,
+    message: str,
+    path,
+    k: int,
+    eta,
+    level: str,
+    backend: str,
+    **detail,
+) -> "None":
+    """Build the report and raise :class:`SanitizerViolation`."""
+    report = ViolationReport(
+        check=check,
+        message=message,
+        path=tuple(path),
+        k=k,
+        eta=eta,
+        level=level,
+        backend=backend,
+        detail=detail,
+    )
+    raise SanitizerViolation(
+        f"{check} ({report.name}): {message} "
+        f"[recursion path {list(report.path)!r}]",
+        report,
+    )

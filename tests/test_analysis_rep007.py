@@ -1,0 +1,120 @@
+"""REP007 — sanitizer hook parity between the enumeration backends.
+
+Mirrors the REP005 self-scan tests one level up: the committed backend
+pair must carry identical, non-empty hook fingerprints, and
+neutralizing a single hook call in either recursion must make the rule
+fire and name the drifting hook.
+"""
+
+import os
+from pathlib import Path
+
+from repro.analysis.fingerprint import hook_fingerprint_function, labels
+from repro.analysis.registry import get_rule
+from repro.analysis.rules.mirror import find_mirror_anchors
+from repro.analysis.runner import parse_files, run_rules
+from repro.analysis.source import SourceFile
+
+REPO = Path(__file__).resolve().parents[1]
+DICT_BACKEND = REPO / "src" / "repro" / "core" / "pmuc.py"
+KERNEL_BACKEND = REPO / "src" / "repro" / "kernel" / "enumerate.py"
+
+
+def _rep007_findings(dict_text, kernel_text):
+    files = [
+        SourceFile(str(DICT_BACKEND), dict_text),
+        SourceFile(str(KERNEL_BACKEND), kernel_text),
+    ]
+    kept, _suppressed = run_rules(files, [get_rule("REP007")])
+    return kept
+
+
+def _neutralize(text, fragment):
+    """Replace the single line containing ``fragment`` with ``pass``.
+
+    Keeping the indentation (and a ``pass`` statement) preserves the
+    surrounding ``if san is not None:`` guard's syntax, so the mutant
+    still parses — the hook call alone disappears.
+    """
+    lines = text.splitlines(keepends=True)
+    hits = [i for i, ln in enumerate(lines) if fragment in ln]
+    assert len(hits) == 1, f"expected exactly one line with {fragment!r}"
+    i = hits[0]
+    indent = lines[i][: len(lines[i]) - len(lines[i].lstrip())]
+    lines[i] = f"{indent}pass\n"
+    return "".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the committed pair
+# ----------------------------------------------------------------------
+def test_committed_hook_fingerprints_match_and_are_nontrivial():
+    files = parse_files([str(DICT_BACKEND), str(KERNEL_BACKEND)])
+    (_, dict_func), (_, kernel_func) = find_mirror_anchors(files)
+    dict_seq = labels(hook_fingerprint_function(dict_func))
+    kernel_seq = labels(hook_fingerprint_function(kernel_func))
+    assert dict_seq == kernel_seq
+    # "No hooks anywhere" must not be able to pass silently: the
+    # committed recursions call all three recursion hooks.
+    for expected in ("hook:on_node", "hook:on_emit", "hook:on_cover"):
+        assert expected in dict_seq, dict_seq
+
+
+def test_rep007_silent_on_the_committed_pair():
+    assert (
+        _rep007_findings(
+            DICT_BACKEND.read_text(), KERNEL_BACKEND.read_text()
+        )
+        == []
+    )
+
+
+# ----------------------------------------------------------------------
+# hook drift fires, in either direction
+# ----------------------------------------------------------------------
+def test_rep007_fires_when_the_kernel_drops_the_cover_hook():
+    mutant = _neutralize(
+        KERNEL_BACKEND.read_text(),
+        "san.on_cover(depth, r, unexpanded, periphery)",
+    )
+    found = _rep007_findings(DICT_BACKEND.read_text(), mutant)
+    assert len(found) == 1
+    assert found[0].rule == "REP007"
+    assert "sanitizer hook drift" in found[0].message
+    assert "on_cover" in found[0].message
+    assert found[0].path == str(KERNEL_BACKEND)
+
+
+def test_rep007_fires_when_the_dict_side_drops_the_node_hook():
+    mutant = _neutralize(DICT_BACKEND.read_text(), "san.on_node(depth)")
+    found = _rep007_findings(mutant, KERNEL_BACKEND.read_text())
+    assert len(found) == 1
+    assert "on_node" in found[0].message
+
+
+def test_rep007_fires_when_the_kernel_drops_the_main_emit_hook():
+    # The kernel has two on_emit sites (the main one and the inlined
+    # no-candidate leaf); dropping only the main one is still drift.
+    mutant = _neutralize(
+        KERNEL_BACKEND.read_text(), "san.on_emit(r, nlq, True)"
+    )
+    found = _rep007_findings(DICT_BACKEND.read_text(), mutant)
+    assert len(found) == 1
+    assert "on_emit" in found[0].message
+
+
+# ----------------------------------------------------------------------
+# missing anchors keep the rule silent (scan-set safety, as REP005)
+# ----------------------------------------------------------------------
+def test_rep007_silent_when_an_anchor_is_missing():
+    files = [SourceFile(str(DICT_BACKEND), DICT_BACKEND.read_text())]
+    kept, _ = run_rules(files, [get_rule("REP007")])
+    assert kept == []
+
+
+def test_rep007_names_both_anchor_paths_in_its_message():
+    mutant = _neutralize(DICT_BACKEND.read_text(), "san.on_node(depth)")
+    found = _rep007_findings(mutant, KERNEL_BACKEND.read_text())
+    message = found[0].message
+    assert os.path.join("core", "pmuc.py") in message
+    assert os.path.join("kernel", "enumerate.py") in message

@@ -139,7 +139,10 @@ def test_cli_without_baseline_reports_the_grandfathered_finding():
 def test_cli_list_rules_prints_the_catalog():
     code, text = run_cli(["--list-rules"])
     assert code == 0
-    for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+    for rule_id in (
+        "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+        "REP007",
+    ):
         assert rule_id in text
 
 
@@ -224,6 +227,118 @@ def test_cli_write_baseline_preserves_grandfathered_entries(tmp_path):
     assert len(regenerated["findings"]) == len(payload["findings"]) == 2
     for entry in regenerated["findings"]:
         assert entry["justification"] == "kept across regeneration"
+
+
+# ----------------------------------------------------------------------
+# GitHub Actions output format
+# ----------------------------------------------------------------------
+def test_cli_github_format_emits_error_annotations(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(values):\n    return [v for v in set(values)]\n")
+    code, text = run_cli([str(bad), "--no-baseline", "--format=github"])
+    assert code == 1
+    annotation = next(
+        line for line in text.splitlines() if line.startswith("::error ")
+    )
+    assert f"file={bad}" in annotation
+    assert "line=2," in annotation
+    assert "title=REP001" in annotation
+    assert "::nondeterministic" not in annotation  # message after '::'
+    assert "1 finding(s)" in text
+
+
+def test_cli_github_format_notices_stale_baseline_entries(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("X = 1\n")
+    code, text = run_cli(
+        [str(clean), "--baseline", str(BASELINE), "--format=github"]
+    )
+    assert code == 0
+    assert "::notice " in text
+    assert "stale baseline entry" in text
+    assert "--prune-stale" in text
+
+
+def test_github_escaping_of_workflow_command_payloads():
+    from repro.analysis.cli import _gh_escape_data, _gh_escape_prop
+
+    assert _gh_escape_data("a%b\nc\rd") == "a%25b%0Ac%0Dd"
+    # Property values additionally escape ':' and ',' (the command's
+    # own delimiters); message data must not, or text gets mangled.
+    assert _gh_escape_prop("a:b,c") == "a%3Ab%2Cc"
+    assert _gh_escape_data("a:b,c") == "a:b,c"
+
+
+# ----------------------------------------------------------------------
+# stale baseline entries: summary note and --prune-stale
+# ----------------------------------------------------------------------
+def test_cli_text_summary_flags_stale_entries(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("X = 1\n")
+    code, text = run_cli([str(clean), "--baseline", str(BASELINE)])
+    assert code == 0
+    assert "1 stale baseline entry (--prune-stale drops them)" in text
+
+
+def test_cli_prune_stale_rewrites_the_baseline(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("X = 1\n")
+    copy = tmp_path / "baseline.json"
+    copy.write_text(BASELINE.read_text())
+    code, text = run_cli(
+        [str(clean), "--baseline", str(copy), "--prune-stale"]
+    )
+    assert code == 0
+    assert "pruned 1 stale entry" in text
+    # The rewritten file is empty and the post-prune summary no longer
+    # carries the stale note.
+    assert json.loads(copy.read_text())["findings"] == []
+    assert "stale baseline" not in text
+    # The committed baseline itself was never touched.
+    assert json.loads(BASELINE.read_text())["findings"]
+
+
+def test_cli_prune_stale_keeps_live_entries_and_justifications(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def f(p):\n"
+        "    if p == 0.25:\n"
+        "        return [v for v in set(range(3))]\n"
+    )
+    baseline = tmp_path / "baseline.json"
+    code, _ = run_cli(
+        [str(bad), "--no-baseline", "--write-baseline", str(baseline)]
+    )
+    assert code == 0
+    payload = json.loads(baseline.read_text())
+    assert len(payload["findings"]) == 2
+    for entry in payload["findings"]:
+        entry["justification"] = "kept across the prune"
+    baseline.write_text(json.dumps(payload))
+    # Fix the REP003 comparison; its baseline entry goes stale while
+    # the REP001 one stays live.
+    bad.write_text(
+        "def f(p):\n"
+        "    if p >= 0.25:\n"
+        "        return [v for v in set(range(3))]\n"
+    )
+    code, text = run_cli(
+        [str(bad), "--baseline", str(baseline), "--prune-stale"]
+    )
+    assert code == 0
+    assert "pruned 1 stale entry" in text
+    assert "(1 kept)" in text
+    kept = json.loads(baseline.read_text())["findings"]
+    assert len(kept) == 1
+    assert kept[0]["rule"] == "REP001"
+    assert kept[0]["justification"] == "kept across the prune"
+
+
+def test_cli_prune_stale_without_baseline_is_a_usage_error(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("X = 1\n")
+    code, _ = run_cli([str(clean), "--no-baseline", "--prune-stale"])
+    assert code == 2
 
 
 # ----------------------------------------------------------------------
