@@ -37,7 +37,7 @@ def test_fig3_runtime(benchmark, dataset_by_name, name, algorithm):
     assert result.stats.calls > 0
 
 
-def test_fig3_series(benchmark):
+def test_fig3_series(benchmark, table_json):
     """Coarse version of the full Fig. 3 sweep; the series (per
     dataset × sweep × algorithm) lands in extra_info."""
     rows = benchmark.pedantic(
@@ -45,6 +45,9 @@ def test_fig3_series(benchmark):
         kwargs=dict(datasets=("enron",), ks=(4, 6, 8), etas=(0.05, 0.1)),
         rounds=1,
         iterations=1,
+    )
+    table_json(
+        "fig3", rows, title="Fig. 3: runtime of MUC / PMUC / PMUC+"
     )
     benchmark.extra_info["series"] = [
         f"{r['sweep']}={r['k'] if r['sweep'] == 'k' else r['eta']}"

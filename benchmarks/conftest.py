@@ -9,6 +9,8 @@ unchanged).
 
 from __future__ import annotations
 
+from typing import Dict
+
 import pytest
 
 from repro.datasets import load_dataset
@@ -17,6 +19,54 @@ from repro.datasets import load_dataset
 #: full sweeps live in ``repro.bench.experiments`` / the CLI).
 BENCH_K = 6
 BENCH_ETA = 0.1
+
+#: Sections recorded via the ``table_json`` fixture, keyed by id —
+#: the same ``{id: {"title": ..., "rows": [...]}}`` layout the CLI's
+#: ``--json`` dump and :func:`repro.bench.report.to_json` use.
+_TABLE_SECTIONS: Dict[str, Dict[str, object]] = {}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--table-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write every row recorded via the table_json fixture to "
+            "PATH as deterministic JSON (repro.bench.report.to_json), "
+            "so figure scripts can consume benchmark tables directly"
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def table_json():
+    """Recorder: ``table_json(section_id, rows, title=...)``.
+
+    Rows accumulate across the whole session and are written once at
+    exit when ``--table-json PATH`` was given; without the option the
+    recorder is a cheap no-op sink, so benchmarks always record.
+    """
+
+    def record(section: str, rows, title: str = None) -> None:
+        entry = _TABLE_SECTIONS.setdefault(
+            section, {"title": title or section, "rows": []}
+        )
+        if title:
+            entry["title"] = title
+        entry["rows"].extend(rows)
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--table-json", default=None)
+    if path and _TABLE_SECTIONS:
+        from repro.bench.report import to_json
+
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(to_json(_TABLE_SECTIONS))
 
 
 @pytest.fixture(scope="session")

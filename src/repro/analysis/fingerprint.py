@@ -86,18 +86,31 @@ class Event:
 class _Extractor:
     """Linearizes one function body into the raw event sequence.
 
-    With ``hooks_only=True`` the extractor runs in the REP007 mode:
-    the only events are ``recurse``, loop boundaries, and
-    ``hook:on_*`` for calls to sanitizer hooks — attribute calls whose
-    receiver is the conventional local name ``san`` (both backends
-    bind their sanitizer to it precisely so the hook streams are
-    statically comparable).
+    With ``hooks_only=True`` the extractor runs in the REP007/REP008
+    mode: the only events are ``recurse``, loop boundaries, and
+    ``hook:on_*`` for calls to runtime hooks — attribute calls whose
+    receiver is the conventional local name ``hook_root`` (``"san"``
+    for the sanitizer, ``"obs"`` for the observer; both backends bind
+    the objects to those names precisely so the hook streams are
+    statically comparable).  With ``detail=True`` a hook call whose
+    first argument is a string literal carries it in the label
+    (``obs.on_prune("kpivot", ...)`` -> ``hook:on_prune:kpivot``), so
+    deduplication of the kernel's split checks cannot hide a hook with
+    a *different* discriminator.
     """
 
-    def __init__(self, func: ast.AST, hooks_only: bool = False):
+    def __init__(
+        self,
+        func: ast.AST,
+        hooks_only: bool = False,
+        hook_root: str = "san",
+        detail: bool = False,
+    ):
         self.func = func
         self.name = func.name
         self.hooks_only = hooks_only
+        self.hook_root = hook_root
+        self.detail = detail
         self.params = {
             arg.arg
             for arg in (
@@ -209,9 +222,16 @@ class _Extractor:
                     callee
                     and callee.startswith("on_")
                     and isinstance(node.func, ast.Attribute)
-                    and root_name(node.func) == "san"
+                    and root_name(node.func) == self.hook_root
                 ):
-                    events.append(Event("hook:" + callee, node.lineno))
+                    label = "hook:" + callee
+                    if self.detail and node.args:
+                        first = node.args[0]
+                        if isinstance(first, ast.Constant) and isinstance(
+                            first.value, str
+                        ):
+                            label += ":" + first.value
+                    events.append(Event(label, node.lineno))
                 continue
             if callee == self.name:
                 events.append(Event("recurse", node.lineno))
@@ -246,16 +266,33 @@ def _normalize(events: List[Event]) -> List[Event]:
     return deduped
 
 
-def _normalize_hooks(events: List[Event]) -> List[Event]:
-    """Inlined-leaf fold for hook fingerprints (no adjacent dedupe).
+#: The hook signature of the kernel's inlined no-candidate leaf: the
+#: only hook labels the inlined-leaf fold may absorb.  Restricting the
+#: fold keeps a hook that legitimately follows the recursive call (the
+#: dict backend's size-prune ``on_prune`` does) out of the fold, where
+#: its deletion would otherwise be invisible.
+_LEAF_HOOKS = ("hook:on_node", "hook:on_emit")
+
+
+def _normalize_hooks(
+    events: List[Event], dedupe: bool = False
+) -> List[Event]:
+    """Inlined-leaf fold (and optional dedupe) for hook fingerprints.
 
     The kernel's inlined no-candidate leaf places its ``on_node`` /
     ``on_emit`` hooks directly after the in-loop ``recurse`` (the dict
     backend reaches the same hooks *through* the recursive call), so a
-    run of ``hook:*`` events immediately following ``recurse`` inside a
+    run of those two labels immediately following ``recurse`` inside a
     loop folds into the ``recurse`` — the exact analogue of REP005's
-    counter fold.  Unlike REP005 there is no adjacent dedupe: two
-    consecutive identical hook calls would be a real difference.
+    counter fold.
+
+    REP007 (``dedupe=False``) applies no adjacent dedupe: two
+    consecutive identical sanitizer hooks would be a real difference.
+    REP008 (``dedupe=True``) collapses *adjacent identical* ``hook:*``
+    labels, because the kernel splits one logical check across
+    specialized branches (the K-pivot length pre-check and color
+    count) and hooks both; the detail suffix keeps hooks with
+    different discriminators from collapsing into each other.
     """
     folded: List[Event] = []
     loop_depth = 0
@@ -267,11 +304,22 @@ def _normalize_hooks(events: List[Event]) -> List[Event]:
         elif event.label == _LOOP_CLOSE:
             loop_depth -= 1
             folding = False
-        if folding and event.label.startswith("hook:"):
+        if folding and event.label in _LEAF_HOOKS:
             continue  # hooks of the kernel's inlined leaf call
         folding = loop_depth > 0 and event.label == "recurse"
         folded.append(event)
-    return folded
+    if not dedupe:
+        return folded
+    deduped: List[Event] = []
+    for event in folded:
+        if (
+            deduped
+            and event.label.startswith("hook:")
+            and deduped[-1].label == event.label
+        ):
+            continue
+        deduped.append(event)
+    return deduped
 
 
 def fingerprint_function(func: ast.AST) -> List[Event]:
@@ -282,6 +330,43 @@ def fingerprint_function(func: ast.AST) -> List[Event]:
 def hook_fingerprint_function(func: ast.AST) -> List[Event]:
     """The normalized sanitizer-hook fingerprint (REP007 mode)."""
     return _normalize_hooks(_Extractor(func, hooks_only=True).extract())
+
+
+def obs_fingerprint_function(func: ast.AST) -> List[Event]:
+    """The normalized observer-hook fingerprint (REP008 mode).
+
+    Like :func:`hook_fingerprint_function` but for the ``obs`` hook
+    root, with discriminator-detailed labels and adjacent dedupe of
+    identical hooks (the kernel hooks both halves of its split
+    K-pivot check).
+    """
+    return _normalize_hooks(
+        _Extractor(
+            func, hooks_only=True, hook_root="obs", detail=True
+        ).extract(),
+        dedupe=True,
+    )
+
+
+def driver_obs_fingerprint_function(func: ast.AST) -> List[Event]:
+    """Observer hooks of a non-recursive driver, in source order.
+
+    Drivers (the backends' ``run`` methods) are compared on their bare
+    ``hook:*`` stream: loop markers and recursion-like calls (e.g. the
+    dict backend delegating to ``kernel.run``, whose terminal name
+    collides with the fingerprinted function's own) carry no signal at
+    this level and are dropped before comparison.
+    """
+    events = _Extractor(
+        func, hooks_only=True, hook_root="obs", detail=True
+    ).extract()
+    hooks = [e for e in events if e.label.startswith("hook:")]
+    deduped: List[Event] = []
+    for event in hooks:
+        if deduped and deduped[-1].label == event.label:
+            continue
+        deduped.append(event)
+    return deduped
 
 
 def labels(events: List[Event]) -> List[str]:

@@ -8,14 +8,23 @@ Importing this package registers every rule with
 * :mod:`~repro.analysis.rules.mirror` — REP005
 * :mod:`~repro.analysis.rules.parallel` — REP006
 * :mod:`~repro.analysis.rules.sanitizer` — REP007
+* :mod:`~repro.analysis.rules.obs` — REP008
 """
 
 from repro.analysis.rules import (
     determinism,
     mirror,
     numeric,
+    obs,
     parallel,
     sanitizer,
 )
 
-__all__ = ["determinism", "mirror", "numeric", "parallel", "sanitizer"]
+__all__ = [
+    "determinism",
+    "mirror",
+    "numeric",
+    "obs",
+    "parallel",
+    "sanitizer",
+]

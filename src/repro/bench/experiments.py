@@ -157,7 +157,7 @@ def experiment_fig6_fig7(
                         "k": k,
                         "eta": eta,
                         "technique": label,
-                        "seconds": round(seconds, 4),
+                        "seconds": seconds,
                         "remaining_vertices": reduced.num_vertices,
                         "remaining_edges": reduced.num_edges,
                     }
@@ -193,7 +193,7 @@ def experiment_fig8(
                             "series": record.label,
                             "k": k,
                             "eta": DEFAULT_ETA,
-                            "seconds": round(record.seconds, 4),
+                            "seconds": record.seconds,
                             "cliques": record.num_cliques,
                         }
                     )
@@ -228,7 +228,7 @@ def experiment_fig9(
                         "k": k,
                         "eta": eta,
                         "algorithm": algorithm,
-                        "seconds": round(record.seconds, 4),
+                        "seconds": record.seconds,
                         "cliques": record.num_cliques,
                     }
                 )
@@ -342,7 +342,7 @@ def experiment_ablation(
                     "variant": label,
                     "k": k,
                     "eta": eta,
-                    "seconds": round(record.seconds, 4),
+                    "seconds": record.seconds,
                     "cliques": record.num_cliques,
                     "calls": record.stats["calls"],
                 }
@@ -371,7 +371,7 @@ def _sweep_row(
         "k": k,
         "eta": eta,
         "algorithm": record.label,
-        "seconds": round(record.seconds, 4),
+        "seconds": record.seconds,
         "cliques": record.num_cliques,
         "calls": record.stats["calls"],
     }
@@ -397,7 +397,7 @@ def _config_sweep(
                         "k": k,
                         "eta": eta,
                         "variant": label,
-                        "seconds": round(record.seconds, 4),
+                        "seconds": record.seconds,
                         "cliques": record.num_cliques,
                         "calls": record.stats["calls"],
                     }

@@ -31,9 +31,12 @@ class RunRecord:
     extra: Dict[str, object] = field(default_factory=dict)
 
     def as_row(self) -> Dict[str, object]:
+        # Full precision: rows feed machine-readable artifacts (JSON
+        # dumps, trajectory diffs); rounding happens only at
+        # text-render time (``_fmt`` here / in bench.report).
         row: Dict[str, object] = {
             "run": self.label,
-            "seconds": round(self.seconds, 4),
+            "seconds": self.seconds,
             "cliques": self.num_cliques,
         }
         row.update({f"stat_{k}": v for k, v in self.stats.items()})
@@ -63,16 +66,21 @@ def timed_config_enumeration(
     eta,
     config: PivotConfig,
     sanitize: Optional[str] = None,
+    obs: Optional[str] = None,
 ) -> RunRecord:
     """Time one :class:`PivotConfig`-driven enumeration.
 
     ``sanitize`` (``"off"``/``"light"``/``"full"``) overrides the
     config's sanitizer level for this run; checks then count toward the
     measured time, which is the point — the harness is how sanitizer
-    overhead is quantified.
+    overhead is quantified.  ``obs`` (``"off"``/``"metrics"``/
+    ``"full"``) likewise overrides the observability level — the same
+    mechanism quantifies observer overhead.
     """
     if sanitize is not None:
         config = replace(config, sanitize=sanitize)
+    if obs is not None:
+        config = replace(config, obs=obs)
     count = [0]
 
     def sink(_clique: frozenset) -> None:

@@ -122,9 +122,12 @@ def timed_run(
     eta: float,
     backend: str,
     sanitize: str = "off",
+    obs: str = "off",
 ) -> float:
     """One timed enumeration; returns CPU seconds."""
-    config = replace(PMUC_PLUS_CONFIG, backend=backend, sanitize=sanitize)
+    config = replace(
+        PMUC_PLUS_CONFIG, backend=backend, sanitize=sanitize, obs=obs
+    )
     enumerator = PivotEnumerator(
         graph, k=k, eta=eta, config=config, on_clique=lambda _c: None
     )
@@ -158,7 +161,10 @@ def parity_check(
 
 
 def bench_workload(
-    spec: Dict[str, object], rounds: int, sanitize: str = "off"
+    spec: Dict[str, object],
+    rounds: int,
+    sanitize: str = "off",
+    obs: str = "off",
 ) -> Dict[str, object]:
     """Benchmark one workload spec; returns its JSON record."""
     graph = build_graph(spec["params"])  # type: ignore[index]
@@ -169,7 +175,7 @@ def bench_workload(
         order = ("dict", "kernel") if rnd % 2 == 0 else ("kernel", "dict")
         for backend in order:
             times[backend].append(
-                timed_run(graph, k, eta, backend, sanitize)
+                timed_run(graph, k, eta, backend, sanitize, obs)
             )
     paired = sorted(
         d / kt for d, kt in zip(times["dict"], times["kernel"])
@@ -208,13 +214,14 @@ def run_benchmark(
     quick: bool = False,
     rounds: Optional[int] = None,
     sanitize: str = "off",
+    obs: str = "off",
 ) -> Dict[str, object]:
     """Run the full (or quick) suite; returns the JSON document."""
     if rounds is None:
         rounds = 2 if quick else 7
     names = QUICK_NAMES if quick else tuple(w["name"] for w in WORKLOADS)
     records = [
-        bench_workload(spec, rounds, sanitize)
+        bench_workload(spec, rounds, sanitize, obs)
         for spec in WORKLOADS
         if spec["name"] in names
     ]
@@ -237,6 +244,7 @@ def run_benchmark(
             "sink": "streaming-noop",
             "quick": quick,
             "sanitize": sanitize,
+            "obs": obs,
         },
         "workloads": records,
         "summary": {
@@ -285,12 +293,58 @@ def main(argv: Optional[List[str]] = None) -> int:
             "this level (default: off); violations abort the benchmark"
         ),
     )
+    parser.add_argument(
+        "--obs",
+        choices=("off", "metrics", "full"),
+        default="off",
+        help=(
+            "run the timed enumerations with the observability layer "
+            "at this level (default: off); overhead counts toward the "
+            "measured time, which is how observer cost is quantified"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "collect Chrome-trace JSONL across all observed runs into "
+            "PATH (plus PATH.folded stacks and PATH.metrics.json); "
+            "implies --obs full unless --obs was given"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.rounds is not None and args.rounds < 1:
         parser.error("--rounds must be at least 1")
-    document = run_benchmark(
-        quick=args.quick, rounds=args.rounds, sanitize=args.sanitize
-    )
+    if args.trace_out and args.obs == "off":
+        args.obs = "full"
+    if args.obs != "off":
+        from repro.obs.session import observe
+
+        with observe(
+            trace_path=args.trace_out,
+            folded_path=(
+                f"{args.trace_out}.folded" if args.trace_out else None
+            ),
+            metrics_path=(
+                f"{args.trace_out}.metrics.json" if args.trace_out else None
+            ),
+        ):
+            document = run_benchmark(
+                quick=args.quick,
+                rounds=args.rounds,
+                sanitize=args.sanitize,
+                obs=args.obs,
+            )
+        if args.trace_out:
+            print(
+                f"wrote trace to {args.trace_out} (summarize with "
+                f"'python -m repro.obs report {args.trace_out}')"
+            )
+    else:
+        document = run_benchmark(
+            quick=args.quick, rounds=args.rounds, sanitize=args.sanitize
+        )
     rows = [
         {
             "workload": r["name"],

@@ -9,9 +9,26 @@ reproduction report is a single function call away.
 
 from __future__ import annotations
 
+import json
 from typing import Dict, List, Mapping, Optional, Sequence
 
 Row = Dict[str, object]
+
+
+def to_json(sections: Mapping[str, Mapping[str, object]],
+            indent: int = 2) -> str:
+    """Serialize report sections as deterministic JSON.
+
+    Takes the same ``{id: {"title": ..., "rows": [...]}}`` structure as
+    :func:`render_report` (a single section works too), so every
+    benchmark script can emit its table machine-readably next to the
+    text rendering.  Values keep full precision — rounding is a
+    text-rendering concern (see ``_fmt``) — and keys are sorted so two
+    runs of the same experiment diff cleanly.
+    """
+    return json.dumps(
+        sections, indent=indent, sort_keys=True, default=str
+    ) + "\n"
 
 
 def markdown_table(rows: Sequence[Row]) -> str:

@@ -1,0 +1,160 @@
+"""Observability trajectory artifact (``BENCH_pr4.json``) generator.
+
+Produces the ``repro.obs/bench-v1`` baseline that ``python -m repro.obs
+diff`` gates CI against: one run record per workload x backend with a
+noise-hardened timing, the deterministic :class:`SearchStats` counters,
+and the full :class:`~repro.obs.metrics.MetricsRegistry` snapshot
+(per-depth histograms, phase timers, gauges).
+
+Measurement protocol (reuses the :mod:`repro.bench.kernel_speedup`
+machinery — same workloads, same ``process_time``/gc-disabled timer):
+
+* ``seconds`` is the **best of N obs-off rounds**, so the committed
+  baseline never includes observer overhead and a timing regression
+  flagged against it is a regression of the enumeration itself;
+* ``stats`` and ``metrics`` come from one separate ``obs="metrics"``
+  profiled run — they are deterministic, so a single pass suffices.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.trajectory --out BENCH_pr4.json
+    PYTHONPATH=src python -m repro.bench.trajectory --quick   # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.bench.harness import format_table
+from repro.bench.kernel_speedup import (
+    QUICK_NAMES,
+    WORKLOADS,
+    build_graph,
+    timed_run,
+)
+from repro.core.config import PMUC_PLUS_CONFIG
+from repro.core.pmuc import PivotEnumerator
+
+#: Schema tag shared with ``repro.obs`` (kept literal here so the bench
+#: layer does not import the obs package at module import time).
+BENCH_SCHEMA = "repro.obs/bench-v1"
+
+BACKENDS = ("dict", "kernel")
+
+
+def profiled_run(graph, k: int, eta: float, backend: str) -> Dict[str, object]:
+    """One untimed ``obs="metrics"`` run; returns stats + metrics."""
+    config = replace(PMUC_PLUS_CONFIG, backend=backend, obs="metrics")
+    enumerator = PivotEnumerator(
+        graph, k=k, eta=eta, config=config, on_clique=lambda _c: None
+    )
+    result = enumerator.run()
+    return {
+        "num_cliques": result.stats.outputs,
+        "stats": result.stats.as_dict(),
+        "metrics": enumerator.obs.metrics.as_dict(),
+    }
+
+
+def trajectory_run(
+    spec: Dict[str, object], backend: str, rounds: int
+) -> Dict[str, object]:
+    """One ``runs[]`` record: best-of-N timing plus a profiled pass."""
+    graph = build_graph(spec["params"])  # type: ignore[index]
+    k = spec["k"]
+    eta = spec["eta"]
+    seconds = min(
+        timed_run(graph, k, eta, backend) for _ in range(rounds)
+    )
+    profile = profiled_run(graph, k, eta, backend)
+    return {
+        "workload": spec["name"],
+        "backend": backend,
+        "k": k,
+        "eta": eta,
+        "seconds": seconds,
+        "num_cliques": profile["num_cliques"],
+        "stats": profile["stats"],
+        "metrics": profile["metrics"],
+    }
+
+
+def build_document(
+    quick: bool = False, rounds: Optional[int] = None
+) -> Dict[str, object]:
+    """The full (or quick) ``repro.obs/bench-v1`` document."""
+    if rounds is None:
+        rounds = 2 if quick else 5
+    names = QUICK_NAMES if quick else tuple(w["name"] for w in WORKLOADS)
+    runs = [
+        trajectory_run(spec, backend, rounds)
+        for spec in WORKLOADS
+        if spec["name"] in names
+        for backend in BACKENDS
+    ]
+    return {
+        "schema": BENCH_SCHEMA,
+        "bench": "obs-trajectory",
+        "pr": 4,
+        "algorithm": "pmuc+",
+        "meta": {
+            "timer": "process_time",
+            "rounds": rounds,
+            "estimator": "best-of-rounds (timeit-style min)",
+            "gc_disabled": True,
+            "sink": "streaming-noop",
+            "obs_during_timing": "off",
+            "obs_during_profiling": "metrics",
+            "quick": quick,
+        },
+        "runs": runs,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.trajectory",
+        description="Generate the repro.obs bench-v1 trajectory baseline.",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=None, help="write JSON to PATH"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI gate mode: smallest workload, 2 rounds",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=None, help="override round count"
+    )
+    args = parser.parse_args(argv)
+    if args.rounds is not None and args.rounds < 1:
+        parser.error("--rounds must be at least 1")
+    document = build_document(quick=args.quick, rounds=args.rounds)
+    rows = [
+        {
+            "workload": r["workload"],
+            "backend": r["backend"],
+            "k": r["k"],
+            "eta": r["eta"],
+            "seconds": r["seconds"],
+            "cliques": r["num_cliques"],
+            "calls": r["stats"]["calls"],
+            "expansions": r["stats"]["expansions"],
+        }
+        for r in document["runs"]
+    ]
+    print(format_table(rows, title="obs trajectory (pmuc+)"))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

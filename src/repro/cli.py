@@ -84,25 +84,76 @@ def main(argv: Optional[List[str]] = None) -> int:
             "violation aborts with a replayable report"
         ),
     )
+    parser.add_argument(
+        "--obs",
+        choices=("off", "metrics", "full"),
+        default="off",
+        help=(
+            "enable the observability layer for every enumeration in "
+            "the experiment (see docs/observability.md); 'full' adds "
+            "trace spans and sampled stacks on top of metrics"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the combined Chrome-trace JSONL to PATH (plus the "
+            "folded stacks to PATH.folded and the metrics document to "
+            "PATH.metrics.json); implies --obs full unless --obs was "
+            "given"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.sanitize != "off":
         # Experiments build their PivotConfigs internally; the
         # environment override reaches them all without threading a
         # parameter through every experiment signature.
         os.environ["REPRO_SANITIZE"] = args.sanitize
+    if args.trace_out and args.obs == "off":
+        args.obs = "full"
+    if args.obs != "off":
+        # Same mechanism as --sanitize: the environment override
+        # reaches every internally-built PivotConfig.
+        os.environ["REPRO_OBS"] = args.obs
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     collected = {}
-    for name in names:
-        title, runner = EXPERIMENTS[name]
-        rows = runner(args)
-        collected[name] = {"title": title, "rows": rows}
-        print_table(rows, title=f"== {title} ==")
-        print()
+    session = None
+    from contextlib import ExitStack
+
+    with ExitStack() as stack:
+        if args.obs != "off":
+            from repro.obs.session import observe
+
+            session = stack.enter_context(observe(
+                trace_path=args.trace_out,
+                folded_path=(
+                    f"{args.trace_out}.folded" if args.trace_out else None
+                ),
+                metrics_path=(
+                    f"{args.trace_out}.metrics.json"
+                    if args.trace_out
+                    else None
+                ),
+            ))
+        for name in names:
+            title, runner = EXPERIMENTS[name]
+            rows = runner(args)
+            collected[name] = {"title": title, "rows": rows}
+            print_table(rows, title=f"== {title} ==")
+            print()
+    if session is not None and args.trace_out:
+        print(
+            f"wrote trace to {args.trace_out} "
+            f"({len(session.observers)} observed runs; summarize with "
+            f"'python -m repro.obs report {args.trace_out}')"
+        )
     if args.json:
-        import json
+        from repro.bench.report import to_json
 
         with open(args.json, "w", encoding="utf-8") as f:
-            json.dump(collected, f, indent=2, default=str)
+            f.write(to_json(collected))
         print(f"wrote JSON results to {args.json}")
     if args.markdown:
         from repro.bench.report import render_report

@@ -19,6 +19,7 @@ KPIVOT_CHOICES = ("off", "plain", "color")
 REDUCTION_CHOICES = ("off", "core", "triangle")
 BACKEND_CHOICES = ("dict", "kernel")
 SANITIZE_CHOICES = ("off", "light", "full")
+OBS_CHOICES = ("off", "metrics", "full")
 
 
 def _require(value: str, choices, name: str) -> None:
@@ -66,6 +67,13 @@ class PivotConfig:
         recursion node, plus shadow cross-checks on small inputs).
         When left at ``"off"``, the ``REPRO_SANITIZE`` environment
         variable can still switch a level on process-wide.
+    obs:
+        Observability layer (see :mod:`repro.obs`): ``"off"``
+        (default; no hooks fire), ``"metrics"`` (counters, gauges and
+        per-depth histograms) or ``"full"`` (metrics plus Chrome-trace
+        phase spans, sampled recursion instants, and folded stacks).
+        When left at ``"off"``, the ``REPRO_OBS`` environment variable
+        can still switch a level on process-wide.
     """
 
     ordering: str = "topk-core"
@@ -75,6 +83,7 @@ class PivotConfig:
     reduction: str = "core"
     backend: str = "dict"
     sanitize: str = "off"
+    obs: str = "off"
 
     def __post_init__(self) -> None:
         _require(self.ordering, ORDERING_CHOICES, "ordering")
@@ -84,6 +93,7 @@ class PivotConfig:
         _require(self.reduction, REDUCTION_CHOICES, "reduction")
         _require(self.backend, BACKEND_CHOICES, "backend")
         _require(self.sanitize, SANITIZE_CHOICES, "sanitize")
+        _require(self.obs, OBS_CHOICES, "obs")
 
 
 #: The paper's ``PMUC``: every Section-4 technique, core reduction for a

@@ -29,6 +29,7 @@ branch has been explored.
 from __future__ import annotations
 
 import sys
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.exceptions import ParameterError
@@ -119,6 +120,10 @@ class PivotEnumerator:
         self._rank: Dict[Vertex, int] = {}
         self._search_graph = graph
         self._san = None
+        #: The run's :class:`~repro.obs.observer.Observer` (or None);
+        #: populated by :meth:`run`, left in place afterwards so
+        #: callers can read the collected metrics.
+        self.obs = None
 
     # ------------------------------------------------------------------
     @property
@@ -157,20 +162,31 @@ class PivotEnumerator:
         if self._config.backend == "kernel":
             kernel = self._make_kernel()
             if kernel is not None:
-                return kernel.run(
-                    seeds, reduced_graph=reduced_graph, order=order
-                )
-        # Imported lazily: repro.sanitize pulls in repro.core.config /
-        # repro.core.pivot, so a module-level import here would close an
-        # import cycle through the repro.core package __init__.
+                try:
+                    return kernel.run(
+                        seeds, reduced_graph=reduced_graph, order=order
+                    )
+                finally:
+                    self.obs = kernel.obs
+        # Imported lazily: repro.sanitize / repro.obs pull in
+        # repro.core.config (and the sanitizer repro.core.pivot), so a
+        # module-level import here would close an import cycle through
+        # the repro.core package __init__.
+        from repro.obs.observer import build_observer
         from repro.sanitize.sanitizer import build_sanitizer
 
         san = self._san = build_sanitizer(
             self._graph, self._k, self._eta, self._config, "dict"
         )
+        obs = self.obs = build_observer(self._config, "dict")
+        if obs is not None:
+            obs.on_gauge("vertices_input", self._graph.num_vertices)
+        start = perf_counter()
         self._search_graph = (
             reduced_graph if reduced_graph is not None else self._reduce()
         )
+        reduction_s = perf_counter() - start
+        start = perf_counter()
         if order is None:
             order = vertex_ordering(
                 self._search_graph, self._config.ordering, self._eta
@@ -178,6 +194,11 @@ class PivotEnumerator:
         self._rank = {v: i for i, v in enumerate(order)}
         backbone = self._search_graph.to_deterministic()
         self._ctx = PivotContext.from_backbone(backbone, self._k)
+        ordering_s = perf_counter() - start
+        if obs is not None:
+            obs.on_gauge(
+                "vertices_search", self._search_graph.num_vertices
+            )
         if san is not None:
             san.on_reduced(list(self._search_graph.vertices()))
             san.on_context(self._ctx.color, list(backbone.edges()))
@@ -190,6 +211,7 @@ class PivotEnumerator:
         if needed > previous_limit:
             sys.setrecursionlimit(needed)
         complete = seeds is None
+        start = perf_counter()
         try:
             for v in order:
                 if seed_set is not None and v not in seed_set:
@@ -203,8 +225,17 @@ class PivotEnumerator:
         finally:
             if needed > previous_limit:
                 sys.setrecursionlimit(previous_limit)
+        recursion_s = perf_counter() - start
+        start = perf_counter()
         if san is not None:
             san.on_finish(complete)
+        sanitize_s = perf_counter() - start
+        if obs is not None:
+            obs.on_phase("reduction", reduction_s)
+            obs.on_phase("ordering", ordering_s)
+            obs.on_phase("recursion", recursion_s)
+            obs.on_phase("sanitize", sanitize_s)
+            obs.on_finish(self._result.stats)
         return self._result
 
     # ------------------------------------------------------------------
@@ -267,11 +298,16 @@ class PivotEnumerator:
         san = self._san
         if san is not None:
             san.on_node(depth)
+        obs = self.obs
+        if obs is not None:
+            obs.on_node(depth, r)
         k = self._k
         if not c and not x:
             if len(r) >= k:
                 if san is not None:
                     san.on_emit(r, q, False)
+                if obs is not None:
+                    obs.on_emit(depth, len(r))
                 self._emit(r)
             self._ctx.raise_lower_bound(r, len(r))
             return p
@@ -284,6 +320,8 @@ class PivotEnumerator:
         if kpivot and len(r) + self._candidate_bound(c) < k:
             # The whole candidate set is a K-pivot periphery (Lemma 5/6).
             stats.kpivot_stops += 1
+            if obs is not None:
+                obs.on_prune("kpivot", depth)
             return p
         mpivot = self._config.mpivot
         rank = self._rank
@@ -306,6 +344,8 @@ class PivotEnumerator:
                 # periphery on its own (Lemma 5/6) — no reliance on Q.
                 if len(r) + self._candidate_bound(unexpanded) < k:
                     stats.kpivot_stops += 1
+                    if obs is not None:
+                        obs.on_prune("kpivot", depth)
                     break
             u = next((w for w in unexpanded if w not in periphery), None)
             if u is None:
@@ -314,6 +354,8 @@ class PivotEnumerator:
                 if san is not None:
                     san.on_cover(depth, r, unexpanded, periphery)
                 stats.mpivot_skips += len(unexpanded)
+                if obs is not None:
+                    obs.on_prune("mpivot", depth, len(unexpanded))
                 break
             expanded_any = True
             r_u = c[u]
@@ -324,11 +366,15 @@ class PivotEnumerator:
             branch_best = list(r)
             if len(r) + self._candidate_bound(c_new) >= k:
                 stats.expansions += 1
+                if obs is not None:
+                    obs.on_expand(depth)
                 branch_best = self._pmuce(
                     r, q_new, c_new, x_new, branch_best, depth + 1
                 )
             else:
                 stats.size_prunes += 1
+                if obs is not None:
+                    obs.on_prune("size", depth)
             r.pop()
             if mpivot == "improved" or (mpivot == "basic" and not periphery):
                 if len(periphery) < len(branch_best):

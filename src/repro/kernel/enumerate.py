@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import sys
 from math import log
+from time import perf_counter
 from typing import Callable, List, Optional, Sequence
 
 from repro.exceptions import KernelBackendError
@@ -123,6 +124,13 @@ class KernelEnumerator:
         self._kpivot = config.kpivot != "off"
         self._color_bound = config.kpivot == "color"
         self._mpivot = config.mpivot
+        #: The run's :class:`~repro.obs.observer.Observer` (or None);
+        #: populated by :meth:`run`, mirrored onto the delegating
+        #: ``PivotEnumerator`` afterwards.
+        self.obs = None
+        # Phase timings recorded by _prepare() for the observer.
+        self._reduction_s = 0.0
+        self._ordering_s = 0.0
         # Populated by _prepare():
         self._cg: CompactGraph = CompactGraph([])
         self._sv: List[float] = []
@@ -152,12 +160,15 @@ class KernelEnumerator:
         reduced_graph: Optional[UncertainGraph],
         order_labels: Optional[Sequence],
     ) -> None:
+        start = perf_counter()
         if reduced_graph is not None:
             cg_red = CompactGraph.from_uncertain(reduced_graph)
         else:
             cg_red = self._reduce_ids(
                 CompactGraph.from_uncertain(self._graph)
             )
+        self._reduction_s = perf_counter() - start
+        start = perf_counter()
         if order_labels is not None:
             order = [cg_red.index[v] for v in order_labels]
         else:
@@ -212,6 +223,7 @@ class KernelEnumerator:
             self._nlogr = self._cg.nlog
         self._hi_base = self._nl_eta + self._guard
         self._guard2 = self._guard + self._guard
+        self._ordering_s = perf_counter() - start
 
     # ------------------------------------------------------------------
     # driver
@@ -225,12 +237,21 @@ class KernelEnumerator:
         """Execute the enumeration; same contract as the dict backend."""
         self._prepare(reduced_graph, order)
         # Imported lazily for the same import-cycle reason as the dict
-        # backend (repro.sanitize reaches back into repro.core).
+        # backend (repro.sanitize / repro.obs reach back into
+        # repro.core).
+        from repro.obs.observer import build_observer
         from repro.sanitize.sanitizer import IdSanitizer, build_sanitizer
 
         core_san = build_sanitizer(
             self._graph, self._k, self._eta, self._config, "kernel"
         )
+        obs = self.obs = build_observer(self._config, "kernel")
+        if obs is not None:
+            # The recursion passes raw int-id paths; translation to
+            # labels happens only for sampled nodes.
+            obs.set_labels(self._cg.labels)
+            obs.on_gauge("vertices_input", self._graph.num_vertices)
+            obs.on_gauge("vertices_search", self._cg.n)
         san = None
         if core_san is not None:
             core_san.on_reduced(list(self._cg.labels))
@@ -258,8 +279,9 @@ class KernelEnumerator:
         needed = n + 100
         if needed > previous_limit:
             sys.setrecursionlimit(needed)
-        rec, flush = self._build_rec(san)
+        rec, flush = self._build_rec(san, obs)
         complete = seeds is None
+        start = perf_counter()
         try:
             eta = self._eta
             sv = self._sv
@@ -290,8 +312,17 @@ class KernelEnumerator:
             flush()
             if needed > previous_limit:
                 sys.setrecursionlimit(previous_limit)
+        recursion_s = perf_counter() - start
+        start = perf_counter()
         if core_san is not None:
             core_san.on_finish(complete)
+        sanitize_s = perf_counter() - start
+        if obs is not None:
+            obs.on_phase("reduction", self._reduction_s)
+            obs.on_phase("ordering", self._ordering_s)
+            obs.on_phase("recursion", recursion_s)
+            obs.on_phase("sanitize", sanitize_s)
+            obs.on_finish(self._result.stats)
         return self._result
 
     # ------------------------------------------------------------------
@@ -351,12 +382,16 @@ class KernelEnumerator:
     # ------------------------------------------------------------------
     # the recursion (Algorithm 3, lines 6-21 — bitset edition)
     # ------------------------------------------------------------------
-    def _build_rec(self, san=None):
+    def _build_rec(self, san=None, obs=None):
         """Compile the recursion into a closure; return ``(rec, flush)``.
 
-        ``san`` is the (id-translating) sanitizer adapter or None; the
+        ``san`` is the (id-translating) sanitizer adapter or None and
+        ``obs`` the :class:`~repro.obs.observer.Observer` or None; the
         hook sites below mirror the dict backend's exactly, which the
-        REP007 lint rule enforces statically.
+        REP007 (sanitizer) and REP008 (observer) lint rules enforce
+        statically.  Observer hooks receive raw int-id paths — label
+        translation happens inside the observer, only for sampled
+        nodes.
 
         Everything the recursion reads but never rebinds — graph
         arrays, pivot tables, guard-band constants, the stats object —
@@ -440,11 +475,15 @@ class KernelEnumerator:
                 max_depth = depth
             if san is not None:
                 san.on_node(depth)
+            if obs is not None:
+                obs.on_node(depth, r)
             if not c_bits:
                 if not x_bits:
                     if len(r) >= k:
                         if san is not None:
                             san.on_emit(r, nlq, True)
+                        if obs is not None:
+                            obs.on_emit(depth, len(r))
                         outputs += 1
                         sink(frozenset(map(label_of, r)))
                         if outputs == limit:
@@ -476,6 +515,8 @@ class KernelEnumerator:
                 # count stops at ``need`` distinct colors.
                 if len(c_list) < need:
                     kpivot_stops += 1
+                    if obs is not None:
+                        obs.on_prune("kpivot", depth)
                     return p
                 if color_bound:
                     seen = 0
@@ -489,6 +530,8 @@ class KernelEnumerator:
                                 break
                     if cnt < need:
                         kpivot_stops += 1
+                        if obs is not None:
+                            obs.on_prune("kpivot", depth)
                         return p
             depth1 = depth + 1
             need1 = need - 1
@@ -520,6 +563,8 @@ class KernelEnumerator:
                 if expanded_any and kpivot_pos:
                     if len(unexpanded) < need:
                         kpivot_stops += 1
+                        if obs is not None:
+                            obs.on_prune("kpivot", depth)
                         break
                     if color_bound:
                         seen = 0
@@ -533,6 +578,8 @@ class KernelEnumerator:
                                     break
                         if cnt < need:
                             kpivot_stops += 1
+                            if obs is not None:
+                                obs.on_prune("kpivot", depth)
                             break
                 if not unexpanded:
                     break
@@ -550,6 +597,8 @@ class KernelEnumerator:
                         if san is not None:
                             san.on_cover(depth, r, unexpanded, periphery)
                         mpivot_skips += len(unexpanded)
+                        if obs is not None:
+                            obs.on_prune("mpivot", depth, len(unexpanded))
                         break
                 expanded_any = True
                 nlq_new = nlq + sv[u]
@@ -636,6 +685,8 @@ class KernelEnumerator:
                     else:
                         x_list = ()
                     expansions += 1
+                    if obs is not None:
+                        obs.on_expand(depth)
                     if c_new:
                         branch_best = rec(
                             r, nlq_new, c_new, c_next, x_new,
@@ -652,10 +703,14 @@ class KernelEnumerator:
                             max_depth = depth1
                         if san is not None:
                             san.on_node(depth1)
+                        if obs is not None:
+                            obs.on_node(depth1, r)
                         if not x_new:
                             if rlen >= k - 1:
                                 if san is not None:
                                     san.on_emit(r, nlq_new, True)
+                                if obs is not None:
+                                    obs.on_emit(depth1, rlen + 1)
                                 outputs += 1
                                 sink(frozenset(map(label_of, r)))
                                 if outputs == limit:
@@ -670,6 +725,8 @@ class KernelEnumerator:
                         blen = rlen + 1
                 else:
                     size_prunes += 1
+                    if obs is not None:
+                        obs.on_prune("size", depth)
                     x_list = ()
                     branch_best = None
                     blen = rlen + 1

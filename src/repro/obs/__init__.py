@@ -1,0 +1,42 @@
+"""repro-obs: tracing, metrics, and profiling for the enumeration stack.
+
+Activate with ``PivotConfig(obs="metrics"|"full")``, the ``--obs`` flag
+of the CLI / benchmarks, or the ``REPRO_OBS`` environment variable
+(which applies when the config leaves the level at ``"off"``).  Wrap
+any number of runs in :func:`~repro.obs.session.observe` to collect
+combined trace / folded-stack / metrics artifacts, then inspect them
+with ``python -m repro.obs report`` and gate regressions with
+``python -m repro.obs diff``.  See ``docs/observability.md``.
+"""
+
+from repro.obs.diff import compare, diff_paths, load_series
+from repro.obs.metrics import DEPTH_METRICS, MetricsRegistry
+from repro.obs.observer import (
+    DEFAULT_SAMPLE_EVERY,
+    Observer,
+    build_observer,
+    resolve_level,
+)
+from repro.obs.report import load_artifact, render_path
+from repro.obs.session import ObsSession, current_session, observe
+from repro.obs.tracer import FoldedStacks, Tracer, read_jsonl
+
+__all__ = [
+    "DEFAULT_SAMPLE_EVERY",
+    "DEPTH_METRICS",
+    "FoldedStacks",
+    "MetricsRegistry",
+    "Observer",
+    "ObsSession",
+    "Tracer",
+    "build_observer",
+    "compare",
+    "current_session",
+    "diff_paths",
+    "load_artifact",
+    "load_series",
+    "observe",
+    "read_jsonl",
+    "render_path",
+    "resolve_level",
+]

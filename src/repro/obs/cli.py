@@ -1,0 +1,98 @@
+"""``python -m repro.obs`` — report and diff observation artifacts."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.diff import (
+    DEFAULT_COUNTER_THRESHOLD,
+    DEFAULT_TIME_THRESHOLD,
+    diff_paths,
+)
+from repro.obs.report import render_path
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description=__doc__,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report",
+        help="summarize a trace (JSONL), metrics document, or bench "
+        "trajectory",
+    )
+    report.add_argument("path", help="artifact file to summarize")
+    report.add_argument(
+        "--verbose",
+        action="store_true",
+        help="include per-run metric breakdowns for bench trajectories",
+    )
+
+    diff = sub.add_parser(
+        "diff",
+        help="compare two runs; exit 1 on regression beyond threshold",
+    )
+    diff.add_argument("baseline", help="baseline metrics/bench document")
+    diff.add_argument("current", help="current metrics/bench document")
+    diff.add_argument(
+        "--time-threshold",
+        type=float,
+        default=DEFAULT_TIME_THRESHOLD,
+        help="allowed seconds growth ratio (default: %(default)s — "
+        "generous, wall clock crosses machines)",
+    )
+    diff.add_argument(
+        "--counter-threshold",
+        type=float,
+        default=DEFAULT_COUNTER_THRESHOLD,
+        help="allowed search-counter growth ratio (default: %(default)s "
+        "— tight, counters are deterministic)",
+    )
+    diff.add_argument(
+        "--only-common",
+        action="store_true",
+        help="compare only runs present in both documents (gate a "
+        "partial --quick re-run against a full baseline); an empty "
+        "intersection still fails",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "report":
+        try:
+            sys.stdout.write(render_path(args.path, verbose=args.verbose))
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        return 0
+    # diff
+    try:
+        lines, regressions = diff_paths(
+            args.baseline,
+            args.current,
+            time_threshold=args.time_threshold,
+            counter_threshold=args.counter_threshold,
+            only_common=args.only_common,
+        )
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for line in lines:
+        print(line)
+    for regression in regressions:
+        print(f"REGRESSION {regression}")
+    if regressions:
+        print(f"{len(regressions)} regression(s) beyond threshold")
+        return 1
+    print("no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,196 @@
+"""Trace-diff regression gating: compare two observation artifacts.
+
+``python -m repro.obs diff BASELINE CURRENT`` aligns the runs of two
+metrics/bench documents by key (``workload/backend`` for bench
+trajectories, ``run<i>/<backend>`` for session documents) and flags:
+
+* a **missing run** — a key present in the baseline but not in the
+  current document;
+* an **output drift** — ``outputs`` differs at all (clique counts are
+  deterministic; any change is a correctness signal, not noise);
+* a **counter regression** — any other search counter (``calls``,
+  ``expansions``, ...) grew beyond ``--counter-threshold`` (default
+  2%; counters are deterministic for a fixed workload, so the slack
+  only absorbs intentional small algorithm changes);
+* a **time regression** — ``seconds`` grew beyond ``--time-threshold``
+  (default 50%; wall-clock comparisons cross machines, so the gate is
+  generous by design and the counters carry the precision).
+
+Exit status: 0 clean, 1 regression found, 2 unusable input.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.report import load_artifact
+
+#: Counters whose growth beyond the threshold is a regression.  The
+#: complement (prune/skip counters) shrinking is what a *lost*
+#: optimization looks like, which shows up here as ``calls`` /
+#: ``expansions`` growth — gating on effort, not on technique.
+_EFFORT_COUNTERS = ("calls", "expansions")
+
+#: Absolute slack added on top of the relative counter threshold, so
+#: near-zero baselines do not flag one-unit jitter as a regression.
+_COUNTER_SLACK = 2
+
+DEFAULT_TIME_THRESHOLD = 1.5
+DEFAULT_COUNTER_THRESHOLD = 1.02
+
+
+class Series:
+    """One comparable run: a key, optional seconds, counter dict."""
+
+    def __init__(self, key: str, seconds: Optional[float],
+                 counters: Dict[str, int]) -> None:
+        self.key = key
+        self.seconds = seconds
+        self.counters = counters
+
+
+def extract_series(kind: str, payload) -> List[Series]:
+    """Comparable series from a loaded artifact (see ``load_artifact``)."""
+    if kind == "bench":
+        series = []
+        for run in payload.get("runs", []):
+            counters = dict(run.get("stats", {}))
+            counters.pop("max_depth", None)
+            if not counters:
+                counters = dict(
+                    run.get("metrics", {}).get("counters", {})
+                )
+            series.append(Series(
+                "%s/%s" % (run.get("workload"), run.get("backend")),
+                run.get("seconds"),
+                counters,
+            ))
+        return series
+    if kind == "metrics":
+        series = []
+        for run in payload.get("runs", []):
+            metrics = run.get("metrics", {})
+            phases = metrics.get("phases", {})
+            seconds = sum(phases.values()) if phases else None
+            series.append(Series(
+                "run%s/%s" % (run.get("index"), run.get("backend")),
+                seconds,
+                dict(metrics.get("counters", {})),
+            ))
+        return series
+    raise ValueError(
+        "trace JSONL files carry no comparable counters; diff the "
+        "metrics document or bench trajectory instead"
+    )
+
+
+def load_series(path: str) -> List[Series]:
+    """Load ``path`` and extract its comparable series."""
+    kind, payload = load_artifact(path)
+    return extract_series(kind, payload)
+
+
+def compare(
+    baseline: List[Series],
+    current: List[Series],
+    time_threshold: float = DEFAULT_TIME_THRESHOLD,
+    counter_threshold: float = DEFAULT_COUNTER_THRESHOLD,
+    only_common: bool = False,
+) -> Tuple[List[str], List[str]]:
+    """Compare aligned series; return ``(log_lines, regressions)``.
+
+    ``only_common`` downgrades a baseline run missing from the current
+    document from a regression to a log line — for gating a *partial*
+    re-run (e.g. CI's ``--quick`` slice) against a full committed
+    baseline.  Runs present on both sides are still fully compared.
+    """
+    lines: List[str] = []
+    regressions: List[str] = []
+    current_by_key = {series.key: series for series in current}
+    compared = 0
+    for base in baseline:
+        run = current_by_key.get(base.key)
+        if run is None:
+            if only_common:
+                lines.append("%s: not in current, skipped" % base.key)
+            else:
+                regressions.append("%s: missing from current" % base.key)
+            continue
+        compared += 1
+        lines.extend(_compare_run(
+            base, run, time_threshold, counter_threshold, regressions
+        ))
+    baseline_keys = {series.key for series in baseline}
+    for series in current:
+        if series.key not in baseline_keys:
+            lines.append("%s: new run (no baseline)" % series.key)
+    if only_common and baseline and not compared:
+        # An empty intersection must not read as a clean gate.
+        regressions.append(
+            "no common runs between baseline and current"
+        )
+    return lines, regressions
+
+
+def _compare_run(base, run, time_threshold, counter_threshold,
+                 regressions) -> List[str]:
+    lines = []
+    base_outputs = base.counters.get("outputs")
+    run_outputs = run.counters.get("outputs")
+    if (
+        base_outputs is not None
+        and run_outputs is not None
+        and base_outputs != run_outputs
+    ):
+        regressions.append(
+            "%s: outputs changed %s -> %s (clique counts are "
+            "deterministic; investigate before re-baselining)"
+            % (base.key, base_outputs, run_outputs)
+        )
+    for name in _EFFORT_COUNTERS:
+        base_value = base.counters.get(name)
+        run_value = run.counters.get(name)
+        if base_value is None or run_value is None:
+            continue
+        allowed = base_value * counter_threshold + _COUNTER_SLACK
+        if run_value > allowed:
+            regressions.append(
+                "%s: %s grew %s -> %s (>%.0f%% threshold)"
+                % (base.key, name, base_value, run_value,
+                   (counter_threshold - 1.0) * 100.0)
+            )
+        else:
+            lines.append(
+                "%s: %s %s -> %s ok"
+                % (base.key, name, base_value, run_value)
+            )
+    if base.seconds is not None and run.seconds is not None:
+        if base.seconds > 0 and run.seconds > base.seconds * time_threshold:
+            regressions.append(
+                "%s: seconds grew %.4f -> %.4f (>%.0f%% threshold)"
+                % (base.key, base.seconds, run.seconds,
+                   (time_threshold - 1.0) * 100.0)
+            )
+        else:
+            lines.append(
+                "%s: seconds %.4f -> %.4f ok"
+                % (base.key, base.seconds, run.seconds)
+            )
+    return lines
+
+
+def diff_paths(
+    baseline_path: str,
+    current_path: str,
+    time_threshold: float = DEFAULT_TIME_THRESHOLD,
+    counter_threshold: float = DEFAULT_COUNTER_THRESHOLD,
+    only_common: bool = False,
+) -> Tuple[List[str], List[str]]:
+    """File-level entry point used by the CLI and CI gate."""
+    return compare(
+        load_series(baseline_path),
+        load_series(current_path),
+        time_threshold=time_threshold,
+        counter_threshold=counter_threshold,
+        only_common=only_common,
+    )

@@ -1,0 +1,167 @@
+"""Deterministic trace emission: Chrome trace events and folded stacks.
+
+Two artifact formats, both plain text and line-oriented so they diff
+cleanly and load in stock tooling:
+
+* **Chrome trace event format** (JSONL, one event object per line) —
+  drop the file onto ``chrome://tracing`` / Perfetto's legacy loader,
+  or post-process it programmatically (``repro.obs report`` does).
+  We emit complete spans (``"ph": "X"``), instants (``"ph": "i"``)
+  and metadata records (``"ph": "M"``); timestamps and durations are
+  integer microseconds relative to the tracer's epoch.
+* **Folded stacks** (``frame;frame;frame count`` per line) — the
+  input format of ``flamegraph.pl`` and speedscope, aggregated from
+  sampled recursion paths.
+
+Determinism: the tracer never reads a wall clock unless asked to — a
+clock callable is injected (tests pass a fake), event order is
+insertion order, and serialization sorts JSON keys.  Two runs with the
+same clock and the same enumeration produce byte-identical output
+regardless of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+
+def _default_clock() -> float:
+    """Monotonic seconds; only used when no clock is injected."""
+    return time.perf_counter()
+
+
+class Tracer:
+    """Collects Chrome-trace-event records with a relative time base."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 pid: int = 1, tid: int = 1) -> None:
+        self._clock = clock if clock is not None else _default_clock
+        self._epoch = self._clock()
+        self._pid = pid
+        self._tid = tid
+        self._events: List[Dict[str, object]] = []
+
+    def set_tid(self, tid: int) -> None:
+        """Move this tracer (and its recorded events) to thread ``tid``.
+
+        Used by :class:`~repro.obs.session.ObsSession` to give each
+        registered run its own lane in a shared trace file; only the
+        metadata records emitted at construction exist at that point,
+        so the rewrite is O(1) in practice.
+        """
+        self._tid = tid
+        for event in self._events:
+            event["tid"] = tid
+
+    # -- time ----------------------------------------------------------
+    def now_us(self) -> int:
+        """Microseconds since this tracer's epoch."""
+        return int(round((self._clock() - self._epoch) * 1e6))
+
+    # -- event writers -------------------------------------------------
+    def metadata(self, name: str, args: Dict[str, object]) -> None:
+        """A ``"M"`` metadata record (e.g. process/thread names)."""
+        self._events.append({
+            "ph": "M",
+            "name": name,
+            "pid": self._pid,
+            "tid": self._tid,
+            "args": args,
+        })
+
+    def complete_span(self, name: str, start_us: int, dur_us: int,
+                      args: Optional[Dict[str, object]] = None,
+                      cat: str = "phase") -> None:
+        """A ``"X"`` complete span: one phase with start + duration."""
+        event: Dict[str, object] = {
+            "ph": "X",
+            "name": name,
+            "cat": cat,
+            "ts": int(start_us),
+            "dur": int(dur_us),
+            "pid": self._pid,
+            "tid": self._tid,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def instant(self, name: str, ts_us: int,
+                args: Optional[Dict[str, object]] = None,
+                cat: str = "sample") -> None:
+        """An ``"i"`` instant event (thread-scoped)."""
+        event: Dict[str, object] = {
+            "ph": "i",
+            "name": name,
+            "cat": cat,
+            "ts": int(ts_us),
+            "s": "t",
+            "pid": self._pid,
+            "tid": self._tid,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    # -- readers / serialization ---------------------------------------
+    def events(self) -> List[Dict[str, object]]:
+        """The recorded events, in insertion order."""
+        return list(self._events)
+
+    def to_jsonl(self) -> str:
+        """One sorted-keys JSON object per line (byte-deterministic)."""
+        return "".join(
+            json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n"
+            for event in self._events
+        )
+
+
+def read_jsonl(text: str) -> List[Dict[str, object]]:
+    """Parse a JSONL trace back into event dicts (blank lines skipped)."""
+    events = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            events.append(json.loads(line))
+    return events
+
+
+class FoldedStacks:
+    """Aggregated sampled stacks in flamegraph.pl's folded format.
+
+    Frames are joined with ``;`` root-first; the weight of a stack is
+    the number of (sampled) recursion nodes observed beneath it.
+    """
+
+    def __init__(self) -> None:
+        self._weights: Dict[Tuple[str, ...], int] = {}
+
+    def add(self, frames: Iterable[str], weight: int = 1) -> None:
+        """Record ``weight`` samples for the stack ``frames``."""
+        key = tuple(frames)
+        self._weights[key] = self._weights.get(key, 0) + weight
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def total_weight(self) -> int:
+        """Sum of all sample weights."""
+        return sum(self._weights.values())
+
+    def items(self) -> List[Tuple[Tuple[str, ...], int]]:
+        """(stack, weight) pairs, sorted by stack."""
+        return [(key, self._weights[key]) for key in sorted(self._weights)]
+
+    def merge(self, other: "FoldedStacks") -> None:
+        """Fold ``other``'s samples into this aggregate."""
+        for key, weight in other.items():
+            self.add(key, weight)
+
+    def render(self) -> str:
+        """Folded output, one ``a;b;c weight`` line, sorted by stack."""
+        lines = []
+        for key in sorted(self._weights):
+            lines.append("%s %d" % (";".join(key), self._weights[key]))
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -153,6 +153,54 @@ def test_float_boundary_exactness():
             assert set(kernel_result.cliques) == expected
 
 
+def test_observer_metrics_match_across_backends():
+    """The observability layer sees the *same search tree* from both
+    backends: counters, gauges, and per-depth histograms must be
+    identical (timers are wall-clock and are excluded)."""
+    rng = random.Random(11)
+    g = UncertainGraph()
+    for u in range(30):
+        for v in range(u + 1, 30):
+            if rng.random() < 0.35:
+                g.add_edge(u, v, rng.choice([0.35, 0.6, 0.85, 0.95]))
+    for config in CONFIGS:
+        views = {}
+        for backend in ("dict", "kernel"):
+            enumerator = PivotEnumerator(
+                g, k=3, eta=0.1,
+                config=replace(config, backend=backend, obs="metrics"),
+            )
+            enumerator.run()
+            doc = enumerator.obs.metrics.as_dict()
+            doc.pop("phases")  # measured seconds, backend-dependent
+            views[backend] = doc
+        assert views["dict"] == views["kernel"], config
+
+
+def test_observer_sampled_stacks_match_across_backends():
+    """Sampling is counter-based and the kernel translates its integer
+    ids back to labels, so the folded flamegraph input — sampled
+    recursion paths and weights — is byte-identical too."""
+    rng = random.Random(5)
+    g = UncertainGraph()
+    for u in range(25):
+        for v in range(u + 1, 25):
+            if rng.random() < 0.4:
+                g.add_edge(u, v, round(rng.uniform(0.3, 1.0), 2))
+    folded = {}
+    for backend in ("dict", "kernel"):
+        enumerator = PivotEnumerator(
+            g, k=2, eta=0.1,
+            config=replace(
+                PMUC_PLUS_CONFIG, backend=backend, obs="full"
+            ),
+        )
+        enumerator.run()
+        folded[backend] = enumerator.obs.folded.render()
+    assert folded["dict"] == folded["kernel"]
+    assert folded["dict"].startswith("enumerate")
+
+
 def test_fraction_probabilities_fall_back_to_dict_path():
     """Exact-arithmetic graphs are unsupported by the kernel and must
     silently take the dict path with identical results."""

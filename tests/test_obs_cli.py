@@ -1,0 +1,172 @@
+"""``python -m repro.obs`` — the report and diff entry points.
+
+The diff command is CI's perf gate: exit 0 on clean comparisons, 1 on
+any regression beyond threshold, 2 on unusable input — so every status
+is pinned here, over all three artifact kinds the loader sniffs.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.core import PMUC_PLUS_CONFIG, PivotEnumerator
+from repro.obs.cli import main
+from repro.obs.session import observe
+from repro.uncertain import UncertainGraph
+
+
+def tiny_graph():
+    g = UncertainGraph()
+    for u, v in ((0, 1), (0, 2), (1, 2), (2, 3), (1, 3)):
+        g.add_edge(u, v, 0.9)
+    return g
+
+
+def bench_document(seconds=0.5, calls=100, expansions=80, outputs=10):
+    return {
+        "schema": "repro.obs/bench-v1",
+        "runs": [
+            {
+                "workload": "tiny",
+                "backend": "dict",
+                "k": 2,
+                "eta": 0.1,
+                "seconds": seconds,
+                "num_cliques": outputs,
+                "stats": {
+                    "calls": calls,
+                    "expansions": expansions,
+                    "outputs": outputs,
+                    "max_depth": 3,
+                },
+                "metrics": {"counters": {}, "gauges": {},
+                            "phases": {}, "depth": {}},
+            }
+        ],
+    }
+
+
+@pytest.fixture
+def artifacts(tmp_path):
+    """A real session's trace + metrics files from one tiny run."""
+    trace = tmp_path / "run.trace.jsonl"
+    metrics = tmp_path / "run.metrics.json"
+    with observe(trace_path=str(trace), metrics_path=str(metrics)):
+        config = replace(PMUC_PLUS_CONFIG, obs="full")
+        PivotEnumerator(tiny_graph(), k=2, eta=0.1, config=config).run()
+    return trace, metrics
+
+
+# ----------------------------------------------------------------------
+# report
+# ----------------------------------------------------------------------
+def test_report_renders_all_three_artifact_kinds(
+    artifacts, tmp_path, capsys
+):
+    trace, metrics = artifacts
+    bench = tmp_path / "bench.json"
+    bench.write_text(json.dumps(bench_document()))
+    for path, marker in (
+        (trace, "trace:"),
+        (metrics, "run 0 ["),
+        (bench, "tiny/dict"),
+    ):
+        assert main(["report", str(path)]) == 0
+        assert marker in capsys.readouterr().out
+
+
+def test_report_missing_file_exits_2(tmp_path, capsys):
+    assert main(["report", str(tmp_path / "nope.json")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# diff
+# ----------------------------------------------------------------------
+def test_diff_clean_exits_0(tmp_path, capsys):
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(bench_document()))
+    assert main(["diff", str(path), str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "no regressions" in out
+    assert "tiny/dict: calls 100 -> 100 ok" in out
+
+
+def test_diff_counter_regression_exits_1(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    base.write_text(json.dumps(bench_document()))
+    cur.write_text(json.dumps(bench_document(calls=150)))
+    assert main(["diff", str(base), str(cur)]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION tiny/dict: calls grew 100 -> 150" in out
+
+
+def test_diff_output_drift_is_always_a_regression(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    base.write_text(json.dumps(bench_document()))
+    cur.write_text(json.dumps(bench_document(outputs=11)))
+    assert main(["diff", str(base), str(cur)]) == 1
+    assert "outputs changed 10 -> 11" in capsys.readouterr().out
+
+
+def test_diff_time_regression_respects_threshold(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    base.write_text(json.dumps(bench_document(seconds=0.1)))
+    cur.write_text(json.dumps(bench_document(seconds=0.2)))
+    # Doubling trips the default 1.5x gate ...
+    assert main(["diff", str(base), str(cur)]) == 1
+    assert "seconds grew" in capsys.readouterr().out
+    # ... but not a widened one (cross-machine comparisons).
+    assert main(
+        ["diff", str(base), str(cur), "--time-threshold", "3.0"]
+    ) == 0
+    capsys.readouterr()
+
+
+def test_diff_missing_run_is_a_regression(tmp_path, capsys):
+    base_doc = bench_document()
+    base_doc["runs"].append(
+        dict(base_doc["runs"][0], backend="kernel")
+    )
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    base.write_text(json.dumps(base_doc))
+    cur.write_text(json.dumps(bench_document()))
+    assert main(["diff", str(base), str(cur)]) == 1
+    assert "tiny/kernel: missing from current" in capsys.readouterr().out
+    # --only-common downgrades the absence (CI gates a --quick slice
+    # against the full committed baseline) but still compares the rest.
+    assert main(["diff", str(base), str(cur), "--only-common"]) == 0
+    out = capsys.readouterr().out
+    assert "tiny/kernel: not in current, skipped" in out
+    assert "tiny/dict: calls 100 -> 100 ok" in out
+
+
+def test_diff_only_common_with_empty_intersection_still_fails(
+    tmp_path, capsys
+):
+    base_doc = bench_document()
+    cur_doc = bench_document()
+    cur_doc["runs"][0]["workload"] = "other"
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    base.write_text(json.dumps(base_doc))
+    cur.write_text(json.dumps(cur_doc))
+    assert main(["diff", str(base), str(cur), "--only-common"]) == 1
+    assert "no common runs" in capsys.readouterr().out
+
+
+def test_diff_session_metrics_documents(artifacts, tmp_path, capsys):
+    _trace, metrics = artifacts
+    assert main(["diff", str(metrics), str(metrics)]) == 0
+    assert "run0/kernel" in capsys.readouterr().out
+
+
+def test_diff_trace_input_exits_2(artifacts, capsys):
+    trace, _metrics = artifacts
+    assert main(["diff", str(trace), str(trace)]) == 2
+    assert "error:" in capsys.readouterr().err
