@@ -9,8 +9,10 @@ classes this reproduction lives by:
 * **numeric safety** — probability/threshold floats are never compared
   with ``==`` unguarded, APIs avoid the classic mutable-default /
   bare-except traps (REP003, REP004);
-* **mirror parity** — the dict and kernel enumeration backends keep
-  structurally identical control flow (REP005);
+* **engine conformance** — backend ``StateOps`` classes implement the
+  full search-engine protocol and the engine recursion is never copied
+  outside :mod:`repro.engine`, while the engine keeps every sanitizer
+  and observer hook wired (REP005, REP007, REP008);
 * **process isolation** — multiprocessing workers never mutate state
   the parent is expected to see (REP006).
 

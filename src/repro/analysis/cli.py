@@ -24,7 +24,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis",
         description=(
             "repro-lint: AST-based determinism / numeric-safety / "
-            "mirror-parity analysis for the repro codebase"
+            "engine-conformance analysis for the repro codebase"
         ),
     )
     parser.add_argument(
@@ -75,6 +75,15 @@ def build_parser() -> argparse.ArgumentParser:
             "rewrite the baseline file without its stale entries "
             "(entries matching no current finding); requires a "
             "baseline file"
+        ),
+    )
+    parser.add_argument(
+        "--fail-on-stale",
+        action="store_true",
+        help=(
+            "exit 1 when the baseline carries stale entries (entries "
+            "matching no current finding); CI uses this so retired "
+            "findings cannot linger grandfathered forever"
         ),
     )
     parser.add_argument(
@@ -258,4 +267,13 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         _print_github(report, out)
     else:
         _print_text(report, out)
-    return 0 if report.ok else 1
+    if not report.ok:
+        return 1
+    if args.fail_on_stale and report.unused_baseline:
+        print(
+            "error: baseline has stale entries (--fail-on-stale); run "
+            "--prune-stale and commit the result",
+            file=sys.stderr,
+        )
+        return 1
+    return 0

@@ -1,80 +1,35 @@
-"""Normalized control-flow fingerprints for the dict/kernel mirror.
+"""Hook-call extraction for the engine conformance rules.
 
-The dict backend (:meth:`repro.core.pmuc.PivotEnumerator._pmuce`) and
-the kernel backend (the ``rec`` closure built by
-:meth:`repro.kernel.enumerate.KernelEnumerator._build_rec`) promise
-byte-identical output and identical ``SearchStats`` counters.  That
-contract is invisible to ordinary tests until a divergence produces a
-wrong answer on some input; this module makes it checkable statically.
+With the dict and kernel recursions unified behind the single search
+engine (:mod:`repro.engine.driver`), there are no mirrored recursions
+left to fingerprint against each other; what remains statically
+checkable is *coverage* — the engine's one recursion and one run
+lifecycle must call every sanitizer/observer hook the runtime layers
+rely on.  This module extracts the ``hook:*`` call labels of a function
+for the REP007/REP008 coverage rules.
 
-A fingerprint is the sequence of *semantic events* the recursion
-performs, in linearized control-flow order:
-
-========== =========================================================
-event      detected from
-========== =========================================================
-call       ``... calls += 1``
-depth      ``observe_depth(...)`` call or a store to ``max_depth``
-emit       ``... outputs += 1`` or a call to ``_emit``/``emit``
-kpivot-stop ``... kpivot_stops += 1``
-mpivot-skip ``... mpivot_skips += 1`` (or ``+= len(...)``)
-expand     ``... expansions += 1``
-size-prune ``... size_prunes += 1``
-pivot      an assignment to a name ``pivot``
-acc        a probability-accumulation statement: ``X = param OP Y``
-           where ``OP`` is ``*`` (probability domain) or ``+`` (log
-           domain), ``param`` is a parameter of the fingerprinted
-           function and ``Y`` is not an integer literal — i.e. the
-           threaded clique probability update ``q_new = q * r_u`` /
-           ``nlq_new = nlq + sv[u]``
-loop[ ]loop boundaries of loops that contain a recursion or counter
-           event (bookkeeping-only loops such as byte scans, color
-           counting or ``sv`` restores stay invisible)
-recurse    a call to the fingerprinted function itself
-========== =========================================================
-
-Branches are linearized (``if`` body then ``else``); loops that carry
-no events vanish.  Two normalization passes absorb the documented,
-*intentional* asymmetries between the backends:
-
-1. **inlined-leaf fold** — inside a loop, a run of
-   ``call``/``depth``/``emit`` directly after ``recurse`` is folded
-   into the ``recurse`` (the kernel inlines the no-candidate leaf call
-   for speed; its counter signature is exactly that run);
-2. **adjacent dedupe** — consecutive identical events collapse (the
-   kernel splits one logical check across specialised branches, e.g.
-   the length pre-check and the color-count check of the K-pivot
-   bound, or the three ways of assigning ``pivot``).
-
-After normalization the two fingerprints must be *identical*; any
-difference is REP005 mirror drift.
+A hook call is an attribute call whose receiver is the conventional
+local name of the runtime object (``san`` for the sanitizer, ``obs``
+for the observer — the engine binds the objects to exactly those names
+so the hook stream is statically visible) and whose method name starts
+with ``on_``.  With ``detail=True`` a hook call whose first argument is
+a string literal carries it in the label
+(``obs.on_prune("kpivot", ...)`` -> ``hook:on_prune:kpivot``), so the
+coverage requirements can name each discriminator kind separately.
 """
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Iterator, List
 
 from repro.analysis.source import root_name, terminal_name
-
-#: counter attribute/name -> event label
-_COUNTER_EVENTS = {
-    "calls": "call",
-    "expansions": "expand",
-    "outputs": "emit",
-    "mpivot_skips": "mpivot-skip",
-    "kpivot_stops": "kpivot-stop",
-    "size_prunes": "size-prune",
-}
-
-_LOOP_OPEN = "loop["
-_LOOP_CLOSE = "]loop"
 
 
 @dataclass(frozen=True)
 class Event:
-    """One fingerprint event with its source line (for diagnostics)."""
+    """One hook call with its source line (for diagnostics)."""
 
     label: str
     line: int
@@ -83,304 +38,55 @@ class Event:
         return f"{self.label}@{self.line}"
 
 
-class _Extractor:
-    """Linearizes one function body into the raw event sequence.
+def _walk_own_scope(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``func``'s body, skipping nested function/class scopes.
 
-    With ``hooks_only=True`` the extractor runs in the REP007/REP008
-    mode: the only events are ``recurse``, loop boundaries, and
-    ``hook:on_*`` for calls to runtime hooks — attribute calls whose
-    receiver is the conventional local name ``hook_root`` (``"san"``
-    for the sanitizer, ``"obs"`` for the observer; both backends bind
-    the objects to those names precisely so the hook streams are
-    statically comparable).  With ``detail=True`` a hook call whose
-    first argument is a string literal carries it in the label
-    (``obs.on_prune("kpivot", ...)`` -> ``hook:on_prune:kpivot``), so
-    deduplication of the kernel's split checks cannot hide a hook with
-    a *different* discriminator.
+    Hook calls inside a nested definition belong to that definition's
+    own anchor (the engine's recursion is a closure nested in
+    ``build_search`` and is extracted separately), so counting them for
+    the enclosing function would double-book coverage.
     """
-
-    def __init__(
-        self,
-        func: ast.AST,
-        hooks_only: bool = False,
-        hook_root: str = "san",
-        detail: bool = False,
-    ):
-        self.func = func
-        self.name = func.name
-        self.hooks_only = hooks_only
-        self.hook_root = hook_root
-        self.detail = detail
-        self.params = {
-            arg.arg
-            for arg in (
-                func.args.posonlyargs + func.args.args + func.args.kwonlyargs
-            )
-        }
-
-    def extract(self) -> List[Event]:
-        return self._visit_block(self.func.body)
-
-    # ------------------------------------------------------------------
-    def _visit_block(self, stmts) -> List[Event]:
-        events: List[Event] = []
-        for stmt in stmts:
-            events.extend(self._visit_stmt(stmt))
-        return events
-
-    def _visit_stmt(self, stmt: ast.stmt) -> List[Event]:
-        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            return []  # nested scopes are fingerprinted separately
-        if isinstance(stmt, ast.AugAssign):
-            return self._counter_event(stmt)
-        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
-            return self._assign_events(stmt)
-        if isinstance(stmt, ast.Expr):
-            return self._call_events(stmt.value)
-        if isinstance(stmt, ast.If):
-            return self._visit_block(stmt.body) + self._visit_block(stmt.orelse)
-        if isinstance(stmt, (ast.While, ast.For)):
-            body = self._visit_block(stmt.body) + self._visit_block(stmt.orelse)
-            if any(e.label != _LOOP_OPEN and e.label != _LOOP_CLOSE for e in body):
-                return (
-                    [Event(_LOOP_OPEN, stmt.lineno)]
-                    + body
-                    + [Event(_LOOP_CLOSE, stmt.lineno)]
-                )
-            return body
-        if isinstance(stmt, ast.Try):
-            events = self._visit_block(stmt.body)
-            for handler in stmt.handlers:
-                events.extend(self._visit_block(handler.body))
-            events.extend(self._visit_block(stmt.orelse))
-            events.extend(self._visit_block(stmt.finalbody))
-            return events
-        if isinstance(stmt, ast.With):
-            return self._visit_block(stmt.body)
-        if isinstance(stmt, ast.Return) and stmt.value is not None:
-            return self._call_events(stmt.value)
-        return []
-
-    # ------------------------------------------------------------------
-    def _counter_event(self, stmt: ast.AugAssign) -> List[Event]:
-        if self.hooks_only or not isinstance(stmt.op, ast.Add):
-            return []
-        name = terminal_name(stmt.target)
-        label = _COUNTER_EVENTS.get(name or "")
-        if label is None:
-            return []
-        return [Event(label, stmt.lineno)]
-
-    def _assign_events(self, stmt) -> List[Event]:
-        events: List[Event] = []
-        value = stmt.value
-        if self.hooks_only:
-            return self._call_events(value) if value is not None else []
-        targets = (
-            stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
-        )
-        names = {terminal_name(t) for t in targets}
-        if "max_depth" in names:
-            events.append(Event("depth", stmt.lineno))
-        if "pivot" in names:
-            events.append(Event("pivot", stmt.lineno))
-        if value is not None:
-            if self._is_accumulation(value):
-                events.append(Event("acc", stmt.lineno))
-            events.extend(self._call_events(value))
-        return events
-
-    def _is_accumulation(self, value: ast.AST) -> bool:
-        if not isinstance(value, ast.BinOp):
-            return False
-        if not isinstance(value.op, (ast.Mult, ast.Add)):
-            return False
-        param_side = other = None
-        for side, partner in (
-            (value.left, value.right),
-            (value.right, value.left),
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
         ):
-            if isinstance(side, ast.Name) and side.id in self.params:
-                param_side, other = side, partner
-                break
-        if param_side is None:
-            return False
-        return not (
-            isinstance(other, ast.Constant) and isinstance(other.value, int)
-        )
-
-    def _call_events(self, expr: ast.AST) -> List[Event]:
-        events: List[Event] = []
-        for node in ast.walk(expr):
-            if not isinstance(node, ast.Call):
-                continue
-            callee = terminal_name(node.func)
-            if self.hooks_only:
-                if callee == self.name:
-                    events.append(Event("recurse", node.lineno))
-                elif (
-                    callee
-                    and callee.startswith("on_")
-                    and isinstance(node.func, ast.Attribute)
-                    and root_name(node.func) == self.hook_root
-                ):
-                    label = "hook:" + callee
-                    if self.detail and node.args:
-                        first = node.args[0]
-                        if isinstance(first, ast.Constant) and isinstance(
-                            first.value, str
-                        ):
-                            label += ":" + first.value
-                    events.append(Event(label, node.lineno))
-                continue
-            if callee == self.name:
-                events.append(Event("recurse", node.lineno))
-            elif callee == "observe_depth":
-                events.append(Event("depth", node.lineno))
-            elif callee in ("_emit", "emit"):
-                events.append(Event("emit", node.lineno))
-        return events
-
-
-def _normalize(events: List[Event]) -> List[Event]:
-    """Apply the inlined-leaf fold, then adjacent dedupe."""
-    folded: List[Event] = []
-    loop_depth = 0
-    folding = False
-    for event in events:
-        if event.label == _LOOP_OPEN:
-            loop_depth += 1
-            folding = False
-        elif event.label == _LOOP_CLOSE:
-            loop_depth -= 1
-            folding = False
-        if folding and event.label in ("call", "depth", "emit"):
-            continue  # part of an inlined leaf call's counter signature
-        folding = loop_depth > 0 and event.label == "recurse"
-        folded.append(event)
-    deduped: List[Event] = []
-    for event in folded:
-        if deduped and deduped[-1].label == event.label:
             continue
-        deduped.append(event)
-    return deduped
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
 
 
-#: The hook signature of the kernel's inlined no-candidate leaf: the
-#: only hook labels the inlined-leaf fold may absorb.  Restricting the
-#: fold keeps a hook that legitimately follows the recursive call (the
-#: dict backend's size-prune ``on_prune`` does) out of the fold, where
-#: its deletion would otherwise be invisible.
-_LEAF_HOOKS = ("hook:on_node", "hook:on_emit")
-
-
-def _normalize_hooks(
-    events: List[Event], dedupe: bool = False
+def hook_events(
+    func: ast.AST, hook_root: str = "san", detail: bool = False
 ) -> List[Event]:
-    """Inlined-leaf fold (and optional dedupe) for hook fingerprints.
-
-    The kernel's inlined no-candidate leaf places its ``on_node`` /
-    ``on_emit`` hooks directly after the in-loop ``recurse`` (the dict
-    backend reaches the same hooks *through* the recursive call), so a
-    run of those two labels immediately following ``recurse`` inside a
-    loop folds into the ``recurse`` — the exact analogue of REP005's
-    counter fold.
-
-    REP007 (``dedupe=False``) applies no adjacent dedupe: two
-    consecutive identical sanitizer hooks would be a real difference.
-    REP008 (``dedupe=True``) collapses *adjacent identical* ``hook:*``
-    labels, because the kernel splits one logical check across
-    specialized branches (the K-pivot length pre-check and color
-    count) and hooks both; the detail suffix keeps hooks with
-    different discriminators from collapsing into each other.
-    """
-    folded: List[Event] = []
-    loop_depth = 0
-    folding = False
-    for event in events:
-        if event.label == _LOOP_OPEN:
-            loop_depth += 1
-            folding = False
-        elif event.label == _LOOP_CLOSE:
-            loop_depth -= 1
-            folding = False
-        if folding and event.label in _LEAF_HOOKS:
-            continue  # hooks of the kernel's inlined leaf call
-        folding = loop_depth > 0 and event.label == "recurse"
-        folded.append(event)
-    if not dedupe:
-        return folded
-    deduped: List[Event] = []
-    for event in folded:
+    """Every ``hook_root.on_*(...)`` call in ``func``'s own scope."""
+    events: List[Event] = []
+    for node in _walk_own_scope(func):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = terminal_name(node.func)
         if (
-            deduped
-            and event.label.startswith("hook:")
-            and deduped[-1].label == event.label
+            not callee
+            or not callee.startswith("on_")
+            or not isinstance(node.func, ast.Attribute)
+            or root_name(node.func) != hook_root
         ):
             continue
-        deduped.append(event)
-    return deduped
+        label = "hook:" + callee
+        if detail and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(
+                first.value, str
+            ):
+                label += ":" + first.value
+        events.append(Event(label, node.lineno))
+    events.sort(key=lambda e: e.line)
+    return events
 
 
-def fingerprint_function(func: ast.AST) -> List[Event]:
-    """The normalized event fingerprint of one function definition."""
-    return _normalize(_Extractor(func).extract())
-
-
-def hook_fingerprint_function(func: ast.AST) -> List[Event]:
-    """The normalized sanitizer-hook fingerprint (REP007 mode)."""
-    return _normalize_hooks(_Extractor(func, hooks_only=True).extract())
-
-
-def obs_fingerprint_function(func: ast.AST) -> List[Event]:
-    """The normalized observer-hook fingerprint (REP008 mode).
-
-    Like :func:`hook_fingerprint_function` but for the ``obs`` hook
-    root, with discriminator-detailed labels and adjacent dedupe of
-    identical hooks (the kernel hooks both halves of its split
-    K-pivot check).
-    """
-    return _normalize_hooks(
-        _Extractor(
-            func, hooks_only=True, hook_root="obs", detail=True
-        ).extract(),
-        dedupe=True,
-    )
-
-
-def driver_obs_fingerprint_function(func: ast.AST) -> List[Event]:
-    """Observer hooks of a non-recursive driver, in source order.
-
-    Drivers (the backends' ``run`` methods) are compared on their bare
-    ``hook:*`` stream: loop markers and recursion-like calls (e.g. the
-    dict backend delegating to ``kernel.run``, whose terminal name
-    collides with the fingerprinted function's own) carry no signal at
-    this level and are dropped before comparison.
-    """
-    events = _Extractor(
-        func, hooks_only=True, hook_root="obs", detail=True
-    ).extract()
-    hooks = [e for e in events if e.label.startswith("hook:")]
-    deduped: List[Event] = []
-    for event in hooks:
-        if deduped and deduped[-1].label == event.label:
-            continue
-        deduped.append(event)
-    return deduped
-
-
-def labels(events: List[Event]) -> List[str]:
-    """Just the event labels (what the parity comparison compares)."""
-    return [e.label for e in events]
-
-
-def first_divergence(
-    a: List[Event], b: List[Event]
-) -> Optional[Tuple[int, Optional[Event], Optional[Event]]]:
-    """Index and events at the first position where ``a``/``b`` differ."""
-    for i in range(max(len(a), len(b))):
-        ea = a[i] if i < len(a) else None
-        eb = b[i] if i < len(b) else None
-        if ea is None or eb is None or ea.label != eb.label:
-            return i, ea, eb
-    return None
+def hook_labels(
+    func: ast.AST, hook_root: str = "san", detail: bool = False
+) -> List[str]:
+    """Just the hook labels of ``func`` (what coverage checks compare)."""
+    return [e.label for e in hook_events(func, hook_root, detail)]

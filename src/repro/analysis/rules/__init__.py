@@ -5,15 +5,15 @@ Importing this package registers every rule with
 
 * :mod:`~repro.analysis.rules.determinism` — REP001, REP002
 * :mod:`~repro.analysis.rules.numeric` — REP003, REP004
-* :mod:`~repro.analysis.rules.mirror` — REP005
+* :mod:`~repro.analysis.rules.conformance` — REP005
 * :mod:`~repro.analysis.rules.parallel` — REP006
 * :mod:`~repro.analysis.rules.sanitizer` — REP007
 * :mod:`~repro.analysis.rules.obs` — REP008
 """
 
 from repro.analysis.rules import (
+    conformance,
     determinism,
-    mirror,
     numeric,
     obs,
     parallel,
@@ -21,8 +21,8 @@ from repro.analysis.rules import (
 )
 
 __all__ = [
+    "conformance",
     "determinism",
-    "mirror",
     "numeric",
     "obs",
     "parallel",

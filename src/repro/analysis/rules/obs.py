@@ -1,154 +1,82 @@
-"""REP008 — observer hook parity between the enumeration backends.
+"""REP008 — engine observer-hook coverage.
 
-The observability layer (:mod:`repro.obs`) only sees what the
-enumerators tell it: each backend calls ``obs.on_node`` /
-``obs.on_emit`` / ``obs.on_expand`` / ``obs.on_prune`` from inside its
-recursion and ``obs.on_gauge`` / ``obs.on_phase`` / ``obs.on_finish``
-from its driver.  A hook present in one backend but not the other makes
-every metric, per-depth histogram, and trace silently wrong on the
-unhooked backend — the REP007 drift class, recreated for the observer.
+The observability layer (:mod:`repro.obs`) only sees what the engine
+tells it: the single recursion calls ``obs.on_node`` / ``obs.on_emit``
+/ ``obs.on_expand`` / ``obs.on_prune`` and the run lifecycle calls
+``obs.on_gauge`` / ``obs.on_phase`` / ``obs.on_finish``.  Like REP007
+this was a backend-parity rule before the unification; with one
+recursion left it becomes coverage: a deleted hook site makes every
+metric, per-depth histogram, and trace silently wrong on all backends
+at once.
 
-The rule reuses the REP005/REP007 anchors plus a second anchor pair
-for the drivers (the ``run`` methods of the two enumerator classes),
-and compares:
-
-* the **recursion** fingerprints (``hook:*``/``recurse``/loop
-  sequences, inlined-leaf fold, adjacent dedupe of identical
-  discriminator-detailed hooks);
-* the **driver** hook streams (bare ``hook:*`` labels in source
-  order — gauges and the fixed phase sequence).
-
-Like REP005/REP007 the rule has project scope and stays silent when an
-anchor pair is incomplete; the self-scan test asserts the committed
-pairs carry non-empty fingerprints.
+Hook labels carry their string discriminator
+(``obs.on_prune("kpivot", ...)`` -> ``hook:on_prune:kpivot``), so the
+rule requires each prune kind, each gauge, and each phase span
+individually — losing the single ``mpivot`` prune site cannot hide
+behind a surviving ``kpivot`` one.
 """
 
 from __future__ import annotations
 
-import ast
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator
 
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.fingerprint import (
-    driver_obs_fingerprint_function,
-    first_divergence,
-    labels,
-    obs_fingerprint_function,
-)
+from repro.analysis.fingerprint import hook_labels
 from repro.analysis.registry import rule
-from repro.analysis.rules.mirror import (
-    _DICT_METHOD,
-    _KERNEL_BUILDER,
-    _KERNEL_FUNC,
-    _show,
-    find_mirror_anchors,
+from repro.analysis.rules.conformance import find_engine_anchors
+from repro.analysis.source import SourceFile
+
+#: Hooks the recursion must call, one label per discriminator kind.
+RECURSION_HOOKS = (
+    "hook:on_node",
+    "hook:on_emit",
+    "hook:on_expand",
+    "hook:on_prune:kpivot",
+    "hook:on_prune:mpivot",
+    "hook:on_prune:size",
 )
-from repro.analysis.source import SourceFile, walk_functions
-
-#: Driver anchors: the ``run`` method of the class that also defines
-#: the matching recursion (``_pmuce`` for the dict backend,
-#: ``_build_rec`` for the kernel backend).
-_DRIVER_METHOD = "run"
-
-
-def _class_defines(cls: ast.ClassDef, name: str) -> bool:
-    return any(
-        isinstance(stmt, ast.FunctionDef) and stmt.name == name
-        for stmt in cls.body
-    )
-
-
-def find_driver_anchors(
-    files: List[SourceFile],
-) -> Tuple[
-    Optional[Tuple[SourceFile, ast.AST]],
-    Optional[Tuple[SourceFile, ast.AST]],
-]:
-    """Locate the (dict, kernel) driver ``run`` methods in the scan set."""
-    dict_anchor = kernel_anchor = None
-    for src in files:
-        for func, stack in walk_functions(src.tree):
-            if (
-                func.name != _DRIVER_METHOD
-                or not stack
-                or not isinstance(stack[-1], ast.ClassDef)
-            ):
-                continue
-            cls = stack[-1]
-            if dict_anchor is None and _class_defines(cls, _DICT_METHOD):
-                dict_anchor = (src, func)
-            if kernel_anchor is None and _class_defines(
-                cls, _KERNEL_BUILDER
-            ):
-                kernel_anchor = (src, func)
-    return dict_anchor, kernel_anchor
+#: Hooks the run lifecycle must call: both gauges, the fixed phase
+#: sequence, and the final stats handover.
+DRIVER_HOOKS = (
+    "hook:on_gauge:vertices_input",
+    "hook:on_gauge:vertices_search",
+    "hook:on_phase:reduction",
+    "hook:on_phase:ordering",
+    "hook:on_phase:recursion",
+    "hook:on_phase:sanitize",
+    "hook:on_finish",
+)
 
 
 @rule(
     "REP008",
-    "observer-hook-parity",
+    "observer-hook-coverage",
     Severity.ERROR,
-    "the dict and kernel backends call different observer hook "
-    "sequences",
-    scope="project",
+    "the engine must call every observer hook the metrics and traces "
+    "depend on",
 )
-def check_obs_parity(files: List[SourceFile]) -> Iterator[Finding]:
-    rec_dict, rec_kernel = find_mirror_anchors(files)
-    if rec_dict is not None and rec_kernel is not None:
-        dict_src, dict_func = rec_dict
-        kernel_src, kernel_func = rec_kernel
-        dict_fp = obs_fingerprint_function(dict_func)
-        kernel_fp = obs_fingerprint_function(kernel_func)
-        divergence = first_divergence(dict_fp, kernel_fp)
-        if divergence is not None:
-            index, dict_event, kernel_event = divergence
+def check_observer_coverage(src: SourceFile) -> Iterator[Finding]:
+    recursion, driver = find_engine_anchors(src)
+    for func, required, where in (
+        (recursion, RECURSION_HOOKS, "recursion"),
+        (driver, DRIVER_HOOKS, "run lifecycle"),
+    ):
+        if func is None:
+            continue
+        present = set(hook_labels(func, hook_root="obs", detail=True))
+        missing = [h for h in required if h not in present]
+        if missing:
             yield Finding(
-                path=kernel_src.path,
-                line=kernel_func.lineno,
-                col=kernel_func.col_offset,
+                path=src.path,
+                line=func.lineno,
+                col=func.col_offset,
                 rule="REP008",
                 severity=Severity.ERROR,
                 message=(
-                    "observer hook drift between "
-                    f"{dict_src.path}::{_DICT_METHOD} and "
-                    f"{kernel_src.path}::{_KERNEL_BUILDER}."
-                    f"{_KERNEL_FUNC}: "
-                    f"hook fingerprints diverge at event {index} "
-                    f"(dict: {_show(dict_event, dict_src)}, "
-                    f"kernel: {_show(kernel_event, kernel_src)}); "
-                    f"dict hooks {labels(dict_fp)} vs "
-                    f"kernel hooks {labels(kernel_fp)} — every observer "
-                    "hook site must exist in both backends (see "
-                    "docs/analysis.md)"
+                    f"the engine {where} ({func.name}) no longer calls "
+                    f"{', '.join(missing)} — every observer hook site "
+                    "must stay wired or metrics and traces go silently "
+                    "wrong on all backends (see docs/analysis.md)"
                 ),
-                line_text=kernel_src.line_text(kernel_func.lineno),
-            )
-    drv_dict, drv_kernel = find_driver_anchors(files)
-    if drv_dict is not None and drv_kernel is not None:
-        dict_src, dict_func = drv_dict
-        kernel_src, kernel_func = drv_kernel
-        dict_fp = driver_obs_fingerprint_function(dict_func)
-        kernel_fp = driver_obs_fingerprint_function(kernel_func)
-        divergence = first_divergence(dict_fp, kernel_fp)
-        if divergence is not None:
-            index, dict_event, kernel_event = divergence
-            yield Finding(
-                path=kernel_src.path,
-                line=kernel_func.lineno,
-                col=kernel_func.col_offset,
-                rule="REP008",
-                severity=Severity.ERROR,
-                message=(
-                    "observer driver-hook drift between "
-                    f"{dict_src.path}::{_DRIVER_METHOD} and "
-                    f"{kernel_src.path}::{_DRIVER_METHOD}: "
-                    f"hook streams diverge at event {index} "
-                    f"(dict: {_show(dict_event, dict_src)}, "
-                    f"kernel: {_show(kernel_event, kernel_src)}); "
-                    f"dict hooks {labels(dict_fp)} vs "
-                    f"kernel hooks {labels(kernel_fp)} — the gauge and "
-                    "phase hook sequences of the two drivers must be "
-                    "identical (see docs/analysis.md)"
-                ),
-                line_text=kernel_src.line_text(kernel_func.lineno),
+                line_text=src.line_text(func.lineno),
             )

@@ -1,79 +1,72 @@
-"""REP007 — sanitizer hook parity between the enumeration backends.
+"""REP007 — engine sanitizer-hook coverage.
 
 The runtime sanitizer (:mod:`repro.sanitize`) only sees what the
-recursions tell it: each backend calls ``san.on_node`` /
-``san.on_emit`` / ``san.on_cover`` from inside its recursion.  A hook
-added to one backend but not the other makes the sanitizer silently
-weaker on the unhooked backend — exactly the class of drift REP005
-guards the *counters* against, recreated one level up.  This rule
-reuses the REP005 anchors and fingerprint extractor in a hooks-only
-mode: the normalized ``hook:*``/``recurse``/loop sequences of
-``PivotEnumerator._pmuce`` and the kernel ``rec`` closure must be
-identical.
+engine tells it: the single recursion calls ``san.on_node`` /
+``san.on_emit`` / ``san.on_cover`` and the run lifecycle calls
+``san.on_reduced`` / ``san.on_context`` / ``san.on_finish``.  Before
+the backend unification this was a *parity* rule (the same hook had to
+exist in both recursions); with one recursion left, the check becomes
+*coverage*: every hook the sanitizer's checks depend on must still be
+called from the engine.  A deleted hook site silently weakens S1–S5 on
+every backend at once — worse than the old one-sided drift, and just
+as invisible to tests that only assert on clique output.
 
-Like REP005 the rule has project scope and stays silent when either
-anchor is missing from the scan set; the self-scan test additionally
-asserts that the committed pair carries a non-empty hook fingerprint,
-so "no hooks anywhere" cannot pass silently.
+The rule is file-scoped and anchors on the engine definitions
+(:func:`~repro.analysis.rules.conformance.find_engine_anchors`), so it
+stays silent on every other file; the self-scan test asserts the
+committed tree actually contains the anchors, closing the
+"anchor went missing" hole.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import Iterator
 
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.fingerprint import (
-    first_divergence,
-    hook_fingerprint_function,
-    labels,
-)
+from repro.analysis.fingerprint import hook_labels
 from repro.analysis.registry import rule
-from repro.analysis.rules.mirror import (
-    _DICT_METHOD,
-    _KERNEL_BUILDER,
-    _KERNEL_FUNC,
-    _show,
-    find_mirror_anchors,
-)
+from repro.analysis.rules.conformance import find_engine_anchors
 from repro.analysis.source import SourceFile
+
+#: Hooks the recursion must call (S1/S2/S4 run from ``on_node`` /
+#: ``on_emit``; S3 needs the M-pivot cover handed over via
+#: ``on_cover``).
+RECURSION_HOOKS = ("hook:on_node", "hook:on_emit", "hook:on_cover")
+#: Hooks the run lifecycle must call (S5 needs the reduced vertex set
+#: and the coloring/backbone context up front, and the completeness
+#: flag at the end).
+DRIVER_HOOKS = ("hook:on_reduced", "hook:on_context", "hook:on_finish")
 
 
 @rule(
     "REP007",
-    "sanitizer-hook-parity",
+    "sanitizer-hook-coverage",
     Severity.ERROR,
-    "the dict and kernel recursions call different sanitizer hook "
-    "sequences",
-    scope="project",
+    "the engine must call every sanitizer hook the runtime checks "
+    "depend on",
 )
-def check_hook_parity(files: List[SourceFile]) -> Iterator[Finding]:
-    dict_anchor, kernel_anchor = find_mirror_anchors(files)
-    if dict_anchor is None or kernel_anchor is None:
-        return
-    dict_src, dict_func = dict_anchor
-    kernel_src, kernel_func = kernel_anchor
-    dict_fp = hook_fingerprint_function(dict_func)
-    kernel_fp = hook_fingerprint_function(kernel_func)
-    divergence = first_divergence(dict_fp, kernel_fp)
-    if divergence is None:
-        return
-    index, dict_event, kernel_event = divergence
-    yield Finding(
-        path=kernel_src.path,
-        line=kernel_func.lineno,
-        col=kernel_func.col_offset,
-        rule="REP007",
-        severity=Severity.ERROR,
-        message=(
-            "sanitizer hook drift between "
-            f"{dict_src.path}::{_DICT_METHOD} and "
-            f"{kernel_src.path}::{_KERNEL_BUILDER}.{_KERNEL_FUNC}: "
-            f"hook fingerprints diverge at event {index} "
-            f"(dict: {_show(dict_event, dict_src)}, "
-            f"kernel: {_show(kernel_event, kernel_src)}); "
-            f"dict hooks {labels(dict_fp)} vs "
-            f"kernel hooks {labels(kernel_fp)} — every sanitizer hook "
-            "site must exist in both backends (see docs/analysis.md)"
-        ),
-        line_text=kernel_src.line_text(kernel_func.lineno),
-    )
+def check_sanitizer_coverage(src: SourceFile) -> Iterator[Finding]:
+    recursion, driver = find_engine_anchors(src)
+    for func, required, where in (
+        (recursion, RECURSION_HOOKS, "recursion"),
+        (driver, DRIVER_HOOKS, "run lifecycle"),
+    ):
+        if func is None:
+            continue
+        present = set(hook_labels(func, hook_root="san"))
+        missing = [h for h in required if h not in present]
+        if missing:
+            yield Finding(
+                path=src.path,
+                line=func.lineno,
+                col=func.col_offset,
+                rule="REP007",
+                severity=Severity.ERROR,
+                message=(
+                    f"the engine {where} ({func.name}) no longer calls "
+                    f"{', '.join(missing)} — every sanitizer hook site "
+                    "must stay wired or the runtime checks silently "
+                    "weaken on all backends (see docs/analysis.md)"
+                ),
+                line_text=src.line_text(func.lineno),
+            )

@@ -86,10 +86,20 @@ def timed_config_enumeration(
     def sink(_clique: frozenset) -> None:
         count[0] += 1
 
+    enumerator = PivotEnumerator(graph, k, eta, config, on_clique=sink)
     start = time.perf_counter()
-    result = PivotEnumerator(graph, k, eta, config, on_clique=sink).run()
+    result = enumerator.run()
     elapsed = time.perf_counter() - start
-    return RunRecord(label, elapsed, count[0], result.stats.as_dict())
+    # ``backend_used``, not ``config.backend``: the kernel silently
+    # falls back to dict on unsupported inputs, and the row must say
+    # what actually ran (the diff gate refuses cross-backend rows).
+    return RunRecord(
+        label,
+        elapsed,
+        count[0],
+        result.stats.as_dict(),
+        {"backend": enumerator.backend_used},
+    )
 
 
 def sanitized_config_enumeration(
@@ -113,10 +123,11 @@ def sanitized_config_enumeration(
     def sink(_clique: frozenset) -> None:
         count[0] += 1
 
+    enumerator = PivotEnumerator(graph, k, eta, config, on_clique=sink)
     start = time.perf_counter()
     extra: Dict[str, object] = {"sanitize": sanitize}
     try:
-        result = PivotEnumerator(graph, k, eta, config, on_clique=sink).run()
+        result = enumerator.run()
         stats = result.stats.as_dict()
     except SanitizerViolation as violation:
         stats = {}
@@ -126,6 +137,7 @@ def sanitized_config_enumeration(
             else str(violation)
         )
     elapsed = time.perf_counter() - start
+    extra["backend"] = enumerator.backend_used
     return RunRecord(label, elapsed, count[0], stats, extra)
 
 

@@ -75,6 +75,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also write a rendered markdown report to PATH",
     )
     parser.add_argument(
+        "--backend",
+        choices=("dict", "kernel"),
+        default=None,
+        help=(
+            "force the enumeration backend for every config that does "
+            "not pin one explicitly (see docs/architecture.md); the "
+            "default honors the REPRO_BACKEND environment variable"
+        ),
+    )
+    parser.add_argument(
         "--sanitize",
         choices=("off", "light", "full"),
         default="off",
@@ -106,6 +116,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     args = parser.parse_args(argv)
+    if args.backend is not None:
+        # PivotConfig reads REPRO_BACKEND at construction time, so the
+        # override reaches every config the experiments build that does
+        # not pin a backend explicitly.
+        os.environ["REPRO_BACKEND"] = args.backend
     if args.sanitize != "off":
         # Experiments build their PivotConfigs internally; the
         # environment override reaches them all without threading a

@@ -7,7 +7,8 @@ changes rather than separate code paths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 
 from repro.exceptions import ParameterError
 
@@ -20,6 +21,17 @@ REDUCTION_CHOICES = ("off", "core", "triangle")
 BACKEND_CHOICES = ("dict", "kernel")
 SANITIZE_CHOICES = ("off", "light", "full")
 OBS_CHOICES = ("off", "metrics", "full")
+
+
+def _default_backend() -> str:
+    """Default ``backend``: the ``REPRO_BACKEND`` env var, else ``dict``.
+
+    Evaluated at construction time (not import time), so the CI backend
+    matrix can flip a whole test process onto one backend without
+    touching any config literal; explicit ``backend=...`` arguments are
+    unaffected.
+    """
+    return os.environ.get("REPRO_BACKEND") or "dict"
 
 
 def _require(value: str, choices, name: str) -> None:
@@ -59,7 +71,10 @@ class PivotConfig:
         probabilities only; see :mod:`repro.kernel`).  The kernel
         backend produces identical clique sets and statistics, and
         falls back to ``"dict"`` automatically when the graph or
-        ``eta`` is not float-valued.
+        ``eta`` is not float-valued.  When not set explicitly, the
+        default is taken from the ``REPRO_BACKEND`` environment
+        variable (``dict`` when unset/empty) — the hook the CI backend
+        matrix uses to run the whole suite on each backend.
     sanitize:
         Runtime invariant sanitizer (see :mod:`repro.sanitize`):
         ``"off"`` (default; no hooks fire), ``"light"`` (checks on
@@ -81,7 +96,7 @@ class PivotConfig:
     mpivot: str = "improved"
     kpivot: str = "off"
     reduction: str = "core"
-    backend: str = "dict"
+    backend: str = field(default_factory=_default_backend)
     sanitize: str = "off"
     obs: str = "off"
 

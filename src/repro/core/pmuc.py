@@ -1,52 +1,39 @@
 """``PMUC`` / ``PMUC+`` — pivot-based enumeration (Algorithm 3).
 
-The enumerator keeps the ``R / C / X`` discipline of Algorithm 1 but
-prunes candidate expansions with the periphery sets of Section 4:
+The search itself — the ``R / C / X`` recursion with the M-pivot
+periphery pruning of Section 4 and the K-pivot size stopping of
+Section 5 — lives exactly once, in :mod:`repro.engine.driver`.  This
+module contributes two things:
 
-* **M-pivot** (Lemma 3): after fully exploring the pivot branch
-  ``R ∪ {u}``, the maximum η-clique ``Q`` found in it is a valid
-  periphery — candidates inside ``Q`` need not be expanded, because any
-  maximal clique they could lead to is either ``Q`` itself (already
-  emitted inside the pivot branch) or a non-maximal subset of ``Q``.
-* **improved M-pivot** (Lemma 4): ``Q`` is refreshed whenever *any*
-  later branch returns a larger maximum η-clique.
-* **K-pivot** (Lemmas 5–6): expansion stops once the remaining
-  candidates — counted plainly or as color classes — cannot lift ``R``
-  to ``k`` vertices; the remaining set is then a periphery on its own.
-
-The two stopping rules are applied independently, never as a merged
-periphery set (whose joint soundness the paper does not establish):
-each time the loop stops, the set of remaining candidates is a valid
-periphery under one lemma by itself.
-
-The per-branch bookkeeping mirrors the paper exactly: ``P`` threads the
-maximum η-clique containing ``R`` found so far through the recursion
-(line 13/16-18 of Algorithm 3), because — unlike the deterministic
-Bron–Kerbosch pivot — the periphery cannot be computed before the pivot
-branch has been explored.
+* :class:`DictStateOps` — the reference **dict backend** of the
+  engine's :class:`~repro.engine.protocol.StateOps` protocol.  ``C``
+  and ``X`` are dictionaries ``{vertex: r}`` over arbitrary hashable
+  labels and arbitrary numeric probability types (including exact
+  :class:`~fractions.Fraction`), projected by the ``GenerateSet``
+  kernel of :mod:`repro.core.candidates`.
+* :class:`PivotEnumerator` — the public facade: argument validation,
+  backend selection (``config.backend == "kernel"`` delegates to the
+  bitset backend when :func:`repro.kernel.enumerate.supports` allows,
+  silently falling back to the dict backend otherwise), and the
+  ``pmuc`` / ``pmuc_plus`` convenience wrappers.
 """
 
 from __future__ import annotations
 
-import sys
-from time import perf_counter
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.exceptions import ParameterError
 from repro.core.candidates import generate_set, initial_candidates
 from repro.core.config import PMUC_CONFIG, PMUC_PLUS_CONFIG, PivotConfig
 from repro.core.pivot import PivotContext, get_strategy
 from repro.core.stats import EnumerationResult, SearchStats
+from repro.engine.protocol import SearchOps, StateOps, register_backend
 from repro.reduction.ordering import vertex_ordering
 from repro.reduction.topk_core import topk_core
 from repro.reduction.topk_triangle import topk_triangle
 from repro.uncertain.graph import UncertainGraph, Vertex
 
 Sink = Callable[[frozenset], None]
-
-
-class _StopEnumeration(Exception):
-    """Internal signal: the configured output limit was reached."""
 
 
 def reduce_graph(
@@ -67,6 +54,131 @@ def reduce_graph(
     if mode == "triangle" and k >= 3:
         reduced = topk_triangle(reduced, k - 2, eta)
     return reduced
+
+
+class DictStateOps(StateOps):
+    """Dict/set state algebra for the search engine (the reference).
+
+    Candidate and exclusion sets are dictionaries ``{vertex: r}``
+    where ``r`` is the product of the probabilities of the edges
+    joining the vertex to every member of the current clique ``R``
+    (the invariant of :mod:`repro.core.candidates`); the accumulated
+    clique probability ``q = Pr(R)`` threads through as a plain
+    product, exact for whatever numeric type the graph carries.
+    """
+
+    name = "dict"
+    log_domain = False
+    unit = 1
+
+    def __init__(self, graph: UncertainGraph, k: int, eta, config):
+        self.graph = graph
+        self._k = k
+        self._eta = eta
+        self._config = config
+        self._strategy = get_strategy(config.pivot)
+        self.ctx: PivotContext = PivotContext({}, {}, {}, {}, k)
+        self.rank: Dict[Vertex, int] = {}
+        self.search_graph = graph
+        self._order: List[Vertex] = []
+        self._backbone = None
+
+    # -- prelude -------------------------------------------------------
+    def prepare_reduction(self, reduced_graph) -> None:
+        self.search_graph = (
+            reduced_graph
+            if reduced_graph is not None
+            else reduce_graph(self.graph, self._k, self._eta, self._config)
+        )
+
+    def prepare_ordering(self, order) -> None:
+        if order is None:
+            order = vertex_ordering(
+                self.search_graph, self._config.ordering, self._eta
+            )
+        self._order = list(order)
+        self.rank = {v: i for i, v in enumerate(self._order)}
+        self._backbone = self.search_graph.to_deterministic()
+        self.ctx = PivotContext.from_backbone(self._backbone, self._k)
+
+    def search_size(self) -> int:
+        return self.search_graph.num_vertices
+
+    def context(self):
+        return (
+            list(self.search_graph.vertices()),
+            self.ctx.color,
+            list(self._backbone.edges()),
+        )
+
+    def bind_observer(self, obs) -> None:
+        # Recursion paths already carry vertex labels; nothing to wire.
+        pass
+
+    def bind_sanitizer(self, san):
+        return san
+
+    def roots(self, seeds):
+        if seeds is None:
+            return self._order
+        seed_set = set(seeds)
+        return [v for v in self._order if v in seed_set]
+
+    def root_state(self, v):
+        return initial_candidates(self.search_graph, v, self._eta, self.rank)
+
+    # -- hot path ------------------------------------------------------
+    def search_ops(self) -> SearchOps:
+        graph = self.search_graph
+        eta = self._eta
+        ctx = self.ctx
+        strategy = self._strategy
+        color = ctx.color
+        rank_of = self.rank.__getitem__
+        raise_lower_bound = ctx.raise_lower_bound
+        color_bound = self._config.kpivot == "color"
+
+        def open_node(c, size):
+            keys = sorted(c, key=rank_of)
+            raise_lower_bound(keys, size)
+            if len(keys) == 1:
+                return keys, keys[0]
+            return keys, strategy(keys, ctx)
+
+        def color_reaches(vertices, need):
+            return len({color[v] for v in vertices}) >= need
+
+        def expand(u, c, x, q, r, need1):
+            q_new = q * c[u]
+            c_new = generate_set(graph, u, c, q_new, eta)
+            if need1 <= 0:
+                viable = True
+            elif len(c_new) < need1:
+                viable = False
+            elif color_bound:
+                viable = len({color[v] for v in c_new}) >= need1
+            else:
+                viable = True
+            # A size-pruned branch never reads X, so the projection is
+            # deferred into the viable case.
+            x_new = generate_set(graph, u, x, q_new, eta) if viable else None
+            return q_new, c_new, x_new, None, viable
+
+        def retract(u, c, x, c_child, x_token):
+            x[u] = c.pop(u)
+            return c, x
+
+        return SearchOps(
+            open_node=open_node,
+            lb_refresh=raise_lower_bound,
+            color_reaches=color_reaches,
+            expand=expand,
+            retract=retract,
+            decode=frozenset,
+        )
+
+
+register_backend("dict", DictStateOps)
 
 
 class PivotEnumerator:
@@ -115,7 +227,6 @@ class PivotEnumerator:
         self._sink = (
             on_clique if on_clique is not None else self._result.cliques.append
         )
-        self._strategy = get_strategy(config.pivot)
         self._ctx: PivotContext = PivotContext({}, {}, {}, {}, k)
         self._rank: Dict[Vertex, int] = {}
         self._search_graph = graph
@@ -124,11 +235,14 @@ class PivotEnumerator:
         #: populated by :meth:`run`, left in place afterwards so
         #: callers can read the collected metrics.
         self.obs = None
+        #: Which backend :meth:`run` actually executed on ("dict" or
+        #: "kernel") — the configured backend may silently fall back.
+        self.backend_used = "dict"
 
     # ------------------------------------------------------------------
     @property
     def stats(self) -> SearchStats:
-        """Search counters of the (possibly still running) run."""
+        """Search counters of the run (final after :meth:`run`)."""
         return self._result.stats
 
     def run(
@@ -162,81 +276,40 @@ class PivotEnumerator:
         if self._config.backend == "kernel":
             kernel = self._make_kernel()
             if kernel is not None:
+                self.backend_used = "kernel"
                 try:
                     return kernel.run(
                         seeds, reduced_graph=reduced_graph, order=order
                     )
                 finally:
                     self.obs = kernel.obs
-        # Imported lazily: repro.sanitize / repro.obs pull in
-        # repro.core.config (and the sanitizer repro.core.pivot), so a
-        # module-level import here would close an import cycle through
-        # the repro.core package __init__.
-        from repro.obs.observer import build_observer
-        from repro.sanitize.sanitizer import build_sanitizer
+        # Imported lazily: the engine driver reaches into repro.sanitize
+        # / repro.obs, which pull repro.core.config back in — a
+        # module-level import would close the cycle through the
+        # repro.core package __init__.
+        from repro.engine.driver import SearchEngine
 
-        san = self._san = build_sanitizer(
-            self._graph, self._k, self._eta, self._config, "dict"
+        ops = DictStateOps(self._graph, self._k, self._eta, self._config)
+        engine = SearchEngine(
+            ops,
+            self._k,
+            self._eta,
+            self._config,
+            self._result,
+            self._sink,
+            self._limit,
         )
-        obs = self.obs = build_observer(self._config, "dict")
-        if obs is not None:
-            obs.on_gauge("vertices_input", self._graph.num_vertices)
-        start = perf_counter()
-        self._search_graph = (
-            reduced_graph if reduced_graph is not None else self._reduce()
-        )
-        reduction_s = perf_counter() - start
-        start = perf_counter()
-        if order is None:
-            order = vertex_ordering(
-                self._search_graph, self._config.ordering, self._eta
-            )
-        self._rank = {v: i for i, v in enumerate(order)}
-        backbone = self._search_graph.to_deterministic()
-        self._ctx = PivotContext.from_backbone(backbone, self._k)
-        ordering_s = perf_counter() - start
-        if obs is not None:
-            obs.on_gauge(
-                "vertices_search", self._search_graph.num_vertices
-            )
-        if san is not None:
-            san.on_reduced(list(self._search_graph.vertices()))
-            san.on_context(self._ctx.color, list(backbone.edges()))
-        seed_set = None if seeds is None else set(seeds)
-        # The recursion is at most one level per clique member; make
-        # sure graphs with very large cliques cannot hit the default
-        # interpreter limit mid-search.
-        previous_limit = sys.getrecursionlimit()
-        needed = self._search_graph.num_vertices + 100
-        if needed > previous_limit:
-            sys.setrecursionlimit(needed)
-        complete = seeds is None
-        start = perf_counter()
+        self.backend_used = "dict"
         try:
-            for v in order:
-                if seed_set is not None and v not in seed_set:
-                    continue
-                c, x = initial_candidates(
-                    self._search_graph, v, self._eta, self._rank
-                )
-                self._pmuce([v], 1, c, x, [v], depth=1)
-        except _StopEnumeration:
-            complete = False
+            return engine.run(
+                seeds, reduced_graph=reduced_graph, order=order
+            )
         finally:
-            if needed > previous_limit:
-                sys.setrecursionlimit(previous_limit)
-        recursion_s = perf_counter() - start
-        start = perf_counter()
-        if san is not None:
-            san.on_finish(complete)
-        sanitize_s = perf_counter() - start
-        if obs is not None:
-            obs.on_phase("reduction", reduction_s)
-            obs.on_phase("ordering", ordering_s)
-            obs.on_phase("recursion", recursion_s)
-            obs.on_phase("sanitize", sanitize_s)
-            obs.on_finish(self._result.stats)
-        return self._result
+            self._san = engine.san
+            self.obs = engine.obs
+            self._ctx = ops.ctx
+            self._rank = ops.rank
+            self._search_graph = ops.search_graph
 
     # ------------------------------------------------------------------
     def _make_kernel(self):
@@ -259,132 +332,6 @@ class PivotEnumerator:
             self._sink,
             self._limit,
         )
-
-    def _reduce(self) -> UncertainGraph:
-        """Apply the configured pre-enumeration graph reduction."""
-        return reduce_graph(self._graph, self._k, self._eta, self._config)
-
-    def _candidate_bound(self, vertices) -> int:
-        """Upper bound on how many of ``vertices`` one clique can use."""
-        if self._config.kpivot == "color":
-            color = self._ctx.color
-            return len({color[v] for v in vertices})
-        return len(vertices)
-
-    def _emit(self, r: List[Vertex]) -> None:
-        self._result.stats.outputs += 1
-        self._sink(frozenset(r))
-        if self._limit is not None and self._result.stats.outputs >= self._limit:
-            raise _StopEnumeration
-
-    # ------------------------------------------------------------------
-    def _pmuce(
-        self,
-        r: List[Vertex],
-        q,
-        c: Dict[Vertex, object],
-        x: Dict[Vertex, object],
-        p: List[Vertex],
-        depth: int,
-    ) -> List[Vertex]:
-        """Recursive procedure ``PMUCE`` (Algorithm 3, lines 6-21).
-
-        Returns the maximum η-clique containing ``r`` found in this
-        subtree (the threaded ``P`` argument, possibly enlarged).
-        """
-        stats = self._result.stats
-        stats.calls += 1
-        stats.observe_depth(depth)
-        san = self._san
-        if san is not None:
-            san.on_node(depth)
-        obs = self.obs
-        if obs is not None:
-            obs.on_node(depth, r)
-        k = self._k
-        if not c and not x:
-            if len(r) >= k:
-                if san is not None:
-                    san.on_emit(r, q, False)
-                if obs is not None:
-                    obs.on_emit(depth, len(r))
-                self._emit(r)
-            self._ctx.raise_lower_bound(r, len(r))
-            return p
-        if not c:
-            return p
-        # Global lower-bound refresh used by the hybrid pivot strategy:
-        # every candidate v participates in the η-clique R ∪ {v}.
-        self._ctx.raise_lower_bound(c, len(r) + 1)
-        kpivot = self._config.kpivot != "off"
-        if kpivot and len(r) + self._candidate_bound(c) < k:
-            # The whole candidate set is a K-pivot periphery (Lemma 5/6).
-            stats.kpivot_stops += 1
-            if obs is not None:
-                obs.on_prune("kpivot", depth)
-            return p
-        mpivot = self._config.mpivot
-        rank = self._rank
-        keys = sorted(c, key=rank.__getitem__)
-        pivot = self._strategy(keys, self._ctx)
-        # Rank-ordered work list, pivot first.  The do-while of
-        # Algorithm 3 runs while some candidate lies outside the
-        # *current* periphery Q: a candidate deferred under an earlier,
-        # smaller Q becomes eligible again if Q is later replaced by a
-        # clique that does not contain it.  Treating periphery
-        # membership as a permanent skip would let a maximal clique
-        # whose members are scattered across successive generations of
-        # Q be lost, so eligibility is re-evaluated on every pick.
-        unexpanded = [pivot] + [v for v in keys if v != pivot]
-        periphery: Set[Vertex] = set()
-        expanded_any = False
-        while True:
-            if kpivot and expanded_any:
-                # The whole remaining candidate set is a K-pivot
-                # periphery on its own (Lemma 5/6) — no reliance on Q.
-                if len(r) + self._candidate_bound(unexpanded) < k:
-                    stats.kpivot_stops += 1
-                    if obs is not None:
-                        obs.on_prune("kpivot", depth)
-                    break
-            u = next((w for w in unexpanded if w not in periphery), None)
-            if u is None:
-                # Every remaining candidate sits inside the single,
-                # final periphery Q (Lemma 3/4) — safe to stop.
-                if san is not None:
-                    san.on_cover(depth, r, unexpanded, periphery)
-                stats.mpivot_skips += len(unexpanded)
-                if obs is not None:
-                    obs.on_prune("mpivot", depth, len(unexpanded))
-                break
-            expanded_any = True
-            r_u = c[u]
-            q_new = q * r_u
-            r.append(u)
-            c_new = generate_set(self._search_graph, u, c, q_new, self._eta)
-            x_new = generate_set(self._search_graph, u, x, q_new, self._eta)
-            branch_best = list(r)
-            if len(r) + self._candidate_bound(c_new) >= k:
-                stats.expansions += 1
-                if obs is not None:
-                    obs.on_expand(depth)
-                branch_best = self._pmuce(
-                    r, q_new, c_new, x_new, branch_best, depth + 1
-                )
-            else:
-                stats.size_prunes += 1
-                if obs is not None:
-                    obs.on_prune("size", depth)
-            r.pop()
-            if mpivot == "improved" or (mpivot == "basic" and not periphery):
-                if len(periphery) < len(branch_best):
-                    periphery = set(branch_best)
-            if len(p) < len(branch_best):
-                p = branch_best
-            unexpanded.remove(u)
-            del c[u]
-            x[u] = r_u
-        return p
 
 
 def pmuc(

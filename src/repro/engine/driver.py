@@ -1,0 +1,344 @@
+"""The one search-tree driver behind every enumeration backend.
+
+This module holds the paper's recursion exactly once.  The control
+flow of ``PMUCE`` (Algorithm 3, lines 6–21) — the M-pivot do-while with
+periphery re-evaluation (Theorem 4.2, Lemmas 3–4), the K-pivot size
+stop (Lemmas 5–6), the threaded maximum η-clique ``P``, emission, and
+every sanitizer/observer hook site — lives in :func:`build_search`;
+the run lifecycle (reduction/ordering phases, hook wiring, the seed
+loop, counter flushing) lives in :class:`SearchEngine`.  Backends
+supply only state algebra through the
+:class:`~repro.engine.protocol.StateOps` protocol, so a new backend
+cannot diverge from the search semantics: there is no second copy to
+drift.
+
+Performance notes.  The recursion is compiled once per run into a
+closure whose free variables hold the backend's hot-path ops, the
+config flags, and the search counters — a cell load costs the same as
+a local, where repeated attribute lookups across ~10⁶ calls are a
+measurable slice of the runtime.  Counters are folded into the shared
+:class:`~repro.core.stats.SearchStats` once, by ``flush``.  A viable
+child with no candidates is inlined (it only counts itself, possibly
+emits, and returns its ``p`` argument), so the dominant leaf case
+skips both the recursive call and the ``list(r)`` copy that would
+have threaded through it.
+"""
+
+from __future__ import annotations
+
+import sys
+from time import perf_counter
+
+from repro.engine.protocol import validate_state_ops
+
+
+class _StopSearch(Exception):
+    """Internal signal: the configured output limit was reached."""
+
+
+def build_search(ops, config, k, stats, sink, limit, san=None, obs=None):
+    """Compile the recursion into a closure; return ``(search, flush)``.
+
+    ``san`` is the backend's sanitizer adapter (or None) and ``obs``
+    the :class:`~repro.obs.observer.Observer` (or None); every hook
+    fires from exactly one site here, which the REP007/REP008 lint
+    rules pin down statically.
+
+    ``search(r, q, c, x, p, depth)`` returns the maximum η-clique
+    containing ``r`` found in its subtree (the threaded ``P``
+    argument, possibly enlarged); ``flush()`` folds the closure-cell
+    counters into ``stats`` and must run exactly once, after the seed
+    loop (even on an aborted run).
+    """
+    hot = ops.search_ops()
+    open_node = hot.open_node
+    lb_refresh = hot.lb_refresh
+    color_reaches = hot.color_reaches
+    expand = hot.expand
+    retract = hot.retract
+    decode = hot.decode
+    log_domain = ops.log_domain
+    kpivot = config.kpivot != "off"
+    color_bound = config.kpivot == "color"
+    improved = config.mpivot == "improved"
+    basic = config.mpivot == "basic"
+    sink_call = sink
+    limit = -1 if limit is None else limit
+    calls = expansions = outputs = 0
+    mpivot_skips = kpivot_stops = size_prunes = max_depth = 0
+
+    def flush() -> None:
+        stats.calls += calls
+        stats.expansions += expansions
+        stats.outputs += outputs
+        stats.mpivot_skips += mpivot_skips
+        stats.kpivot_stops += kpivot_stops
+        stats.size_prunes += size_prunes
+        if max_depth > stats.max_depth:
+            stats.max_depth = max_depth
+
+    def search(r, q, c, x, p, depth):
+        nonlocal calls, expansions, outputs, mpivot_skips
+        nonlocal kpivot_stops, size_prunes, max_depth
+        calls += 1
+        if depth > max_depth:
+            max_depth = depth
+        if san is not None:
+            san.on_node(depth)
+        if obs is not None:
+            obs.on_node(depth, r)
+        if not c:
+            if not x:
+                rlen = len(r)
+                if rlen >= k:
+                    if san is not None:
+                        san.on_emit(r, q, log_domain)
+                    if obs is not None:
+                        obs.on_emit(depth, rlen)
+                    outputs += 1
+                    sink_call(decode(r))
+                    if outputs == limit:
+                        raise _StopSearch
+                lb_refresh(r, rlen)
+            return p
+        rlen = len(r)
+        # ``open_node`` folds the global lower-bound refresh (every
+        # candidate v participates in the η-clique R ∪ {v}) into the
+        # work-list/pivot computation — one backend call per node.
+        keys, pivot = open_node(c, rlen + 1)
+        need = k - rlen
+        kpivot_pos = kpivot and need > 0
+        if kpivot_pos and (
+            len(keys) < need
+            or (color_bound and not color_reaches(keys, need))
+        ):
+            # The whole candidate set is a K-pivot periphery (Lemma
+            # 5/6): counted plainly it cannot lift R to k, and the
+            # color-class count is the tighter Lemma-6 bound.
+            kpivot_stops += 1
+            if obs is not None:
+                obs.on_prune("kpivot", depth)
+            return p
+        # Rank-ordered work list, pivot first.  The do-while of
+        # Algorithm 3 runs while some candidate lies outside the
+        # *current* periphery Q: a candidate deferred under an
+        # earlier, smaller Q becomes eligible again if Q is later
+        # replaced by a clique that does not contain it, so
+        # eligibility is re-evaluated on every pick.
+        if keys[0] == pivot:
+            unexpanded = keys[:]
+        else:
+            unexpanded = [pivot] + [v for v in keys if v != pivot]
+        periphery = ()
+        expanded_any = False
+        need1 = need - 1
+        depth1 = depth + 1
+        while True:
+            if expanded_any and kpivot_pos and (
+                len(unexpanded) < need
+                or (color_bound and not color_reaches(unexpanded, need))
+            ):
+                # The remaining candidate set is a K-pivot periphery
+                # on its own (Lemma 5/6) — no reliance on Q.  The two
+                # stopping rules are applied independently, never as a
+                # merged periphery set (whose joint soundness the
+                # paper does not establish).
+                kpivot_stops += 1
+                if obs is not None:
+                    obs.on_prune("kpivot", depth)
+                break
+            if not unexpanded:
+                break
+            if not periphery:
+                u = unexpanded[0]
+                u_idx = 0
+            else:
+                u_idx = -1
+                for idx, w in enumerate(unexpanded):
+                    if w not in periphery:
+                        u = w
+                        u_idx = idx
+                        break
+                if u_idx < 0:
+                    # Every remaining candidate sits inside the
+                    # single, final periphery Q (Lemma 3/4) — safe to
+                    # stop.
+                    if san is not None:
+                        san.on_cover(depth, r, unexpanded, periphery)
+                    mpivot_skips += len(unexpanded)
+                    if obs is not None:
+                        obs.on_prune("mpivot", depth, len(unexpanded))
+                    break
+            expanded_any = True
+            r.append(u)
+            q_new, c_new, x_new, x_token, viable = expand(
+                u, c, x, q, r, need1
+            )
+            if viable:
+                expansions += 1
+                if obs is not None:
+                    obs.on_expand(depth)
+                if c_new:
+                    branch_best = search(
+                        r, q_new, c_new, x_new, list(r), depth1
+                    )
+                    blen = len(branch_best)
+                else:
+                    # Inlined leaf: a child with no candidates only
+                    # counts itself, possibly emits, and returns its
+                    # ``p`` argument unchanged — so the copy of ``r``
+                    # is never materialized here.
+                    calls += 1
+                    if depth1 > max_depth:
+                        max_depth = depth1
+                    if san is not None:
+                        san.on_node(depth1)
+                    if obs is not None:
+                        obs.on_node(depth1, r)
+                    if not x_new:
+                        if rlen >= k - 1:
+                            if san is not None:
+                                san.on_emit(r, q_new, log_domain)
+                            if obs is not None:
+                                obs.on_emit(depth1, rlen + 1)
+                            outputs += 1
+                            sink_call(decode(r))
+                            if outputs == limit:
+                                raise _StopSearch
+                        lb_refresh(r, rlen + 1)
+                    branch_best = None
+                    blen = rlen + 1
+            else:
+                size_prunes += 1
+                if obs is not None:
+                    obs.on_prune("size", depth)
+                branch_best = None
+                blen = rlen + 1
+            r.pop()
+            # Every expand gets its retract — including size-pruned
+            # branches, whose projection may have touched shared
+            # backend state.
+            c, x = retract(u, c, x, c_new, x_token)
+            # ``branch_best is None`` stands for the un-materialized
+            # copy of ``r + [u]`` (length ``blen``); build it only
+            # when it actually replaces the periphery or ``p``.
+            if improved or (basic and not periphery):
+                if len(periphery) < blen:
+                    if branch_best is None:
+                        periphery = set(r)
+                        periphery.add(u)
+                    else:
+                        periphery = set(branch_best)
+            if len(p) < blen:
+                p = branch_best if branch_best is not None else r + [u]
+            del unexpanded[u_idx]
+        return p
+
+    return search, flush
+
+
+class SearchEngine:
+    """One enumeration run: drives a ``StateOps`` backend to completion.
+
+    The engine owns the run lifecycle — phase timing, hook wiring, the
+    outer seed loop, recursion-limit management, and the final counter
+    flush.  It is constructed fresh per run by the enumerator facades
+    (:class:`~repro.core.pmuc.PivotEnumerator`,
+    :class:`~repro.kernel.enumerate.KernelEnumerator`), which own
+    argument validation and backend selection.
+    """
+
+    __slots__ = ("ops", "k", "eta", "config", "result", "sink",
+                 "limit", "san", "obs")
+
+    def __init__(self, ops, k, eta, config, result, sink, limit=None):
+        validate_state_ops(ops)
+        self.ops = ops
+        self.k = k
+        self.eta = eta
+        self.config = config
+        self.result = result
+        self.sink = sink
+        self.limit = limit
+        #: The run's sanitizer / observer (or None); populated by
+        #: :meth:`run`, left in place so facades can surface them.
+        self.san = None
+        self.obs = None
+
+    def run(self, seeds=None, *, reduced_graph=None, order=None):
+        """Execute the enumeration; returns the backend's result.
+
+        Same contract as ``PivotEnumerator.run``: optional ``seeds``
+        restrict the outer loop, and ``reduced_graph``/``order`` skip
+        the in-run reduction/ordering (the partitioned and parallel
+        drivers prepare them once for all workers).
+        """
+        ops = self.ops
+        config = self.config
+        # Imported lazily: repro.sanitize / repro.obs pull in
+        # repro.core.config (and the sanitizer repro.core.pivot), so a
+        # module-level import here would close an import cycle through
+        # the repro.core package __init__.
+        from repro.obs.observer import build_observer
+        from repro.sanitize.sanitizer import build_sanitizer
+
+        san = self.san = build_sanitizer(
+            ops.graph, self.k, self.eta, config, ops.name
+        )
+        obs = self.obs = build_observer(config, ops.name)
+        if obs is not None:
+            obs.on_gauge("vertices_input", ops.graph.num_vertices)
+        start = perf_counter()
+        ops.prepare_reduction(reduced_graph)
+        reduction_s = perf_counter() - start
+        start = perf_counter()
+        ops.prepare_ordering(order)
+        ordering_s = perf_counter() - start
+        ops.bind_observer(obs)
+        if obs is not None:
+            obs.on_gauge("vertices_search", ops.search_size())
+        adapter = None
+        if san is not None:
+            vertices, color, edges = ops.context()
+            san.on_reduced(vertices)
+            san.on_context(color, edges)
+            adapter = ops.bind_sanitizer(san)
+        # The recursion is at most one level per clique member; make
+        # sure graphs with very large cliques cannot hit the default
+        # interpreter limit mid-search.
+        previous_limit = sys.getrecursionlimit()
+        needed = ops.search_size() + 100
+        if needed > previous_limit:
+            sys.setrecursionlimit(needed)
+        # Module-global lookup on purpose: tests swap in a tampered
+        # recursion by monkeypatching ``repro.engine.driver
+        # .build_search`` to exercise the sanitizer end to end.
+        search, flush = build_search(
+            ops, config, self.k, self.result.stats, self.sink,
+            self.limit, adapter, obs
+        )
+        complete = seeds is None
+        unit = ops.unit
+        start = perf_counter()
+        try:
+            for v in ops.roots(seeds):
+                c, x = ops.root_state(v)
+                search([v], unit, c, x, [v], 1)
+        except _StopSearch:
+            complete = False
+        finally:
+            flush()
+            if needed > previous_limit:
+                sys.setrecursionlimit(previous_limit)
+        recursion_s = perf_counter() - start
+        start = perf_counter()
+        if san is not None:
+            san.on_finish(complete)
+        sanitize_s = perf_counter() - start
+        if obs is not None:
+            obs.on_phase("reduction", reduction_s)
+            obs.on_phase("ordering", ordering_s)
+            obs.on_phase("recursion", recursion_s)
+            obs.on_phase("sanitize", sanitize_s)
+            obs.on_finish(self.result.stats)
+        return self.result

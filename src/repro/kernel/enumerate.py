@@ -1,8 +1,10 @@
 """Bitset/integer fast path of the pivot enumerator.
 
-This module re-implements the recursion of
-:class:`repro.core.pmuc.PivotEnumerator` over the
-:class:`~repro.kernel.compact.CompactGraph` representation:
+This module is the **kernel backend** of the shared search engine
+(:mod:`repro.engine`): the recursion control flow runs once, in
+:func:`repro.engine.driver.build_search`, and this module supplies the
+state algebra over the :class:`~repro.kernel.compact.CompactGraph`
+representation:
 
 * ``C`` and ``X`` are **bitsets** (Python big-ints).  The
   ``GenerateSet`` kernel of Algorithm 1 becomes one word-parallel
@@ -35,13 +37,12 @@ caller falls back to the dict backend.
 
 from __future__ import annotations
 
-import sys
 from math import log
-from time import perf_counter
 from typing import Callable, List, Optional, Sequence
 
 from repro.exceptions import KernelBackendError
 from repro.core.stats import EnumerationResult
+from repro.engine.protocol import SearchOps, StateOps, register_backend
 from repro.kernel.compact import CompactGraph
 from repro.kernel.reduction import (
     greedy_coloring_ids,
@@ -57,11 +58,6 @@ from repro.uncertain.graph import UncertainGraph
 #: ``1e-12 * (1 + |total|)`` for any feasible recursion depth; the
 #: guard is ~1000x wider.
 REL_GUARD = 1e-9
-
-
-class _StopKernel(Exception):
-    """Internal signal: the configured output limit was reached."""
-
 
 #: Ascending bit offsets of every byte value.  The hot loops iterate a
 #: candidate bitset as ``bits.to_bytes(..., "little")`` plus one table
@@ -82,30 +78,27 @@ def supports(graph: UncertainGraph, eta) -> bool:
     )
 
 
-class KernelEnumerator:
-    """One kernel-backend enumeration run.
+class KernelStateOps(StateOps):
+    """Bitset/log-domain state algebra for the search engine.
 
-    Mirrors the control flow of ``PivotEnumerator._pmuce`` statement
-    for statement (same pivot strategies, same M-/K-pivot stopping
-    rules, same statistics updates) so the two backends are
-    interchangeable; see ``tests/test_kernel_parity.py``.
+    The candidate handle is ``None`` when empty, else a mutable
+    two-slot list ``[c_bits, c_list]`` (bitset plus its ascending-id
+    survivor list — the invariant ``c_bits == 0  <=>  c_list == []``
+    makes ``None`` the only falsy form).  The exclusion handle is the
+    bare bitset.  ``expand`` mutates the shared ``sv`` array for every
+    survivor; ``retract`` restores it from the survivor lists.
     """
 
-    def __init__(
-        self,
-        graph: UncertainGraph,
-        k: int,
-        eta,
-        config,
-        result: EnumerationResult,
-        sink: Callable[[frozenset], None],
-        limit: Optional[int],
-    ):
+    name = "kernel"
+    log_domain = True
+    unit = 0.0
+
+    def __init__(self, graph: UncertainGraph, k: int, eta, config):
         if not isinstance(eta, (float, int)):
             raise KernelBackendError(
                 f"kernel backend requires a float eta, got {type(eta).__name__}"
             )
-        self._graph = graph
+        self.graph = graph
         self._k = k
         self._eta = float(eta)
         self._nl_eta = -log(self._eta) if self._eta < 1.0 else 0.0
@@ -116,34 +109,19 @@ class KernelEnumerator:
         # enough that exact replays are rare.
         self._guard = REL_GUARD * (2.0 + 2.0 * self._nl_eta)
         self._config = config
-        self._result = result
-        self._sink = sink
-        self._limit = limit
-        # Hot-loop flags hoisted out of the recursion.
         self._hybrid = config.pivot == "hybrid"
-        self._kpivot = config.kpivot != "off"
-        self._color_bound = config.kpivot == "color"
-        self._mpivot = config.mpivot
-        #: The run's :class:`~repro.obs.observer.Observer` (or None);
-        #: populated by :meth:`run`, mirrored onto the delegating
-        #: ``PivotEnumerator`` afterwards.
-        self.obs = None
-        # Phase timings recorded by _prepare() for the observer.
-        self._reduction_s = 0.0
-        self._ordering_s = 0.0
-        # Populated by _prepare():
+        # Populated by the prepare_* prelude:
         self._cg: CompactGraph = CompactGraph([])
+        self._cg_red: Optional[CompactGraph] = None
         self._sv: List[float] = []
         self._deg: List[int] = []
         self._color: List[int] = []
         self._colnum: List[int] = []
         self._lb: List[int] = []
 
-    # ------------------------------------------------------------------
-    # preparation: reduction, ordering, coloring — all on int ids
-    # ------------------------------------------------------------------
+    # -- prelude: reduction, ordering, coloring — all on int ids -------
     def _reduce_ids(self, cg: CompactGraph) -> CompactGraph:
-        """Kernel counterpart of ``PivotEnumerator._reduce``."""
+        """Kernel counterpart of :func:`repro.core.pmuc.reduce_graph`."""
         mode = self._config.reduction
         k = self._k
         if mode == "off" or k < 2:
@@ -155,20 +133,16 @@ class KernelEnumerator:
             )
         return reduced
 
-    def _prepare(
-        self,
-        reduced_graph: Optional[UncertainGraph],
-        order_labels: Optional[Sequence],
-    ) -> None:
-        start = perf_counter()
+    def prepare_reduction(self, reduced_graph) -> None:
         if reduced_graph is not None:
-            cg_red = CompactGraph.from_uncertain(reduced_graph)
+            self._cg_red = CompactGraph.from_uncertain(reduced_graph)
         else:
-            cg_red = self._reduce_ids(
-                CompactGraph.from_uncertain(self._graph)
+            self._cg_red = self._reduce_ids(
+                CompactGraph.from_uncertain(self.graph)
             )
-        self._reduction_s = perf_counter() - start
-        start = perf_counter()
+
+    def prepare_ordering(self, order_labels) -> None:
+        cg_red = self._cg_red
         if order_labels is not None:
             order = [cg_red.index[v] for v in order_labels]
         else:
@@ -201,8 +175,6 @@ class KernelEnumerator:
         self._deg_cn = [
             d * m + c for d, c in zip(self._deg, self._colnum)
         ]
-        # Hot-loop aliases (the recursion reads these every expansion).
-        self._nbr_bits = self._cg.nbr_bits
         # Dense ``-log p`` rows: ``nlogr[u][w]`` is read millions of
         # times per run, and list indexing beats dict probing.  Only
         # neighbor slots are ever read (survivors come out of
@@ -223,136 +195,72 @@ class KernelEnumerator:
             self._nlogr = self._cg.nlog
         self._hi_base = self._nl_eta + self._guard
         self._guard2 = self._guard + self._guard
-        self._ordering_s = perf_counter() - start
 
-    # ------------------------------------------------------------------
-    # driver
-    # ------------------------------------------------------------------
-    def run(
-        self,
-        seeds=None,
-        reduced_graph: Optional[UncertainGraph] = None,
-        order: Optional[Sequence] = None,
-    ) -> EnumerationResult:
-        """Execute the enumeration; same contract as the dict backend."""
-        self._prepare(reduced_graph, order)
-        # Imported lazily for the same import-cycle reason as the dict
-        # backend (repro.sanitize / repro.obs reach back into
-        # repro.core).
-        from repro.obs.observer import build_observer
-        from repro.sanitize.sanitizer import IdSanitizer, build_sanitizer
+    def search_size(self) -> int:
+        return self._cg.n
 
-        core_san = build_sanitizer(
-            self._graph, self._k, self._eta, self._config, "kernel"
+    def context(self):
+        # The coloring is checked in rank-id space: proper is proper
+        # under any relabeling, and the recursion's covers arrive
+        # id-translated through the IdSanitizer anyway.
+        cg = self._cg
+        return (
+            list(cg.labels),
+            dict(enumerate(self._color)),
+            [
+                (u, w)
+                for u in range(cg.n)
+                for w in cg.nbr_ids[u]
+                if w > u
+            ],
         )
-        obs = self.obs = build_observer(self._config, "kernel")
+
+    def bind_observer(self, obs) -> None:
         if obs is not None:
             # The recursion passes raw int-id paths; translation to
             # labels happens only for sampled nodes.
             obs.set_labels(self._cg.labels)
-            obs.on_gauge("vertices_input", self._graph.num_vertices)
-            obs.on_gauge("vertices_search", self._cg.n)
-        san = None
-        if core_san is not None:
-            core_san.on_reduced(list(self._cg.labels))
-            core_san.on_context(
-                dict(enumerate(self._color)),
-                [
-                    (u, w)
-                    for u in range(self._cg.n)
-                    for w in self._cg.nbr_ids[u]
-                    if w > u
-                ],
-            )
-            san = IdSanitizer(core_san, self._cg.labels)
+
+    def bind_sanitizer(self, san):
+        from repro.sanitize.sanitizer import IdSanitizer
+
+        return IdSanitizer(san, self._cg.labels)
+
+    def roots(self, seeds):
+        n = self._cg.n
+        if seeds is None:
+            return range(n)
+        index = self._cg.index
+        ids = set()
+        for v in seeds:
+            i = index.get(v)
+            if i is not None:
+                ids.add(i)
+        return sorted(ids)
+
+    def root_state(self, v):
         cg = self._cg
-        n = cg.n
-        index = cg.index
-        seed_bits = None
-        if seeds is not None:
-            seed_bits = 0
-            for v in seeds:
-                i = index.get(v)
-                if i is not None:
-                    seed_bits |= 1 << i
-        previous_limit = sys.getrecursionlimit()
-        needed = n + 100
-        if needed > previous_limit:
-            sys.setrecursionlimit(needed)
-        rec, flush = self._build_rec(san, obs)
-        complete = seeds is None
-        start = perf_counter()
-        try:
-            eta = self._eta
-            sv = self._sv
-            nlog = cg.nlog
-            for v in range(n):
-                if seed_bits is not None and not seed_bits >> v & 1:
-                    continue
-                c_bits = 0
-                x_bits = 0
-                nlog_v = nlog[v]
-                for u, p in cg.prob[v].items():
-                    if p >= eta:
-                        sv[u] = nlog_v[u]
-                        if u > v:
-                            c_bits |= 1 << u
-                        else:
-                            x_bits |= 1 << u
-                c_list = []
-                b = c_bits
-                while b:
-                    low = b & -b
-                    b ^= low
-                    c_list.append(low.bit_length() - 1)
-                rec([v], 0.0, c_bits, c_list, x_bits, [v], 1)
-        except _StopKernel:
-            complete = False
-        finally:
-            flush()
-            if needed > previous_limit:
-                sys.setrecursionlimit(previous_limit)
-        recursion_s = perf_counter() - start
-        start = perf_counter()
-        if core_san is not None:
-            core_san.on_finish(complete)
-        sanitize_s = perf_counter() - start
-        if obs is not None:
-            obs.on_phase("reduction", self._reduction_s)
-            obs.on_phase("ordering", self._ordering_s)
-            obs.on_phase("recursion", recursion_s)
-            obs.on_phase("sanitize", sanitize_s)
-            obs.on_finish(self._result.stats)
-        return self._result
+        eta = self._eta
+        sv = self._sv
+        nlog_v = cg.nlog[v]
+        c_bits = 0
+        x_bits = 0
+        for u, p in cg.prob[v].items():
+            if p >= eta:
+                sv[u] = nlog_v[u]
+                if u > v:
+                    c_bits |= 1 << u
+                else:
+                    x_bits |= 1 << u
+        c_list: List[int] = []
+        b = c_bits
+        while b:
+            low = b & -b
+            b ^= low
+            c_list.append(low.bit_length() - 1)
+        return ([c_bits, c_list] if c_bits else None), x_bits
 
-    # ------------------------------------------------------------------
-    # helpers mirroring the dict backend
-    # ------------------------------------------------------------------
-    def _select_pivot(self, keys: List[int]) -> int:
-        """Pivot strategies over id arrays (same tie-breaks as dicts).
-
-        The hybrid rule is a single fused scan: the dict backend's two
-        ``max``-of-filtered passes resolve ties by first occurrence, so
-        tracking the running lexicographic best over the same key order
-        selects the identical vertex.
-        """
-        if len(keys) == 1:
-            return keys[0]
-        name = self._config.pivot
-        if name == "first":
-            return keys[0]
-        if name == "degree":
-            return max(keys, key=self._deg.__getitem__)
-        if name == "color":
-            return max(keys, key=self._colnum.__getitem__)
-        # hybrid: prefer the max-(colnum, lb) candidate when its clique
-        # lower bound already exceeds k, else fall back to max-(deg,
-        # colnum) — same rule and tie-breaks as the dict strategy.
-        v = max(keys, key=self._cn_lb.__getitem__)
-        if self._lb[v] > self._k:
-            return v
-        return max(keys, key=self._deg_cn.__getitem__)
-
+    # -- hot path ------------------------------------------------------
     def _exact_accept(self, w: int, r: List[int]) -> bool:
         """Replay the dict backend's float decision for candidate ``w``.
 
@@ -375,57 +283,36 @@ class KernelEnumerator:
             q = q * r_t
         return q * r_val >= self._eta
 
-    # ``GenerateSet`` lives inlined in the recursion (the call/return
-    # cost of a method at 600k+ expansions is measurable);
-    # ``_exact_accept`` above is its rare boundary-band escape hatch.
+    def search_ops(self) -> SearchOps:
+        """Compile the hot-path closures over this run's arrays.
 
-    # ------------------------------------------------------------------
-    # the recursion (Algorithm 3, lines 6-21 — bitset edition)
-    # ------------------------------------------------------------------
-    def _build_rec(self, san=None, obs=None):
-        """Compile the recursion into a closure; return ``(rec, flush)``.
-
-        ``san`` is the (id-translating) sanitizer adapter or None and
-        ``obs`` the :class:`~repro.obs.observer.Observer` or None; the
-        hook sites below mirror the dict backend's exactly, which the
-        REP007 (sanitizer) and REP008 (observer) lint rules enforce
-        statically.  Observer hooks receive raw int-id paths — label
-        translation happens inside the observer, only for sampled
-        nodes.
-
-        Everything the recursion reads but never rebinds — graph
-        arrays, pivot tables, guard-band constants, the stats object —
-        is captured in closure cells once per run.  Cell loads cost the
-        same as locals, whereas ``self._x`` attribute lookups repeated
-        across ~500k calls are a measurable slice of the runtime (the
-        method version spent ~20 attribute loads per call on its
-        prologue).  The recursive call itself also becomes a direct
-        closure call with no attribute dispatch.
+        Everything the ops read — graph arrays, pivot tables,
+        guard-band constants — is captured in closure cells once per
+        run.  Cell loads cost the same as locals, whereas ``self._x``
+        attribute lookups repeated across ~10⁶ calls are a measurable
+        slice of the runtime.
         """
-        stats = self._result.stats
         k = self._k
         hybrid = self._hybrid
-        kpivot = self._kpivot
-        color_bound = self._color_bound
-        improved = self._mpivot == "improved"
-        basic = self._mpivot == "basic"
+        color_bound = self._config.kpivot == "color"
+        pivot_name = self._config.pivot
         lb = self._lb
         cn_lb = self._cn_lb
         cn_base = self._cn_base
         deg_cn = self._deg_cn
-        nbr_bits = self._nbr_bits
+        deg = self._deg
+        colnum = self._colnum
+        nbr_bits = self._cg.nbr_bits
         nlogr = self._nlogr
         hi_base = self._hi_base
         guard2 = self._guard2
         sv = self._sv
-        color = self._color
+        exact_accept = self._exact_accept
+        bl = int.bit_length
         # Distinct-color counting uses a bitmask accumulator instead of
         # a set; pre-shifting each vertex's color bit makes the count
         # one subscript + two bit-ops per element.
-        color_bit = [1 << cw for cw in color]
-        select_pivot = self._select_pivot
-        exact_accept = self._exact_accept
-        bl = int.bit_length
+        color_bit = [1 << cw for cw in self._color]
         # Per-base copies of the byte table holding absolute ids
         # (``byte_ids[base >> 3][byte]``).  Ids above 256 fall outside
         # CPython's small-int cache, so computing ``base + off`` per
@@ -438,319 +325,225 @@ class KernelEnumerator:
             )
             for base in range(0, self._cg.n, 8)
         )
-        # Emission, inlined: label translation + sink + limit check.
         label_of = self._cg.labels.__getitem__
-        sink = self._sink
-        limit = -1 if self._limit is None else self._limit
-        # Search counters live in closure cells during the run and are
-        # folded into ``SearchStats`` by ``flush`` (attribute updates on
-        # the stats object are ~10x the cost of a cell store, and the
-        # hot loop touches a counter several times per call).
-        calls = expansions = outputs = 0
-        mpivot_skips = kpivot_stops = size_prunes = max_depth = 0
 
-        def flush() -> None:
-            stats.calls += calls
-            stats.expansions += expansions
-            stats.outputs += outputs
-            stats.mpivot_skips += mpivot_skips
-            stats.kpivot_stops += kpivot_stops
-            stats.size_prunes += size_prunes
-            if max_depth > stats.max_depth:
-                stats.max_depth = max_depth
+        if hybrid:
+            def select_pivot(keys):
+                # The dict strategy's two ``max``-of-filtered passes
+                # resolve ties by first occurrence; ``max`` over the
+                # fused keys selects the identical vertex.
+                v = max(keys, key=cn_lb.__getitem__)
+                if lb[v] > k:
+                    return v
+                return max(keys, key=deg_cn.__getitem__)
+        elif pivot_name == "degree":
+            def select_pivot(keys):
+                return max(keys, key=deg.__getitem__)
+        elif pivot_name == "color":
+            def select_pivot(keys):
+                return max(keys, key=colnum.__getitem__)
+        else:  # "first"
+            def select_pivot(keys):
+                return keys[0]
 
-        def rec(
-            r: List[int],
-            nlq: float,
-            c_bits: int,
-            c_list: List[int],
-            x_bits: int,
-            p: List[int],
-            depth: int,
-        ) -> List[int]:
-            nonlocal calls, expansions, outputs, mpivot_skips
-            nonlocal kpivot_stops, size_prunes, max_depth
-            calls += 1
-            if depth > max_depth:
-                max_depth = depth
-            if san is not None:
-                san.on_node(depth)
-            if obs is not None:
-                obs.on_node(depth, r)
-            if not c_bits:
-                if not x_bits:
-                    if len(r) >= k:
-                        if san is not None:
-                            san.on_emit(r, nlq, True)
-                        if obs is not None:
-                            obs.on_emit(depth, len(r))
-                        outputs += 1
-                        sink(frozenset(map(label_of, r)))
-                        if outputs == limit:
-                            raise _StopKernel
-                    if hybrid:
-                        size = len(r)
-                        for w in r:
-                            if lb[w] < size:
-                                lb[w] = size
-                                cn_lb[w] = cn_base[w] + size
-                return p
-            # Global lower-bound refresh, consumed only by the hybrid
-            # pivot strategy (the dict path refreshes unconditionally,
-            # but the values are dead under every other strategy).
-            if hybrid:
-                size = len(r) + 1
-                for w in c_list:
+        if hybrid:
+            def lb_refresh(vertices, size):
+                for w in vertices:
                     if lb[w] < size:
                         lb[w] = size
                         cn_lb[w] = cn_base[w] + size
-            rlen = len(r)
-            need = k - rlen
-            kpivot_pos = kpivot and need > 0
-            if kpivot_pos:
-                # K-pivot bound (Lemma 5/6).  The dict backend computes
-                # the full bound and compares with ``k``; the
-                # comparison is all that is ever used, so the length
-                # pre-check decides outright when it can and the color
-                # count stops at ``need`` distinct colors.
-                if len(c_list) < need:
-                    kpivot_stops += 1
-                    if obs is not None:
-                        obs.on_prune("kpivot", depth)
-                    return p
+        else:
+            # The lower bound is consumed only by the hybrid pivot
+            # strategy (the dict path refreshes unconditionally, but
+            # the values are dead under every other strategy).
+            def lb_refresh(vertices, size):
+                return None
+
+        def open_node(c, size):
+            # Ids are rank-ordered and ``expand`` emits survivors in
+            # ascending id order, so the survivor list is already the
+            # sorted work list of the dict backend.
+            keys = c[1]
+            lb_refresh(keys, size)
+            if len(keys) == 1:
+                return keys, keys[0]
+            return keys, select_pivot(keys)
+
+        def color_reaches(vertices, need):
+            seen = 0
+            cnt = 0
+            for w in vertices:
+                cb = color_bit[w]
+                if not seen & cb:
+                    seen |= cb
+                    cnt += 1
+                    if cnt == need:
+                        return True
+            return False
+
+        def expand(u, c, x, nlq, r, need1):
+            # --- GenerateSet (Algorithm 1): one AND per set, then an
+            # additive threshold test per survivor.  ``s_new`` below
+            # ``lo`` is a certain accept, above ``hi`` a certain
+            # reject; the narrow band in between replays the dict
+            # backend's exact float decision.  Survivors restore the
+            # shared ``sv`` array by subtracting the same term in
+            # ``retract``; each add/sub pair can leave an ulp-sized
+            # residue, but cumulative drift stays orders of magnitude
+            # inside the guard band, where decisions defer to
+            # ``_exact_accept`` anyway.
+            nlq_new = nlq + sv[u]
+            nbr = nbr_bits[u]
+            nlog_u = nlogr[u]
+            hi = hi_base - nlq_new
+            lo = hi - guard2
+            c_new = c[0] & nbr
+            c_next: List[int] = []
+            keep = c_next.append
+            if c_new:
+                # Skip straight to the first set byte: candidate ranks
+                # cluster high for late seeds, and scanning the
+                # leading zero bytes every call adds up.
+                bb = (bl(c_new & -c_new) - 1) >> 3
+                scan = c_new >> (bb << 3)
+                for byte in scan.to_bytes((bl(scan) + 7) >> 3, "little"):
+                    if byte:
+                        for w in byte_ids[bb][byte]:
+                            s_new = sv[w] + nlog_u[w]
+                            if s_new < lo or (
+                                s_new <= hi and exact_accept(w, r)
+                            ):
+                                sv[w] = s_new
+                                keep(w)
+                            else:
+                                c_new ^= 1 << w
+                    bb += 1
+            viable = need1 <= 0
+            if not viable and len(c_next) >= need1:
                 if color_bound:
                     seen = 0
                     cnt = 0
-                    for w in c_list:
+                    for w in c_next:
                         cb = color_bit[w]
                         if not seen & cb:
                             seen |= cb
                             cnt += 1
-                            if cnt == need:
+                            if cnt == need1:
                                 break
-                    if cnt < need:
-                        kpivot_stops += 1
-                        if obs is not None:
-                            obs.on_prune("kpivot", depth)
-                        return p
-            depth1 = depth + 1
-            need1 = need - 1
-            # Ids are rank-ordered and survivors are emitted in
-            # ascending id order, so c_list is already the sorted work
-            # list of the dict backend.
-            if len(c_list) == 1:
-                pivot = c_list[0]
-            elif hybrid:
-                # ``_select_pivot``'s hybrid rule, inlined here.
-                v = max(c_list, key=cn_lb.__getitem__)
-                if lb[v] > k:
-                    pivot = v
+                    viable = cnt >= need1
                 else:
-                    pivot = max(c_list, key=deg_cn.__getitem__)
+                    viable = True
+            if not viable:
+                # A size-pruned branch never reads X; hand retract an
+                # empty restore token.
+                return nlq_new, (
+                    [c_new, c_next] if c_new else None
+                ), 0, (), False
+            x_new = x & nbr
+            if x_new:
+                x_list: List[int] = []
+                keep_x = x_list.append
+                bb = (bl(x_new & -x_new) - 1) >> 3
+                scan = x_new >> (bb << 3)
+                for byte in scan.to_bytes((bl(scan) + 7) >> 3, "little"):
+                    if byte:
+                        for w in byte_ids[bb][byte]:
+                            s_new = sv[w] + nlog_u[w]
+                            if s_new < lo or (
+                                s_new <= hi and exact_accept(w, r)
+                            ):
+                                sv[w] = s_new
+                                keep_x(w)
+                            else:
+                                x_new ^= 1 << w
+                    bb += 1
             else:
-                pivot = select_pivot(c_list)
-            # The caller restores ``sv`` from its survivor list after
-            # this frame returns, so the work list must be a copy:
-            # deleting expanded vertices from ``c_list`` itself would
-            # silently drop restore entries.
-            if c_list[0] == pivot:
-                unexpanded = c_list[:]
-            else:
-                unexpanded = [pivot] + [v for v in c_list if v != pivot]
-            periphery = ()
-            expanded_any = False
-            while True:
-                if expanded_any and kpivot_pos:
-                    if len(unexpanded) < need:
-                        kpivot_stops += 1
-                        if obs is not None:
-                            obs.on_prune("kpivot", depth)
-                        break
-                    if color_bound:
-                        seen = 0
-                        cnt = 0
-                        for w in unexpanded:
-                            cb = color_bit[w]
-                            if not seen & cb:
-                                seen |= cb
-                                cnt += 1
-                                if cnt == need:
-                                    break
-                        if cnt < need:
-                            kpivot_stops += 1
-                            if obs is not None:
-                                obs.on_prune("kpivot", depth)
-                            break
-                if not unexpanded:
-                    break
-                if not periphery:
-                    u = unexpanded[0]
-                    u_idx = 0
-                else:
-                    u_idx = -1
-                    for idx, w in enumerate(unexpanded):
-                        if w not in periphery:
-                            u = w
-                            u_idx = idx
-                            break
-                    if u_idx < 0:
-                        if san is not None:
-                            san.on_cover(depth, r, unexpanded, periphery)
-                        mpivot_skips += len(unexpanded)
-                        if obs is not None:
-                            obs.on_prune("mpivot", depth, len(unexpanded))
-                        break
-                expanded_any = True
-                nlq_new = nlq + sv[u]
-                r.append(u)
-                # --- GenerateSet, inlined (Algorithm 1): one AND per
-                # set, then an additive threshold test per survivor.
-                # ``s_new`` below ``lo`` is a certain accept, above
-                # ``hi`` a certain reject; the narrow band in between
-                # replays the dict backend's exact float decision.
-                # Survivors restore the shared ``sv`` array by
-                # subtracting the same term after the branch returns;
-                # each add/sub pair can leave an ulp-sized residue, but
-                # cumulative drift stays orders of magnitude inside the
-                # guard band, where decisions defer to
-                # ``_exact_accept`` anyway.
-                nbr = nbr_bits[u]
-                nlog_u = nlogr[u]
-                hi = hi_base - nlq_new
-                lo = hi - guard2
-                c_new = c_bits & nbr
-                c_next: List[int] = []
-                keep = c_next.append
-                if c_new:
-                    # Skip straight to the first set byte: candidate
-                    # ranks cluster high for late seeds, and scanning
-                    # the leading zero bytes every call adds up.
-                    bb = (bl(c_new & -c_new) - 1) >> 3
-                    scan = c_new >> (bb << 3)
-                    for byte in scan.to_bytes(
-                        (bl(scan) + 7) >> 3, "little"
-                    ):
-                        if byte:
-                            for w in byte_ids[bb][byte]:
-                                s_new = sv[w] + nlog_u[w]
-                                if s_new < lo or (
-                                    s_new <= hi and exact_accept(w, r)
-                                ):
-                                    sv[w] = s_new
-                                    keep(w)
-                                else:
-                                    c_new ^= 1 << w
-                        bb += 1
-                # --- end GenerateSet (the X projection is deferred
-                # below: a size-pruned branch never reads X, so the
-                # dict backend's unconditional projection is work the
-                # kernel can skip with no observable difference)
-                viable = need1 <= 0
-                if not viable and len(c_next) >= need1:
-                    if color_bound:
-                        seen = 0
-                        cnt = 0
-                        for w in c_next:
-                            cb = color_bit[w]
-                            if not seen & cb:
-                                seen |= cb
-                                cnt += 1
-                                if cnt == need1:
-                                    break
-                        viable = cnt >= need1
-                    else:
-                        viable = True
-                if viable:
-                    x_new = x_bits & nbr
-                    if x_new:
-                        x_list: List[int] = []
-                        keep_x = x_list.append
-                        bb = (bl(x_new & -x_new) - 1) >> 3
-                        scan = x_new >> (bb << 3)
-                        for byte in scan.to_bytes(
-                            (bl(scan) + 7) >> 3, "little"
-                        ):
-                            if byte:
-                                for w in byte_ids[bb][byte]:
-                                    s_new = sv[w] + nlog_u[w]
-                                    if s_new < lo or (
-                                        s_new <= hi
-                                        and exact_accept(w, r)
-                                    ):
-                                        sv[w] = s_new
-                                        keep_x(w)
-                                    else:
-                                        x_new ^= 1 << w
-                            bb += 1
-                    else:
-                        x_list = ()
-                    expansions += 1
-                    if obs is not None:
-                        obs.on_expand(depth)
-                    if c_new:
-                        branch_best = rec(
-                            r, nlq_new, c_new, c_next, x_new,
-                            list(r), depth1,
-                        )
-                        blen = len(branch_best)
-                    else:
-                        # Inlined leaf: a child with no candidates only
-                        # counts itself, possibly emits, and returns
-                        # its ``p`` argument unchanged — so the copy of
-                        # ``r`` is never materialized here.
-                        calls += 1
-                        if depth1 > max_depth:
-                            max_depth = depth1
-                        if san is not None:
-                            san.on_node(depth1)
-                        if obs is not None:
-                            obs.on_node(depth1, r)
-                        if not x_new:
-                            if rlen >= k - 1:
-                                if san is not None:
-                                    san.on_emit(r, nlq_new, True)
-                                if obs is not None:
-                                    obs.on_emit(depth1, rlen + 1)
-                                outputs += 1
-                                sink(frozenset(map(label_of, r)))
-                                if outputs == limit:
-                                    raise _StopKernel
-                            if hybrid:
-                                size = rlen + 1
-                                for w in r:
-                                    if lb[w] < size:
-                                        lb[w] = size
-                                        cn_lb[w] = cn_base[w] + size
-                        branch_best = None
-                        blen = rlen + 1
-                else:
-                    size_prunes += 1
-                    if obs is not None:
-                        obs.on_prune("size", depth)
-                    x_list = ()
-                    branch_best = None
-                    blen = rlen + 1
-                r.pop()
-                for w in c_next:
-                    sv[w] -= nlog_u[w]
-                for w in x_list:
-                    sv[w] -= nlog_u[w]
-                # ``branch_best is None`` stands for the un-materialized
-                # copy of ``r + [u]`` (length ``blen``); build it only
-                # when it actually replaces the periphery or ``p``.
-                if improved or (basic and not periphery):
-                    if len(periphery) < blen:
-                        if branch_best is None:
-                            periphery = set(r)
-                            periphery.add(u)
-                        else:
-                            periphery = set(branch_best)
-                if len(p) < blen:
-                    p = branch_best if branch_best is not None else r + [u]
-                del unexpanded[u_idx]
-                bit = 1 << u
-                c_bits &= ~bit
-                x_bits |= bit
-            return p
+                x_list = ()
+            return nlq_new, (
+                [c_new, c_next] if c_new else None
+            ), x_new, x_list, True
 
-        return rec, flush
+        def retract(u, c, x, c_child, x_token):
+            nlog_u = nlogr[u]
+            if c_child is not None:
+                for w in c_child[1]:
+                    sv[w] -= nlog_u[w]
+            if x_token:
+                for w in x_token:
+                    sv[w] -= nlog_u[w]
+            c[0] &= ~(1 << u)
+            return c, x | 1 << u
+
+        def decode(r):
+            return frozenset(map(label_of, r))
+
+        return SearchOps(
+            open_node=open_node,
+            lb_refresh=lb_refresh,
+            color_reaches=color_reaches,
+            expand=expand,
+            retract=retract,
+            decode=decode,
+        )
+
+
+register_backend("kernel", KernelStateOps)
+
+
+class KernelEnumerator:
+    """One kernel-backend enumeration run (facade over the engine).
+
+    Shares the recursion with the dict backend — both run
+    :func:`repro.engine.driver.build_search` — so clique sets,
+    ``SearchStats`` counters, and hook streams are identical by
+    construction; see ``tests/test_kernel_parity.py`` and
+    ``tests/test_engine_differential.py``.
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        k: int,
+        eta,
+        config,
+        result: EnumerationResult,
+        sink: Callable[[frozenset], None],
+        limit: Optional[int],
+    ):
+        # Raises KernelBackendError for non-float eta.
+        self._ops = KernelStateOps(graph, k, eta, config)
+        self._k = k
+        self._eta = float(eta)
+        self._config = config
+        self._result = result
+        self._sink = sink
+        self._limit = limit
+        #: The run's :class:`~repro.obs.observer.Observer` (or None);
+        #: populated by :meth:`run`, mirrored onto the delegating
+        #: ``PivotEnumerator`` afterwards.
+        self.obs = None
+
+    def run(
+        self,
+        seeds=None,
+        reduced_graph: Optional[UncertainGraph] = None,
+        order: Optional[Sequence] = None,
+    ) -> EnumerationResult:
+        """Execute the enumeration; same contract as the dict backend."""
+        from repro.engine.driver import SearchEngine
+
+        engine = SearchEngine(
+            self._ops,
+            self._k,
+            self._eta,
+            self._config,
+            self._result,
+            self._sink,
+            self._limit,
+        )
+        try:
+            return engine.run(
+                seeds, reduced_graph=reduced_graph, order=order
+            )
+        finally:
+            self.obs = engine.obs

@@ -16,6 +16,11 @@ trajectories, ``run<i>/<backend>`` for session documents) and flags:
   (default 50%; wall-clock comparisons cross machines, so the gate is
   generous by design and the counters carry the precision).
 
+Documents are refused outright (exit 2, like any unusable input) when
+the two sides ran on disjoint backends — dict-vs-kernel wall clocks are
+not comparable, and the per-key alignment would otherwise report every
+run as missing.
+
 Exit status: 0 clean, 1 regression found, 2 unusable input.
 """
 
@@ -40,13 +45,20 @@ DEFAULT_COUNTER_THRESHOLD = 1.02
 
 
 class Series:
-    """One comparable run: a key, optional seconds, counter dict."""
+    """One comparable run: a key, optional seconds, counter dict.
+
+    ``backend`` is the stamped execution backend of the run (or None on
+    artifacts predating the stamp); :func:`compare` refuses to gate one
+    backend's numbers against the other's.
+    """
 
     def __init__(self, key: str, seconds: Optional[float],
-                 counters: Dict[str, int]) -> None:
+                 counters: Dict[str, int],
+                 backend: Optional[str] = None) -> None:
         self.key = key
         self.seconds = seconds
         self.counters = counters
+        self.backend = backend
 
 
 def extract_series(kind: str, payload) -> List[Series]:
@@ -64,6 +76,7 @@ def extract_series(kind: str, payload) -> List[Series]:
                 "%s/%s" % (run.get("workload"), run.get("backend")),
                 run.get("seconds"),
                 counters,
+                run.get("backend"),
             ))
         return series
     if kind == "metrics":
@@ -76,6 +89,7 @@ def extract_series(kind: str, payload) -> List[Series]:
                 "run%s/%s" % (run.get("index"), run.get("backend")),
                 seconds,
                 dict(metrics.get("counters", {})),
+                run.get("backend"),
             ))
         return series
     raise ValueError(
@@ -104,6 +118,23 @@ def compare(
     re-run (e.g. CI's ``--quick`` slice) against a full committed
     baseline.  Runs present on both sides are still fully compared.
     """
+    base_backends = {s.backend for s in baseline if s.backend}
+    run_backends = {s.backend for s in current if s.backend}
+    if base_backends and run_backends and not (base_backends & run_backends):
+        # Dict and kernel runs have identical clique sets and search
+        # counters but wildly different wall-clock profiles; a
+        # cross-backend "comparison" would gate noise.  Refuse loudly
+        # (the CLI maps this to exit 2) instead of reporting every run
+        # as missing.
+        raise ValueError(
+            "cross-backend comparison: baseline ran on %s but current "
+            "ran on %s; re-run the benchmark on the same backend "
+            "before diffing"
+            % (
+                "/".join(sorted(base_backends)),
+                "/".join(sorted(run_backends)),
+            )
+        )
     lines: List[str] = []
     regressions: List[str] = []
     current_by_key = {series.key: series for series in current}

@@ -141,6 +141,9 @@ class Observer:
             self.tracer.metadata(
                 "thread_name", {"name": f"{backend} backend"}
             )
+            # Machine-readable backend stamp: trace consumers (and the
+            # diff gate) should not have to parse the display name.
+            self.tracer.metadata("backend", {"name": backend})
 
     def set_labels(self, labels: Sequence) -> None:
         """Install the id -> label table of the kernel backend.

@@ -1,120 +1,120 @@
-"""REP007 — sanitizer hook parity between the enumeration backends.
+"""REP007 — engine sanitizer-hook coverage.
 
-Mirrors the REP005 self-scan tests one level up: the committed backend
-pair must carry identical, non-empty hook fingerprints, and
-neutralizing a single hook call in either recursion must make the rule
-fire and name the drifting hook.
+With one recursion left (the engine driver), the old backend-parity
+tests become coverage tests: the committed engine must call every
+sanitizer hook the runtime checks depend on, and neutralizing the hook
+calls in ``repro.engine.driver`` must make the rule fire and name the
+missing hook.
 """
 
-import os
 from pathlib import Path
 
-from repro.analysis.fingerprint import hook_fingerprint_function, labels
+from repro.analysis.fingerprint import hook_labels
 from repro.analysis.registry import get_rule
-from repro.analysis.rules.mirror import find_mirror_anchors
-from repro.analysis.runner import parse_files, run_rules
+from repro.analysis.rules.conformance import find_engine_anchors
+from repro.analysis.rules.sanitizer import DRIVER_HOOKS, RECURSION_HOOKS
+from repro.analysis.runner import run_rules
 from repro.analysis.source import SourceFile
 
 REPO = Path(__file__).resolve().parents[1]
+ENGINE_DRIVER = REPO / "src" / "repro" / "engine" / "driver.py"
 DICT_BACKEND = REPO / "src" / "repro" / "core" / "pmuc.py"
-KERNEL_BACKEND = REPO / "src" / "repro" / "kernel" / "enumerate.py"
 
 
-def _rep007_findings(dict_text, kernel_text):
-    files = [
-        SourceFile(str(DICT_BACKEND), dict_text),
-        SourceFile(str(KERNEL_BACKEND), kernel_text),
-    ]
-    kept, _suppressed = run_rules(files, [get_rule("REP007")])
+def _rep007_findings(driver_text):
+    src = SourceFile(str(ENGINE_DRIVER), driver_text)
+    kept, _suppressed = run_rules([src], [get_rule("REP007")])
     return kept
 
 
-def _neutralize(text, fragment):
-    """Replace the single line containing ``fragment`` with ``pass``.
+def _neutralize(text, fragment, count=1):
+    """Replace every line containing ``fragment`` with ``pass``.
 
     Keeping the indentation (and a ``pass`` statement) preserves the
     surrounding ``if san is not None:`` guard's syntax, so the mutant
-    still parses — the hook call alone disappears.
+    still parses — the hook call alone disappears.  ``count`` asserts
+    how many sites the fragment was expected to hit, so a refactor
+    that changes the site count breaks the test loudly instead of
+    silently weakening it.
     """
     lines = text.splitlines(keepends=True)
     hits = [i for i, ln in enumerate(lines) if fragment in ln]
-    assert len(hits) == 1, f"expected exactly one line with {fragment!r}"
-    i = hits[0]
-    indent = lines[i][: len(lines[i]) - len(lines[i].lstrip())]
-    lines[i] = f"{indent}pass\n"
+    assert len(hits) == count, f"expected {count} line(s) with {fragment!r}"
+    for i in hits:
+        indent = lines[i][: len(lines[i]) - len(lines[i].lstrip())]
+        lines[i] = f"{indent}pass\n"
     return "".join(lines)
 
 
 # ----------------------------------------------------------------------
-# the committed pair
+# the committed engine
 # ----------------------------------------------------------------------
-def test_committed_hook_fingerprints_match_and_are_nontrivial():
-    files = parse_files([str(DICT_BACKEND), str(KERNEL_BACKEND)])
-    (_, dict_func), (_, kernel_func) = find_mirror_anchors(files)
-    dict_seq = labels(hook_fingerprint_function(dict_func))
-    kernel_seq = labels(hook_fingerprint_function(kernel_func))
-    assert dict_seq == kernel_seq
-    # "No hooks anywhere" must not be able to pass silently: the
-    # committed recursions call all three recursion hooks.
-    for expected in ("hook:on_node", "hook:on_emit", "hook:on_cover"):
-        assert expected in dict_seq, dict_seq
+def test_committed_engine_covers_every_required_hook():
+    src = SourceFile.read(str(ENGINE_DRIVER))
+    recursion, driver = find_engine_anchors(src)
+    assert recursion is not None, "engine recursion anchor missing"
+    assert driver is not None, "engine run-lifecycle anchor missing"
+    rec_labels = set(hook_labels(recursion, hook_root="san"))
+    drv_labels = set(hook_labels(driver, hook_root="san"))
+    # "No hooks anywhere" must not be able to pass silently.
+    assert rec_labels >= set(RECURSION_HOOKS), rec_labels
+    assert drv_labels >= set(DRIVER_HOOKS), drv_labels
 
 
-def test_rep007_silent_on_the_committed_pair():
-    assert (
-        _rep007_findings(
-            DICT_BACKEND.read_text(), KERNEL_BACKEND.read_text()
-        )
-        == []
-    )
+def test_rep007_silent_on_the_committed_engine():
+    assert _rep007_findings(ENGINE_DRIVER.read_text()) == []
 
 
 # ----------------------------------------------------------------------
-# hook drift fires, in either direction
+# deleting a hook call in the engine fails the rule
 # ----------------------------------------------------------------------
-def test_rep007_fires_when_the_kernel_drops_the_cover_hook():
+def test_rep007_fires_when_the_cover_hook_is_dropped():
     mutant = _neutralize(
-        KERNEL_BACKEND.read_text(),
+        ENGINE_DRIVER.read_text(),
         "san.on_cover(depth, r, unexpanded, periphery)",
     )
-    found = _rep007_findings(DICT_BACKEND.read_text(), mutant)
+    found = _rep007_findings(mutant)
     assert len(found) == 1
     assert found[0].rule == "REP007"
-    assert "sanitizer hook drift" in found[0].message
     assert "on_cover" in found[0].message
-    assert found[0].path == str(KERNEL_BACKEND)
+    assert "recursion" in found[0].message
+    assert found[0].path == str(ENGINE_DRIVER)
 
 
-def test_rep007_fires_when_the_dict_side_drops_the_node_hook():
-    mutant = _neutralize(DICT_BACKEND.read_text(), "san.on_node(depth)")
-    found = _rep007_findings(mutant, KERNEL_BACKEND.read_text())
+def test_rep007_fires_when_every_node_hook_is_dropped():
+    # The recursion has two on_node sites (the entry and the inlined
+    # no-candidate leaf); coverage is only lost when both go.
+    text = ENGINE_DRIVER.read_text()
+    mutant = _neutralize(text, "san.on_node(depth)")
+    mutant = _neutralize(mutant, "san.on_node(depth1)")
+    found = _rep007_findings(mutant)
     assert len(found) == 1
-    assert "on_node" in found[0].message
+    assert "hook:on_node" in found[0].message
 
 
-def test_rep007_fires_when_the_kernel_drops_the_main_emit_hook():
-    # The kernel has two on_emit sites (the main one and the inlined
-    # no-candidate leaf); dropping only the main one is still drift.
+def test_rep007_fires_when_the_driver_drops_the_context_hook():
     mutant = _neutralize(
-        KERNEL_BACKEND.read_text(), "san.on_emit(r, nlq, True)"
+        ENGINE_DRIVER.read_text(), "san.on_context(color, edges)"
     )
-    found = _rep007_findings(DICT_BACKEND.read_text(), mutant)
+    found = _rep007_findings(mutant)
     assert len(found) == 1
-    assert "on_emit" in found[0].message
+    assert "on_context" in found[0].message
+    assert "run lifecycle" in found[0].message
+
+
+def test_rep007_fires_when_the_driver_drops_the_finish_hook():
+    mutant = _neutralize(
+        ENGINE_DRIVER.read_text(), "san.on_finish(complete)"
+    )
+    found = _rep007_findings(mutant)
+    assert len(found) == 1
+    assert "on_finish" in found[0].message
 
 
 # ----------------------------------------------------------------------
-# missing anchors keep the rule silent (scan-set safety, as REP005)
+# files without the engine anchors keep the rule silent
 # ----------------------------------------------------------------------
-def test_rep007_silent_when_an_anchor_is_missing():
-    files = [SourceFile(str(DICT_BACKEND), DICT_BACKEND.read_text())]
-    kept, _ = run_rules(files, [get_rule("REP007")])
+def test_rep007_silent_on_files_without_engine_anchors():
+    src = SourceFile.read(str(DICT_BACKEND))
+    kept, _ = run_rules([src], [get_rule("REP007")])
     assert kept == []
-
-
-def test_rep007_names_both_anchor_paths_in_its_message():
-    mutant = _neutralize(DICT_BACKEND.read_text(), "san.on_node(depth)")
-    found = _rep007_findings(mutant, KERNEL_BACKEND.read_text())
-    message = found[0].message
-    assert os.path.join("core", "pmuc.py") in message
-    assert os.path.join("kernel", "enumerate.py") in message

@@ -1,42 +1,34 @@
-"""REP008 — observer hook parity between the enumeration backends.
+"""REP008 — engine observer-hook coverage.
 
 The REP007 test suite, recreated for the observability seam: the
-committed backend pair must carry identical, non-empty obs-hook
-fingerprints for both the recursions *and* the drivers, and
-neutralizing a single ``obs.on_*`` call in either backend must make the
-rule fire and name the drifting hook.
+committed engine must call every observer hook — each prune kind, each
+gauge, each phase span — and neutralizing an ``obs.on_*`` call in
+``repro.engine.driver`` must make the rule fire and name the missing
+hook.
 """
 
-import os
 from pathlib import Path
 
-from repro.analysis.fingerprint import (
-    driver_obs_fingerprint_function,
-    labels,
-    obs_fingerprint_function,
-)
+from repro.analysis.fingerprint import hook_labels
 from repro.analysis.registry import get_rule
-from repro.analysis.rules.mirror import find_mirror_anchors
-from repro.analysis.rules.obs import find_driver_anchors
-from repro.analysis.runner import parse_files, run_rules
+from repro.analysis.rules.conformance import find_engine_anchors
+from repro.analysis.rules.obs import DRIVER_HOOKS, RECURSION_HOOKS
+from repro.analysis.runner import run_rules
 from repro.analysis.source import SourceFile
 
 REPO = Path(__file__).resolve().parents[1]
-DICT_BACKEND = REPO / "src" / "repro" / "core" / "pmuc.py"
+ENGINE_DRIVER = REPO / "src" / "repro" / "engine" / "driver.py"
 KERNEL_BACKEND = REPO / "src" / "repro" / "kernel" / "enumerate.py"
 
 
-def _rep008_findings(dict_text, kernel_text):
-    files = [
-        SourceFile(str(DICT_BACKEND), dict_text),
-        SourceFile(str(KERNEL_BACKEND), kernel_text),
-    ]
-    kept, _suppressed = run_rules(files, [get_rule("REP008")])
+def _rep008_findings(driver_text):
+    src = SourceFile(str(ENGINE_DRIVER), driver_text)
+    kept, _suppressed = run_rules([src], [get_rule("REP008")])
     return kept
 
 
-def _neutralize(text, fragment):
-    """Replace the single line containing ``fragment`` with ``pass``.
+def _neutralize(text, fragment, count=1):
+    """Replace every line containing ``fragment`` with ``pass``.
 
     Keeping the indentation (and a ``pass`` statement) preserves the
     surrounding ``if obs is not None:`` guard's syntax, so the mutant
@@ -44,148 +36,119 @@ def _neutralize(text, fragment):
     """
     lines = text.splitlines(keepends=True)
     hits = [i for i, ln in enumerate(lines) if fragment in ln]
-    assert len(hits) == 1, f"expected exactly one line with {fragment!r}"
-    i = hits[0]
-    indent = lines[i][: len(lines[i]) - len(lines[i].lstrip())]
-    lines[i] = f"{indent}pass\n"
+    assert len(hits) == count, f"expected {count} line(s) with {fragment!r}"
+    for i in hits:
+        indent = lines[i][: len(lines[i]) - len(lines[i].lstrip())]
+        lines[i] = f"{indent}pass\n"
     return "".join(lines)
 
 
 # ----------------------------------------------------------------------
-# the committed pair
+# the committed engine
 # ----------------------------------------------------------------------
-def test_committed_recursion_fingerprints_match_and_are_nontrivial():
-    files = parse_files([str(DICT_BACKEND), str(KERNEL_BACKEND)])
-    (_, dict_func), (_, kernel_func) = find_mirror_anchors(files)
-    dict_seq = labels(obs_fingerprint_function(dict_func))
-    kernel_seq = labels(obs_fingerprint_function(kernel_func))
-    assert dict_seq == kernel_seq
-    # "No hooks anywhere" must not be able to pass silently: the
-    # committed recursions call every recursion hook, and the detail
-    # suffix keeps the three prune kinds distinguishable.
-    for expected in (
-        "hook:on_node",
-        "hook:on_emit",
-        "hook:on_expand",
-        "hook:on_prune:kpivot",
-        "hook:on_prune:mpivot",
-        "hook:on_prune:size",
-    ):
-        assert expected in dict_seq, dict_seq
+def test_committed_engine_covers_every_required_hook():
+    src = SourceFile.read(str(ENGINE_DRIVER))
+    recursion, driver = find_engine_anchors(src)
+    assert recursion is not None, "engine recursion anchor missing"
+    assert driver is not None, "engine run-lifecycle anchor missing"
+    rec_labels = set(hook_labels(recursion, hook_root="obs", detail=True))
+    drv_labels = set(hook_labels(driver, hook_root="obs", detail=True))
+    # The detail suffix keeps the three prune kinds, the two gauges and
+    # the four phase spans individually visible.
+    assert rec_labels >= set(RECURSION_HOOKS), rec_labels
+    assert drv_labels >= set(DRIVER_HOOKS), drv_labels
 
 
-def test_committed_driver_streams_match_and_are_nontrivial():
-    files = parse_files([str(DICT_BACKEND), str(KERNEL_BACKEND)])
-    (_, dict_run), (_, kernel_run) = find_driver_anchors(files)
-    dict_seq = labels(driver_obs_fingerprint_function(dict_run))
-    kernel_seq = labels(driver_obs_fingerprint_function(kernel_run))
-    assert dict_seq == kernel_seq
-    # The fixed phase sequence plus gauges and finish must all appear.
-    for expected in (
-        "hook:on_gauge:vertices_input",
-        "hook:on_gauge:vertices_search",
-        "hook:on_phase:reduction",
-        "hook:on_phase:ordering",
-        "hook:on_phase:recursion",
-        "hook:on_phase:sanitize",
-        "hook:on_finish",
-    ):
-        assert expected in dict_seq, dict_seq
-
-
-def test_rep008_silent_on_the_committed_pair():
-    assert (
-        _rep008_findings(
-            DICT_BACKEND.read_text(), KERNEL_BACKEND.read_text()
-        )
-        == []
-    )
+def test_rep008_silent_on_the_committed_engine():
+    assert _rep008_findings(ENGINE_DRIVER.read_text()) == []
 
 
 # ----------------------------------------------------------------------
-# recursion hook drift fires, in either direction
+# recursion hook deletions fire
 # ----------------------------------------------------------------------
-def test_rep008_fires_when_the_dict_side_drops_the_node_hook():
+def test_rep008_fires_when_the_expand_hook_is_dropped():
     mutant = _neutralize(
-        DICT_BACKEND.read_text(), "obs.on_node(depth, r)"
+        ENGINE_DRIVER.read_text(), "obs.on_expand(depth)"
     )
-    found = _rep008_findings(mutant, KERNEL_BACKEND.read_text())
+    found = _rep008_findings(mutant)
     assert len(found) == 1
     assert found[0].rule == "REP008"
-    assert "observer hook drift" in found[0].message
-    assert "on_node" in found[0].message
-    assert found[0].path == str(KERNEL_BACKEND)
-
-
-def test_rep008_fires_when_the_kernel_drops_the_expand_hook():
-    mutant = _neutralize(
-        KERNEL_BACKEND.read_text(), "obs.on_expand(depth)"
-    )
-    found = _rep008_findings(DICT_BACKEND.read_text(), mutant)
-    assert len(found) == 1
     assert "on_expand" in found[0].message
+    assert found[0].path == str(ENGINE_DRIVER)
 
 
-def test_rep008_fires_when_the_kernel_drops_the_mpivot_prune_hook():
-    # The kernel has four kpivot prune sites that dedupe pairwise; the
-    # detail suffix keeps the *kind* visible, so losing the single
-    # mpivot site cannot hide behind an adjacent kpivot hook.
+def test_rep008_fires_when_the_mpivot_prune_hook_is_dropped():
+    # The kpivot prune has two sites but mpivot has one; the detail
+    # suffix keeps the kinds separate, so losing the single mpivot
+    # site cannot hide behind a surviving kpivot hook.
     mutant = _neutralize(
-        KERNEL_BACKEND.read_text(),
+        ENGINE_DRIVER.read_text(),
         'obs.on_prune("mpivot", depth, len(unexpanded))',
     )
-    found = _rep008_findings(DICT_BACKEND.read_text(), mutant)
+    found = _rep008_findings(mutant)
     assert len(found) == 1
     assert "mpivot" in found[0].message
 
 
-def test_rep008_fires_when_the_dict_side_drops_the_size_prune_hook():
+def test_rep008_fires_when_the_size_prune_hook_is_dropped():
     mutant = _neutralize(
-        DICT_BACKEND.read_text(), 'obs.on_prune("size", depth)'
+        ENGINE_DRIVER.read_text(), 'obs.on_prune("size", depth)'
     )
-    found = _rep008_findings(mutant, KERNEL_BACKEND.read_text())
+    found = _rep008_findings(mutant)
     assert len(found) == 1
     assert "size" in found[0].message
 
 
-# ----------------------------------------------------------------------
-# driver hook drift fires (the mutation-test satellite: an on_phase
-# deletion in one backend must fail the rule)
-# ----------------------------------------------------------------------
-def test_rep008_fires_when_the_kernel_driver_drops_a_phase_hook():
+def test_rep008_fires_when_both_kpivot_prune_sites_are_dropped():
     mutant = _neutralize(
-        KERNEL_BACKEND.read_text(),
-        'obs.on_phase("ordering", self._ordering_s)',
+        ENGINE_DRIVER.read_text(),
+        'obs.on_prune("kpivot", depth)',
+        count=2,
     )
-    found = _rep008_findings(DICT_BACKEND.read_text(), mutant)
+    found = _rep008_findings(mutant)
     assert len(found) == 1
-    assert "driver-hook drift" in found[0].message
-    assert "on_phase" in found[0].message
+    assert "kpivot" in found[0].message
 
 
-def test_rep008_fires_when_the_dict_driver_drops_the_finish_hook():
+# ----------------------------------------------------------------------
+# run-lifecycle hook deletions fire (the mutation-test satellite: an
+# on_phase/on_gauge deletion in the engine must fail the rule)
+# ----------------------------------------------------------------------
+def test_rep008_fires_when_a_phase_hook_is_dropped():
     mutant = _neutralize(
-        DICT_BACKEND.read_text(), "obs.on_finish(self._result.stats)"
+        ENGINE_DRIVER.read_text(),
+        'obs.on_phase("sanitize", sanitize_s)',
     )
-    found = _rep008_findings(mutant, KERNEL_BACKEND.read_text())
+    found = _rep008_findings(mutant)
+    assert len(found) == 1
+    assert "run lifecycle" in found[0].message
+    assert "on_phase:sanitize" in found[0].message
+
+
+def test_rep008_fires_when_the_search_gauge_is_dropped():
+    mutant = _neutralize(
+        ENGINE_DRIVER.read_text(),
+        'obs.on_gauge("vertices_search", ops.search_size())',
+    )
+    found = _rep008_findings(mutant)
+    assert len(found) == 1
+    assert "vertices_search" in found[0].message
+
+
+def test_rep008_fires_when_the_finish_hook_is_dropped():
+    mutant = _neutralize(
+        ENGINE_DRIVER.read_text(),
+        "obs.on_finish(self.result.stats)",
+    )
+    found = _rep008_findings(mutant)
     assert len(found) == 1
     assert "on_finish" in found[0].message
 
 
 # ----------------------------------------------------------------------
-# missing anchors keep the rule silent (scan-set safety, as REP007)
+# files without the engine anchors keep the rule silent
 # ----------------------------------------------------------------------
-def test_rep008_silent_when_an_anchor_is_missing():
-    files = [SourceFile(str(DICT_BACKEND), DICT_BACKEND.read_text())]
-    kept, _ = run_rules(files, [get_rule("REP008")])
+def test_rep008_silent_on_files_without_engine_anchors():
+    src = SourceFile.read(str(KERNEL_BACKEND))
+    kept, _ = run_rules([src], [get_rule("REP008")])
     assert kept == []
-
-
-def test_rep008_names_both_anchor_paths_in_its_message():
-    mutant = _neutralize(
-        DICT_BACKEND.read_text(), "obs.on_node(depth, r)"
-    )
-    found = _rep008_findings(mutant, KERNEL_BACKEND.read_text())
-    message = found[0].message
-    assert os.path.join("core", "pmuc.py") in message
-    assert os.path.join("kernel", "enumerate.py") in message

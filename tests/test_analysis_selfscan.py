@@ -1,29 +1,29 @@
-"""Self-scan, mirror-drift (REP005) and CLI/baseline behaviour.
+"""Self-scan, engine conformance (REP005) and CLI/baseline behaviour.
 
 The self-scan is the analyzer's own acceptance test: the committed
 tree must be clean modulo the committed baseline, and the scan must
-actually see both enumeration backends — a silent REP005 because an
-anchor went missing would be a hole in the parity net.
+actually see the engine anchors and the backend StateOps classes — a
+silent REP005/REP007/REP008 because an anchor went missing would be a
+hole in the conformance net.
 """
 
 import io
 import json
-import os
 from pathlib import Path
 
 import pytest
 
 from repro.analysis.baseline import Baseline, BaselineError
 from repro.analysis.cli import main
-from repro.analysis.fingerprint import fingerprint_function, labels
 from repro.analysis.registry import get_rule
-from repro.analysis.rules.mirror import find_mirror_anchors
+from repro.analysis.rules.conformance import find_engine_anchors
 from repro.analysis.runner import analyze, collect_files, parse_files, run_rules
 from repro.analysis.source import SourceFile
 
 REPO = Path(__file__).resolve().parents[1]
 SRC_REPRO = REPO / "src" / "repro"
 BASELINE = REPO / "repro-lint.baseline.json"
+ENGINE_DRIVER = SRC_REPRO / "engine" / "driver.py"
 DICT_BACKEND = SRC_REPRO / "core" / "pmuc.py"
 KERNEL_BACKEND = SRC_REPRO / "kernel" / "enumerate.py"
 
@@ -42,75 +42,75 @@ def test_src_repro_is_clean_modulo_baseline():
     assert len(report.grandfathered) == 1
 
 
-def test_self_scan_sees_both_mirror_anchors():
+def test_self_scan_sees_the_engine_anchors():
     files = parse_files(collect_files([str(SRC_REPRO)]))
-    dict_anchor, kernel_anchor = find_mirror_anchors(files)
-    assert dict_anchor is not None, "dict backend anchor (_pmuce) missing"
-    assert kernel_anchor is not None, "kernel anchor (_build_rec.rec) missing"
-    assert dict_anchor[0].path.endswith(os.path.join("core", "pmuc.py"))
-    assert kernel_anchor[0].path.endswith(
-        os.path.join("kernel", "enumerate.py")
-    )
+    driver_files = [
+        src for src in files if src.path.endswith("driver.py")
+    ]
+    anchored = [
+        src
+        for src in driver_files
+        if all(a is not None for a in find_engine_anchors(src))
+    ]
+    assert len(anchored) == 1, [src.path for src in driver_files]
+    assert anchored[0].path == str(ENGINE_DRIVER)
 
 
-def test_backend_fingerprints_currently_match():
-    files = parse_files([str(DICT_BACKEND), str(KERNEL_BACKEND)])
-    (dict_src, dict_func), (kernel_src, kernel_func) = find_mirror_anchors(
-        files
-    )
-    dict_fp = fingerprint_function(dict_func)
-    kernel_fp = fingerprint_function(kernel_func)
-    assert labels(dict_fp) == labels(kernel_fp)
-    # The fingerprint is non-trivial: it must cover the emit, the
-    # pivot choice, the expansion loop and the recursion.
-    seq = labels(dict_fp)
-    for expected in ("emit", "pivot", "loop[", "recurse", "]loop"):
-        assert expected in seq, seq
+def test_self_scan_sees_both_stateops_backends():
+    # Both committed backend classes subclass StateOps and pass the
+    # full-protocol check — REP005 stays silent on them while still
+    # *seeing* them (a half-implemented copy fires; see below).
+    for path in (DICT_BACKEND, KERNEL_BACKEND):
+        src = SourceFile.read(str(path))
+        assert "(StateOps)" in src.text, path
+        kept, _ = run_rules([src], [get_rule("REP005")])
+        assert kept == []
 
 
 # ----------------------------------------------------------------------
-# REP005 fires on artificial drift
+# REP005 fires on protocol gaps and private recursion copies
 # ----------------------------------------------------------------------
-def _rep005_findings(kernel_text):
-    dict_src = SourceFile.read(str(DICT_BACKEND))
-    kernel_src = SourceFile("kernel_mutant.py", kernel_text)
-    kept, _ = run_rules([dict_src, kernel_src], [get_rule("REP005")])
+def _rep005_findings(path, text):
+    kept, _ = run_rules([SourceFile(path, text)], [get_rule("REP005")])
     return kept
 
 
-def _drop_line(text, fragment):
-    lines = text.splitlines(keepends=True)
-    kept = [ln for ln in lines if fragment not in ln]
-    assert len(kept) == len(lines) - 1, f"expected exactly one {fragment!r}"
-    return "".join(kept)
-
-
-def test_rep005_silent_on_the_committed_pair():
-    assert _rep005_findings(KERNEL_BACKEND.read_text()) == []
-
-
-def test_rep005_fires_when_kernel_drops_mpivot_accounting():
-    mutant = _drop_line(
-        KERNEL_BACKEND.read_text(), "mpivot_skips += len(unexpanded)"
+def test_rep005_fires_on_an_incomplete_stateops_subclass():
+    text = (
+        "from repro.engine.protocol import StateOps\n"
+        "class HalfOps(StateOps):\n"
+        "    name = 'half'\n"
+        "    def roots(self, seeds):\n"
+        "        return []\n"
     )
-    found = _rep005_findings(mutant)
+    found = _rep005_findings("src/repro/core/half.py", text)
     assert len(found) == 1
     assert found[0].rule == "REP005"
-    assert "mirror drift" in found[0].message
-    assert "mpivot" in found[0].message
+    assert "HalfOps" in found[0].message
+    assert "prepare_reduction" in found[0].message
+    assert "log_domain" in found[0].message
 
 
-def test_rep005_fires_when_kernel_drops_the_size_prune():
-    mutant = _drop_line(KERNEL_BACKEND.read_text(), "size_prunes += 1")
-    found = _rep005_findings(mutant)
+def test_rep005_fires_on_a_recursion_copy_outside_the_engine():
+    rogue = ENGINE_DRIVER.read_text().replace(
+        "def build_search", "def rebuilt_search"
+    )
+    found = _rep005_findings("src/repro/core/rogue.py", rogue)
     assert len(found) == 1
-    assert "size-prune" in found[0].message
+    assert "private copy of the engine recursion" in found[0].message
 
 
-def test_rep005_silent_when_an_anchor_is_missing():
-    dict_src = SourceFile.read(str(DICT_BACKEND))
-    kept, _ = run_rules([dict_src], [get_rule("REP005")])
-    assert kept == []
+def test_rep005_silent_on_the_engine_itself_and_the_framework():
+    # The engine package is the one place the recursion may live, and
+    # the hereditary framework's Algorithm-2 search (M-pivot only, no
+    # size accounting) is deliberately exempt.
+    for path in (
+        ENGINE_DRIVER,
+        SRC_REPRO / "hereditary" / "framework.py",
+    ):
+        src = SourceFile.read(str(path))
+        kept, _ = run_rules([src], [get_rule("REP005")])
+        assert kept == [], (path, kept)
 
 
 # ----------------------------------------------------------------------
@@ -339,6 +339,28 @@ def test_cli_prune_stale_without_baseline_is_a_usage_error(tmp_path):
     clean.write_text("X = 1\n")
     code, _ = run_cli([str(clean), "--no-baseline", "--prune-stale"])
     assert code == 2
+
+
+def test_cli_fail_on_stale_turns_stale_entries_into_exit_1(tmp_path, capsys):
+    # Against a clean file the committed baseline's single entry is
+    # stale; CI's --fail-on-stale makes that a hard failure instead of
+    # the default informational note.
+    clean = tmp_path / "clean.py"
+    clean.write_text("X = 1\n")
+    code, text = run_cli(
+        [str(clean), "--baseline", str(BASELINE), "--fail-on-stale"]
+    )
+    assert code == 1
+    assert "unused baseline entry" in text
+    assert "--prune-stale" in capsys.readouterr().err
+
+
+def test_cli_fail_on_stale_passes_when_every_entry_is_live():
+    code, text = run_cli(
+        [str(SRC_REPRO), "--baseline", str(BASELINE), "--fail-on-stale"]
+    )
+    assert code == 0
+    assert "stale" not in text
 
 
 # ----------------------------------------------------------------------

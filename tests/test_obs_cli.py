@@ -160,6 +160,22 @@ def test_diff_only_common_with_empty_intersection_still_fails(
     assert "no common runs" in capsys.readouterr().out
 
 
+def test_diff_cross_backend_documents_exit_2(tmp_path, capsys):
+    base_doc = bench_document()
+    cur_doc = bench_document()
+    cur_doc["runs"][0]["backend"] = "kernel"
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    base.write_text(json.dumps(base_doc))
+    cur.write_text(json.dumps(cur_doc))
+    # Disjoint backends are unusable input, not a regression: wall
+    # clocks are incomparable and no key would align anyway.
+    assert main(["diff", str(base), str(cur)]) == 2
+    err = capsys.readouterr().err
+    assert "cross-backend comparison" in err
+    assert "dict" in err and "kernel" in err
+
+
 def test_diff_session_metrics_documents(artifacts, tmp_path, capsys):
     _trace, metrics = artifacts
     assert main(["diff", str(metrics), str(metrics)]) == 0

@@ -133,15 +133,27 @@ def tampered_pivot_cover(monkeypatch):
     M-pivot cover stops start claiming a ``Q`` that is not an η-clique
     — exactly the Theorem 4.2 soundness bug S3 exists to catch.
     """
-    original = PivotEnumerator._pmuce
+    driver = importlib.import_module("repro.engine.driver")
+    original_build = driver.build_search
 
-    def tampered(self, r, q, c, x, p, depth):
-        best = original(self, r, q, c, x, p, depth)
-        if 999 not in best:
-            best = list(best) + [999]
-        return best
+    def tampered_build(*args, **kwargs):
+        search, flush = original_build(*args, **kwargs)
 
-    monkeypatch.setattr(PivotEnumerator, "_pmuce", tampered)
+        def tampered(r, q, c, x, p, depth):
+            best = search(r, q, c, x, p, depth)
+            if 999 not in best:
+                best = list(best) + [999]
+            return best
+
+        # The compiled recursion calls itself through its own closure
+        # cell; redirecting that cell at the wrapper tampers every
+        # level of the search tree, not just the outer-loop roots.
+        for i, name in enumerate(search.__code__.co_freevars):
+            if name == "search":
+                search.__closure__[i].cell_contents = tampered
+        return tampered, flush
+
+    monkeypatch.setattr(driver, "build_search", tampered_build)
 
 
 @pytest.mark.parametrize("level", ["light", "full"])
