@@ -43,8 +43,8 @@ def _walk_own_scope(func: ast.AST) -> Iterator[ast.AST]:
 
     Hook calls inside a nested definition belong to that definition's
     own anchor (the engine's recursion is a closure nested in
-    ``build_search`` and is extracted separately), so counting them for
-    the enclosing function would double-book coverage.
+    ``_search_template`` and is extracted separately), so counting
+    them for the enclosing function would double-book coverage.
     """
     stack = list(ast.iter_child_nodes(func))
     while stack:

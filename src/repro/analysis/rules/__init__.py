@@ -9,6 +9,7 @@ Importing this package registers every rule with
 * :mod:`~repro.analysis.rules.parallel` — REP006
 * :mod:`~repro.analysis.rules.sanitizer` — REP007
 * :mod:`~repro.analysis.rules.obs` — REP008
+* :mod:`~repro.analysis.rules.variants` — REP009
 """
 
 from repro.analysis.rules import (
@@ -18,6 +19,7 @@ from repro.analysis.rules import (
     obs,
     parallel,
     sanitizer,
+    variants,
 )
 
 __all__ = [
@@ -27,4 +29,5 @@ __all__ = [
     "obs",
     "parallel",
     "sanitizer",
+    "variants",
 ]

@@ -41,9 +41,11 @@ _BASE = "StateOps"
 #: Path component that marks the engine package: the one place the
 #: recursion (and its markers) may live.
 _ENGINE_COMPONENT = "engine"
-#: The recursion anchor: the closure compiled by ``build_search``.
+#: The recursion anchor: the closure defined by the shared template
+#: that every compiled variant is folded from (see
+#: ``repro.engine.driver``).
 _RECURSION_FUNC = "search"
-_RECURSION_BUILDER = "build_search"
+_RECURSION_BUILDER = "_search_template"
 #: The lifecycle anchor: the ``run`` method of the engine class.
 _DRIVER_METHOD = "run"
 _DRIVER_CLASS = "SearchEngine"
@@ -58,8 +60,8 @@ def find_engine_anchors(
     """Locate ``(recursion, driver)`` anchor functions in one file.
 
     The recursion is the ``search`` closure nested directly in
-    ``build_search``; the driver is the ``run`` method defined directly
-    on ``SearchEngine``.  Either side is None when absent; the first
+    ``_search_template`` (the shared variant template); the driver is
+    the ``run`` method defined directly on ``SearchEngine``.  Either side is None when absent; the first
     match wins, so a file holding exactly one engine — the committed
     layout — is unambiguous.
     """

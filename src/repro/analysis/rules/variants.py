@@ -1,0 +1,172 @@
+"""REP009 — compiled-variant parity.
+
+The engine dispatcher (:func:`repro.engine.driver.build_search`)
+selects a pre-compiled recursion **variant** per configuration shape;
+every variant is a partial evaluation of the one shared template
+(:func:`repro.engine.driver._search_template`).  That construction is
+what makes the specializer safe: the hooked variant provably contains
+every REP007/REP008 hook site, and the production variants provably
+contain none.  This rule re-renders the whole legal key space on every
+lint run and fails when the folding stops delivering that guarantee:
+
+* a **legal key no longer renders/compiles** — the template and the
+  spec-flag environment drifted apart (e.g. a flag added to the
+  template but not to ``_flag_env``);
+* the **fully-featured hooked variant** lost a sanitizer or observer
+  hook kind — a hook site was deleted from the template, or moved
+  under the wrong fold guard so specialization strips it from hooked
+  runs;
+* any **hooked variant** grew a hook label outside the template's
+  inventory — a hook call was added behind a backend/pivot flag
+  instead of the ``HOOKS`` guard, where REP007/REP008 (which anchor on
+  the unfolded template) cannot pin its kind;
+* an **unhooked variant** still touches ``san``/``obs`` — the
+  production closure is paying hook branches it must not have.
+
+The rule is file-scoped: it anchors on the module that defines
+``_search_template`` at top level (the engine driver) and stays silent
+everywhere else.  Unlike the other rules it is *semantic*, not purely
+syntactic — it calls :func:`repro.engine.driver.render_variant` on the
+imported engine, which the self-scan test keeps in lockstep with the
+committed tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.fingerprint import hook_labels
+from repro.analysis.registry import rule
+from repro.analysis.rules import obs as obs_rules
+from repro.analysis.rules import sanitizer as san_rules
+from repro.analysis.source import SourceFile
+
+#: The template factory whose presence anchors the rule to one file.
+_TEMPLATE_FUNC = "_search_template"
+#: The recursion closure inside each rendered variant.
+_RECURSION_FUNC = "search"
+
+#: The key whose rendering must carry *every* recursion hook kind:
+#: generic shape, hooks on, all pruning families enabled.
+FULL_HOOKED_KEY = ("generic", True, "color", "improved", False, False)
+
+#: Recursion-level hook inventories, shared with REP007/REP008 so the
+#: three rules can never disagree about what "all hook kinds" means.
+SAN_RECURSION_HOOKS = san_rules.RECURSION_HOOKS
+OBS_RECURSION_HOOKS = obs_rules.RECURSION_HOOKS
+
+
+def _defines_template(tree: ast.AST) -> bool:
+    return any(
+        isinstance(node, ast.FunctionDef) and node.name == _TEMPLATE_FUNC
+        for node in getattr(tree, "body", [])
+    )
+
+
+def _variant_recursion(module: ast.Module) -> Optional[ast.FunctionDef]:
+    """The ``search`` closure of one rendered variant module."""
+    for node in module.body:
+        if (
+            isinstance(node, ast.FunctionDef)
+            and node.name == _TEMPLATE_FUNC
+        ):
+            for inner in node.body:
+                if (
+                    isinstance(inner, ast.FunctionDef)
+                    and inner.name == _RECURSION_FUNC
+                ):
+                    return inner
+    return None
+
+
+def _hook_sets(func: ast.AST) -> Tuple[set, set]:
+    """``(san labels, obs labels)`` of one rendered recursion."""
+    return (
+        set(hook_labels(func, hook_root="san")),
+        set(hook_labels(func, hook_root="obs", detail=True)),
+    )
+
+
+@rule(
+    "REP009",
+    "variant-parity",
+    Severity.ERROR,
+    "every compiled recursion variant must fold from the shared "
+    "template: hooked variants keep all hook kinds, production "
+    "variants keep none",
+)
+def check_variant_parity(src: SourceFile) -> Iterator[Finding]:
+    if not _defines_template(src.tree):
+        return
+    # Imported lazily: only the one anchored file pays for rendering
+    # the 50+ key space, and non-engine scans never import the engine.
+    from repro.engine import driver
+
+    def finding(message: str) -> Finding:
+        return Finding(
+            path=src.path,
+            line=1,
+            col=0,
+            rule="REP009",
+            severity=Severity.ERROR,
+            message=message,
+            line_text=src.line_text(1),
+        )
+
+    san_full = set(SAN_RECURSION_HOOKS)
+    obs_full = set(OBS_RECURSION_HOOKS)
+    for key in driver.legal_variant_keys():
+        try:
+            module = driver.render_variant(key)
+            compile(module, "<repro-lint variant probe>", "exec")
+        except Exception as error:  # noqa: BLE001 - any failure is the finding
+            yield finding(
+                f"variant {key} no longer renders from the shared "
+                f"template ({error!r}) — the spec-flag environment and "
+                "the template drifted apart (see docs/architecture.md)"
+            )
+            continue
+        recursion = _variant_recursion(module)
+        if recursion is None:
+            yield finding(
+                f"variant {key} lost its nested '{_RECURSION_FUNC}' "
+                "closure — the template shape changed out from under "
+                "the specializer"
+            )
+            continue
+        san_hooks, obs_hooks = _hook_sets(recursion)
+        hooked = bool(key[1])
+        if not hooked and (san_hooks or obs_hooks):
+            yield finding(
+                f"production variant {driver.variant_id(key)} {key} "
+                f"still calls {', '.join(sorted(san_hooks | obs_hooks))}"
+                " — hook branches must fold away entirely when hooks "
+                "are off"
+            )
+        if hooked:
+            extra = (san_hooks - san_full) | (obs_hooks - obs_full)
+            if extra:
+                yield finding(
+                    f"hooked variant {key} calls "
+                    f"{', '.join(sorted(extra))} which is outside the "
+                    "REP007/REP008 inventories — add the hook kind to "
+                    "the coverage rules or move the call site"
+                )
+    try:
+        module = driver.render_variant(FULL_HOOKED_KEY)
+    except Exception:  # noqa: BLE001 - already reported by the key loop
+        return
+    recursion = _variant_recursion(module)
+    if recursion is not None:
+        san_hooks, obs_hooks = _hook_sets(recursion)
+        missing = (san_full - san_hooks) | (obs_full - obs_hooks)
+        if missing:
+            yield finding(
+                f"the fully-featured hooked variant {FULL_HOOKED_KEY} "
+                f"no longer calls {', '.join(sorted(missing))} — a "
+                "hook site was deleted or sits under a fold guard "
+                "other than HOOKS, so specialization strips it from "
+                "hooked runs"
+            )

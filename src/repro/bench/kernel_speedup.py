@@ -1,9 +1,13 @@
 """Dict-vs-kernel backend speedup benchmark (perf trajectory artifact).
 
-Produces ``BENCH_pr1.json``: wall-clock comparisons of the two
+Produces the ``BENCH_pr<N>.json`` trajectory artifacts (currently
+``BENCH_pr6.json``): wall-clock comparisons of the two
 :class:`~repro.core.config.PivotConfig` backends on fixed synthetic
 workloads, in a stable schema future PRs can extend with further
-trajectory points.
+trajectory points.  Each record stamps the compiled recursion
+``variants`` both backends executed (see
+:func:`repro.engine.driver.variant_id`), so downstream tooling can
+refuse cross-variant comparisons.
 
 Measurement protocol — the numbers are CPU-noise-hardened:
 
@@ -21,8 +25,10 @@ so a recorded speedup can never come from diverging search trees.
 
 Usage::
 
-    PYTHONPATH=src python -m repro.bench.kernel_speedup --out BENCH_pr1.json
+    PYTHONPATH=src python -m repro.bench.kernel_speedup --out BENCH_pr6.json
     PYTHONPATH=src python -m repro.bench.kernel_speedup --quick   # CI smoke
+    PYTHONPATH=src python -m repro.bench.kernel_speedup \
+        --workload communities-1000 --rounds 3   # one tier only
 """
 
 from __future__ import annotations
@@ -33,7 +39,7 @@ import json
 import statistics
 import time
 from dataclasses import replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.harness import format_table
 from repro.core.config import PMUC_PLUS_CONFIG
@@ -58,6 +64,20 @@ WORKLOADS = (
             "p_in": 0.92,
             "p_out_edges": 500,
             "seed": 7,
+        },
+        "k": 8,
+        "eta": 0.05,
+    },
+    {
+        "name": "communities-1000",
+        "params": {
+            "n": 1000,
+            "communities": 50,
+            "community_size": 24,
+            "overlap": 8,
+            "p_in": 0.9,
+            "p_out_edges": 1200,
+            "seed": 11,
         },
         "k": 8,
         "eta": 0.05,
@@ -116,15 +136,22 @@ def build_graph(params: Dict[str, object]) -> UncertainGraph:
     return uncertain_from_weights(weights)
 
 
-def timed_run(
+def timed_run_with_variant(
     graph: UncertainGraph,
     k: int,
     eta: float,
     backend: str,
     sanitize: str = "off",
     obs: str = "off",
-) -> float:
-    """One timed enumeration; returns CPU seconds."""
+) -> Tuple[float, Optional[str]]:
+    """One timed enumeration; returns ``(CPU seconds, variant id)``.
+
+    The variant id (:func:`repro.engine.driver.variant_id`) names the
+    compiled recursion closure the timed run actually executed — it is
+    stamped into every run record so ``repro.obs diff`` can refuse
+    comparing e.g. a hooked variant's clock against the production
+    closure's.
+    """
     config = replace(
         PMUC_PLUS_CONFIG, backend=backend, sanitize=sanitize, obs=obs
     )
@@ -136,9 +163,21 @@ def timed_run(
     try:
         start = time.process_time()
         enumerator.run()
-        return time.process_time() - start
+        return time.process_time() - start, enumerator.variant_used
     finally:
         gc.enable()
+
+
+def timed_run(
+    graph: UncertainGraph,
+    k: int,
+    eta: float,
+    backend: str,
+    sanitize: str = "off",
+    obs: str = "off",
+) -> float:
+    """One timed enumeration; returns CPU seconds."""
+    return timed_run_with_variant(graph, k, eta, backend, sanitize, obs)[0]
 
 
 def parity_check(
@@ -171,12 +210,15 @@ def bench_workload(
     k = spec["k"]
     eta = spec["eta"]
     times: Dict[str, List[float]] = {"dict": [], "kernel": []}
+    variants: Dict[str, Optional[str]] = {"dict": None, "kernel": None}
     for rnd in range(rounds):
         order = ("dict", "kernel") if rnd % 2 == 0 else ("kernel", "dict")
         for backend in order:
-            times[backend].append(
-                timed_run(graph, k, eta, backend, sanitize, obs)
+            seconds, variant = timed_run_with_variant(
+                graph, k, eta, backend, sanitize, obs
             )
+            times[backend].append(seconds)
+            variants[backend] = variant
     paired = sorted(
         d / kt for d, kt in zip(times["dict"], times["kernel"])
     )
@@ -188,6 +230,7 @@ def bench_workload(
         "k": k,
         "eta": eta,
         "outputs": parity["outputs"],
+        "variants": variants,
         "rounds_s": {
             backend: [round(s, 4) for s in series]
             for backend, series in times.items()
@@ -215,11 +258,26 @@ def run_benchmark(
     rounds: Optional[int] = None,
     sanitize: str = "off",
     obs: str = "off",
+    workloads: Optional[Sequence[str]] = None,
 ) -> Dict[str, object]:
-    """Run the full (or quick) suite; returns the JSON document."""
+    """Run the full (or quick) suite; returns the JSON document.
+
+    ``workloads`` restricts the run to the named subset (executed in
+    registry order).  An explicit selection replaces the quick-mode
+    name subset but keeps quick's round default.
+    """
     if rounds is None:
         rounds = 2 if quick else 7
     names = QUICK_NAMES if quick else tuple(w["name"] for w in WORKLOADS)
+    if workloads is not None:
+        known = {w["name"] for w in WORKLOADS}
+        unknown = [n for n in workloads if n not in known]
+        if unknown:
+            raise ValueError(
+                "unknown workload(s) %s; choose from %s"
+                % (", ".join(unknown), ", ".join(sorted(known)))
+            )
+        names = tuple(set(workloads))
     records = [
         bench_workload(spec, rounds, sanitize, obs)
         for spec in WORKLOADS
@@ -233,7 +291,7 @@ def run_benchmark(
     return {
         "schema_version": SCHEMA_VERSION,
         "bench": "kernel-backend-speedup",
-        "pr": 1,
+        "pr": 6,
         "algorithm": "pmuc+",
         "backends": ["dict", "kernel"],
         "protocol": {
@@ -276,6 +334,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--rounds", type=int, default=None, help="override round count"
+    )
+    parser.add_argument(
+        "--workload",
+        action="append",
+        dest="workloads",
+        metavar="NAME",
+        default=None,
+        choices=tuple(w["name"] for w in WORKLOADS),
+        help=(
+            "run only this workload (repeatable); replaces the "
+            "quick-mode subset when combined with --quick"
+        ),
     )
     parser.add_argument(
         "--require",
@@ -335,6 +405,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 rounds=args.rounds,
                 sanitize=args.sanitize,
                 obs=args.obs,
+                workloads=args.workloads,
             )
         if args.trace_out:
             print(
@@ -343,7 +414,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
     else:
         document = run_benchmark(
-            quick=args.quick, rounds=args.rounds, sanitize=args.sanitize
+            quick=args.quick,
+            rounds=args.rounds,
+            sanitize=args.sanitize,
+            workloads=args.workloads,
         )
     rows = [
         {
@@ -353,6 +427,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "cliques": r["outputs"],
             "dict_best_s": r["best_s"]["dict"],
             "kernel_best_s": r["best_s"]["kernel"],
+            "kernel_variant": r["variants"]["kernel"],
             "speedup_median": r["speedup_median"],
             "speedup_max": r["speedup_max"],
             "parity": "ok"

@@ -56,6 +56,7 @@ def profiled_run(graph, k: int, eta: float, backend: str) -> Dict[str, object]:
         "num_cliques": result.stats.outputs,
         "stats": result.stats.as_dict(),
         "metrics": enumerator.obs.metrics.as_dict(),
+        "variant": enumerator.variant_used,
     }
 
 
@@ -79,6 +80,11 @@ def trajectory_run(
         "num_cliques": profile["num_cliques"],
         "stats": profile["stats"],
         "metrics": profile["metrics"],
+        # The profiled (obs="metrics") run's recursion variant — the
+        # run whose counters the diff gate compares.  ``repro.obs
+        # diff`` refuses to align this record against one stamped with
+        # a different variant; legacy unstamped baselines still align.
+        "variant": profile["variant"],
     }
 
 

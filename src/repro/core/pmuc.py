@@ -238,6 +238,11 @@ class PivotEnumerator:
         #: Which backend :meth:`run` actually executed on ("dict" or
         #: "kernel") — the configured backend may silently fall back.
         self.backend_used = "dict"
+        #: :func:`~repro.engine.driver.variant_id` of the compiled
+        #: recursion variant :meth:`run` executed (None before any
+        #: run).  Bench records stamp this so ``repro.obs diff`` can
+        #: refuse cross-variant comparisons.
+        self.variant_used: Optional[str] = None
 
     # ------------------------------------------------------------------
     @property
@@ -283,6 +288,7 @@ class PivotEnumerator:
                     )
                 finally:
                     self.obs = kernel.obs
+                    self.variant_used = kernel.variant_used
         # Imported lazily: the engine driver reaches into repro.sanitize
         # / repro.obs, which pull repro.core.config back in — a
         # module-level import would close the cycle through the
@@ -307,6 +313,7 @@ class PivotEnumerator:
         finally:
             self._san = engine.san
             self.obs = engine.obs
+            self.variant_used = engine.variant
             self._ctx = ops.ctx
             self._rank = ops.rank
             self._search_graph = ops.search_graph

@@ -200,6 +200,23 @@ class StateOps:
         """
         raise NotImplementedError
 
+    def fast_ops(self):
+        """Optional fast-path capability surface (default: absent).
+
+        A backend whose state is bitset-shaped may return a namespace
+        of raw hot-state arrays (bitset adjacency, ``-log`` rows, the
+        shared ``sv`` array, per-color bit masks, popcount, ...) that
+        the engine's specializer inlines into its bitset recursion
+        variant.  Returning ``None`` — the default — keeps the backend
+        on the generic :class:`SearchOps` variant.  This is a
+        capability, not part of :data:`PROTOCOL_METHODS`: backends
+        are complete without it.
+
+        Called after both ``prepare_*`` methods, like
+        :meth:`search_ops`.
+        """
+        return None
+
 
 #: Registered backend factories: ``name -> callable(graph, k, eta,
 #: config) -> StateOps``.  Registration happens at backend-module

@@ -31,6 +31,17 @@ from repro.exceptions import KernelBackendError
 from repro.uncertain.graph import UncertainGraph, Vertex
 
 
+try:
+    #: Population count for big-int bitsets.  ``int.bit_count`` is a C
+    #: intrinsic from Python 3.10 on; the unbound-method call form
+    #: (``bit_count(bits)``) lets hot loops bind it as a local.
+    bit_count = int.bit_count
+except AttributeError:  # pragma: no cover - Python 3.9 fallback
+    def bit_count(bits: int) -> int:
+        """Portable popcount: number of set bits in ``bits``."""
+        return bin(bits).count("1")
+
+
 def bit_indices(bits: int) -> Iterator[int]:
     """Yield the set-bit positions of ``bits`` in ascending order.
 

@@ -38,12 +38,13 @@ caller falls back to the dict backend.
 from __future__ import annotations
 
 from math import log
+from types import SimpleNamespace
 from typing import Callable, List, Optional, Sequence
 
 from repro.exceptions import KernelBackendError
 from repro.core.stats import EnumerationResult
 from repro.engine.protocol import SearchOps, StateOps, register_backend
-from repro.kernel.compact import CompactGraph
+from repro.kernel.compact import CompactGraph, bit_count
 from repro.kernel.reduction import (
     greedy_coloring_ids,
     topk_core_ids,
@@ -118,6 +119,8 @@ class KernelStateOps(StateOps):
         self._color: List[int] = []
         self._colnum: List[int] = []
         self._lb: List[int] = []
+        #: Cached :meth:`fast_ops` namespace (rebuilt per prepare).
+        self._fast: Optional[SimpleNamespace] = None
 
     # -- prelude: reduction, ordering, coloring — all on int ids -------
     def _reduce_ids(self, cg: CompactGraph) -> CompactGraph:
@@ -195,6 +198,7 @@ class KernelStateOps(StateOps):
             self._nlogr = self._cg.nlog
         self._hi_base = self._nl_eta + self._guard
         self._guard2 = self._guard + self._guard
+        self._fast = None
 
     def search_size(self) -> int:
         return self._cg.n
@@ -282,6 +286,108 @@ class KernelStateOps(StateOps):
                 r_t = r_t * row[r[jdx]]
             q = q * r_t
         return q * r_val >= self._eta
+
+    def _exact_x_member(self, w: int, r: List[int]) -> bool:
+        """Replay the dict backend's per-level float verdicts for ``w``.
+
+        The deferred exclusion test (lazy ``X``, see the engine's
+        bitset variant) only consults ``X`` at leaves; the dict
+        backend, by contrast, filters ``X`` at every level.  Exact
+        values are monotone nonincreasing along the path, so outside
+        the guard band the leaf verdict decides every level at once —
+        but *inside* the band each level's IEEE-754 product sequence
+        must be replayed individually: ``w`` is still an exclusion
+        witness iff ``q_m * r_m >= eta`` held at every prefix
+        ``r[:m]``.  The groupings below are exactly the dict
+        backend's (incremental products in member-addition order).
+        """
+        prob = self._cg.prob
+        eta = self._eta
+        prob_w = prob[w]
+        r_val = 1.0 * prob_w[r[0]]
+        q = 1.0
+        if q * r_val < eta:
+            return False
+        for idx in range(1, len(r)):
+            row = prob[r[idx]]
+            r_t = 1.0
+            for jdx in range(idx):
+                r_t = r_t * row[r[jdx]]
+            q = q * r_t
+            r_val = r_val * prob_w[r[idx]]
+            if q * r_val < eta:
+                return False
+        return True
+
+    def fast_ops(self) -> SimpleNamespace:
+        """Raw bitset hot state for the engine's specialized variant.
+
+        Everything the bitset recursion template needs, as one flat
+        namespace the specializer binds to locals: the shared ``sv``
+        array, bitset adjacency, dense ``-log`` rows, the fused pivot
+        keys, per-color bit masks for the Lemma-6 popcount bound,
+        per-vertex bit singletons, the guard-band constants, and the
+        exact-replay deciders.  Cached until the next ``prepare_*``
+        (which rebuilds the underlying arrays).
+        """
+        if self._fast is not None:
+            return self._fast
+        lb = self._lb
+        deg = self._deg
+        colnum = self._colnum
+        cn_lb = self._cn_lb
+        deg_cn = self._deg_cn
+        k = self._k
+        label_of = self._cg.labels.__getitem__
+        pivot_name = self._config.pivot
+
+        if pivot_name == "hybrid":
+            def select_pivot(keys):
+                v = max(keys, key=cn_lb.__getitem__)
+                if lb[v] > k:
+                    return v
+                return max(keys, key=deg_cn.__getitem__)
+        elif pivot_name == "degree":
+            def select_pivot(keys):
+                return max(keys, key=deg.__getitem__)
+        elif pivot_name == "color":
+            def select_pivot(keys):
+                return max(keys, key=colnum.__getitem__)
+        else:  # "first"
+            def select_pivot(keys):
+                return keys[0]
+
+        def decode(r):
+            return frozenset(map(label_of, r))
+
+        # Past ~512 vertices a singleton-mask membership test costs
+        # many 30-bit words, so ask the engine for the wide-scan
+        # GenerateSet variant (set-bit extraction) instead of the
+        # parent-list walk that wins on narrow graphs.
+        self._fast = SimpleNamespace(
+            wide_scan=self._cg.n > 512,
+            sv=self._sv,
+            nbr_bits=self._cg.nbr_bits,
+            nlogr=self._nlogr,
+            lb=lb,
+            cn_lb=cn_lb,
+            cn_base=self._cn_base,
+            deg_cn=deg_cn,
+            color_bit=[1 << cw for cw in self._color],
+            bit_at=[1 << i for i in range(self._cg.n)],
+            hi_base=self._hi_base,
+            guard2=self._guard2,
+            exact_accept=self._exact_accept,
+            exact_x_member=self._exact_x_member,
+            popcount=bit_count,
+            select_pivot=select_pivot,
+            decode=decode,
+            # The bitset template inlines ``decode`` at its emit sites
+            # (one ``map`` over the label table, no closure hop), so
+            # the raw label getter is published alongside it.
+            label_of=label_of,
+        )
+        return self._fast
 
     def search_ops(self) -> SearchOps:
         """Compile the hot-path closures over this run's arrays.
@@ -522,6 +628,10 @@ class KernelEnumerator:
         #: populated by :meth:`run`, mirrored onto the delegating
         #: ``PivotEnumerator`` afterwards.
         self.obs = None
+        #: :func:`~repro.engine.driver.variant_id` of the compiled
+        #: recursion variant :meth:`run` executed; mirrored like
+        #: ``obs``.
+        self.variant_used: Optional[str] = None
 
     def run(
         self,
@@ -547,3 +657,4 @@ class KernelEnumerator:
             )
         finally:
             self.obs = engine.obs
+            self.variant_used = engine.variant

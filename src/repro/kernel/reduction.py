@@ -73,6 +73,18 @@ def topk_core_ids(cg: CompactGraph, k: int, eta: float) -> List[int]:
 # (Top_k, eta)-triangle
 # ----------------------------------------------------------------------
 def _top_degree(open_probs: Dict[int, float], p_e: float, eta: float) -> int:
+    # Fast path: when the product over *all* open triangles clears η
+    # with margin, every descending prefix clears it too (factors are
+    # ≤ 1, and float partial products are non-increasing regardless of
+    # order), so the answer is the triangle count — no sort needed.
+    # The 1e-9 relative band dwarfs any order-dependent rounding drift
+    # (≤ ~2m·2⁻⁵³ for m factors); in-band cases fall through to the
+    # exact sorted scan, so every count matches it.
+    product = p_e
+    for p in open_probs.values():
+        product = product * p
+    if product >= eta + eta * 1e-9:
+        return len(open_probs)
     product = p_e
     count = 0
     for p in sorted(open_probs.values(), reverse=True):
@@ -97,19 +109,29 @@ def topk_triangle_edge_ids(
     """
     if k < 0:
         raise ParameterError(f"k must be non-negative, got {k}")
-    nbr_bits = cg.nbr_bits
     prob = cg.prob
+    nbr_ids = cg.nbr_ids
+    nbr_probs = cg.nbr_probs
     tri: Dict[Tuple[int, int], Dict[int, float]] = {}
     for i, j, _p in cg.edges_in_insertion_order():
         e = cg.normalize_pair(i, j)
-        common = nbr_bits[i] & nbr_bits[j]
         pi, pj = prob[i], prob[j]
+        # Hash-join through the sparser endpoint: its neighbor
+        # probabilities ride along with the ids, so each common
+        # neighbor costs one dict probe — against bitset extraction
+        # plus two probe lookups.  Swapping the endpoints only swaps
+        # the operands of one float multiply, which IEEE rounds
+        # identically, and ``opens`` order is irrelevant — degrees
+        # sort its values and the maximal triangle subgraph is unique
+        # regardless of peel order.
+        if len(pi) <= len(pj):
+            ids_a, probs_a, other = nbr_ids[i], nbr_probs[i], pj
+        else:
+            ids_a, probs_a, other = nbr_ids[j], nbr_probs[j], pi
         opens: Dict[int, float] = {}
-        while common:
-            low = common & -common
-            w = low.bit_length() - 1
-            common ^= low
-            opens[w] = pi[w] * pj[w]
+        for w, pw in zip(ids_a, probs_a):
+            if w in other:
+                opens[w] = pw * other[w]
         tri[e] = opens
     tdeg = {e: _top_degree(tri[e], prob[e[0]][e[1]], eta) for e in tri}
     queue = [e for e, t in tdeg.items() if t < k]
@@ -146,10 +168,12 @@ def topk_core_ordering_ids(cg: CompactGraph, eta: float) -> List[int]:
     :func:`repro.reduction.ordering.topk_core_ordering`.
     """
     n = cg.n
-    labels = cg.labels
+    # One repr per vertex, not one per requeue push — peeling pushes
+    # each vertex O(degree) times.
+    reprs = [repr(label) for label in cg.labels]
     incident = [sorted(row, reverse=True) for row in cg.nbr_probs]
     topdeg = [prefix_count(incident[v], eta) for v in range(n)]
-    heap = [(topdeg[v], repr(labels[v]), v) for v in range(n)]
+    heap = [(topdeg[v], reprs[v], v) for v in range(n)]
     heapq.heapify(heap)
     alive = (1 << n) - 1 if n else 0
     order: List[int] = []
@@ -165,7 +189,7 @@ def topk_core_ordering_ids(cg: CompactGraph, eta: float) -> List[int]:
                 new_deg = prefix_count(incident[u], eta)
                 if new_deg != topdeg[u]:
                     topdeg[u] = new_deg
-                    heapq.heappush(heap, (new_deg, repr(labels[u]), u))
+                    heapq.heappush(heap, (new_deg, reprs[u], u))
     return order
 
 

@@ -19,7 +19,13 @@ trajectories, ``run<i>/<backend>`` for session documents) and flags:
 Documents are refused outright (exit 2, like any unusable input) when
 the two sides ran on disjoint backends — dict-vs-kernel wall clocks are
 not comparable, and the per-key alignment would otherwise report every
-run as missing.
+run as missing.  The same refusal applies per aligned run when both
+sides carry a recursion **variant** stamp (see
+:func:`repro.engine.driver.variant_id`) and the stamps disagree: a
+hooked variant's wall clock is not comparable to the production
+closure's, so e.g. an ``--obs full`` re-run must never be gated against
+an obs-off baseline.  Artifacts predating the stamp (``variant``
+absent) are always accepted.
 
 Exit status: 0 clean, 1 regression found, 2 unusable input.
 """
@@ -47,18 +53,21 @@ DEFAULT_COUNTER_THRESHOLD = 1.02
 class Series:
     """One comparable run: a key, optional seconds, counter dict.
 
-    ``backend`` is the stamped execution backend of the run (or None on
-    artifacts predating the stamp); :func:`compare` refuses to gate one
-    backend's numbers against the other's.
+    ``backend`` is the stamped execution backend of the run and
+    ``variant`` the stamped recursion variant (either None on
+    artifacts predating the stamps); :func:`compare` refuses to gate
+    one backend's or variant's numbers against another's.
     """
 
     def __init__(self, key: str, seconds: Optional[float],
                  counters: Dict[str, int],
-                 backend: Optional[str] = None) -> None:
+                 backend: Optional[str] = None,
+                 variant: Optional[str] = None) -> None:
         self.key = key
         self.seconds = seconds
         self.counters = counters
         self.backend = backend
+        self.variant = variant
 
 
 def extract_series(kind: str, payload) -> List[Series]:
@@ -77,6 +86,7 @@ def extract_series(kind: str, payload) -> List[Series]:
                 run.get("seconds"),
                 counters,
                 run.get("backend"),
+                run.get("variant"),
             ))
         return series
     if kind == "metrics":
@@ -90,6 +100,7 @@ def extract_series(kind: str, payload) -> List[Series]:
                 seconds,
                 dict(metrics.get("counters", {})),
                 run.get("backend"),
+                run.get("variant"),
             ))
         return series
     raise ValueError(
@@ -147,6 +158,20 @@ def compare(
             else:
                 regressions.append("%s: missing from current" % base.key)
             continue
+        if (
+            base.variant is not None
+            and run.variant is not None
+            and base.variant != run.variant
+        ):
+            # A hooked variant's wall clock is not comparable to the
+            # production closure's.  Refuse (exit 2) rather than gate
+            # noise; unstamped legacy artifacts never reach here.
+            raise ValueError(
+                "cross-variant comparison on %s: baseline ran variant "
+                "%s but current ran %s; re-run with matching "
+                "sanitize/obs settings before diffing"
+                % (base.key, base.variant, run.variant)
+            )
         compared += 1
         lines.extend(_compare_run(
             base, run, time_threshold, counter_threshold, regressions

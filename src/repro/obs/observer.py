@@ -126,6 +126,12 @@ class Observer:
             )
         self.level = level
         self.backend = backend
+        #: :func:`repro.engine.driver.variant_id` of the compiled
+        #: recursion variant this run executed; stamped by
+        #: ``SearchEngine.run`` before the search starts and copied
+        #: into session and bench documents so ``repro.obs diff`` can
+        #: refuse cross-variant comparisons.
+        self.variant: Optional[str] = None
         self.metrics = MetricsRegistry()
         self._full = level == "full"
         self._sample_every = max(1, int(sample_every))

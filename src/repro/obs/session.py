@@ -89,6 +89,7 @@ class ObsSession:
             runs.append({
                 "index": index,
                 "backend": observer.backend,
+                "variant": observer.variant,
                 "level": observer.level,
                 "metrics": observer.metrics.as_dict(),
             })

@@ -1,0 +1,91 @@
+"""REP009 — compiled-variant parity.
+
+The rule re-renders the dispatcher's whole legal key space from the
+shared template; these tests pin the committed driver clean, the rule
+silent off its anchor file, and each failure family firing when the
+specialization guarantee is broken.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.registry import get_rule
+from repro.analysis.rules import variants as variants_rule
+from repro.analysis.runner import run_rules
+from repro.analysis.source import SourceFile
+from repro.engine import driver
+
+REPO = Path(__file__).resolve().parents[1]
+ENGINE_DRIVER = REPO / "src" / "repro" / "engine" / "driver.py"
+
+
+def _findings(path=None, text=None):
+    if path is None:
+        path = ENGINE_DRIVER
+    src = (
+        SourceFile(str(path), text)
+        if text is not None
+        else SourceFile.read(str(path))
+    )
+    kept, _suppressed = run_rules([src], [get_rule("REP009")])
+    return kept
+
+
+def test_committed_driver_is_clean():
+    assert _findings() == []
+
+
+def test_silent_on_files_without_the_template():
+    assert _findings(
+        path="other.py", text="def _other():\n    pass\n"
+    ) == []
+
+
+def test_fires_when_a_hook_kind_goes_missing(monkeypatch):
+    # Grow the required inventory past what the template provides —
+    # equivalent to a hook site having been deleted from the template.
+    monkeypatch.setattr(
+        variants_rule,
+        "OBS_RECURSION_HOOKS",
+        tuple(variants_rule.OBS_RECURSION_HOOKS)
+        + ("hook:on_prune:ghost",),
+    )
+    findings = _findings()
+    assert findings
+    assert any("ghost" in f.message for f in findings)
+    assert any("hooked variant" in f.message for f in findings)
+
+
+def test_fires_when_production_variants_keep_hooks(monkeypatch):
+    # Simulate a broken fold: every key renders the hooked body.
+    real_render = driver.render_variant
+
+    def hooked_render(key):
+        return real_render(("generic", True) + tuple(key[2:]))
+
+    monkeypatch.setattr(driver, "render_variant", hooked_render)
+    findings = _findings()
+    assert findings
+    assert any("production variant" in f.message for f in findings)
+
+
+def test_fires_when_a_key_stops_rendering(monkeypatch):
+    def broken_render(key):
+        raise KeyError("NEW_FLAG")
+
+    monkeypatch.setattr(driver, "render_variant", broken_render)
+    findings = _findings()
+    assert findings
+    assert all("no longer renders" in f.message for f in findings)
+
+
+def test_full_hooked_key_is_legal():
+    assert variants_rule.FULL_HOOKED_KEY in driver.legal_variant_keys()
+
+
+@pytest.mark.parametrize("key", driver.legal_variant_keys())
+def test_every_legal_key_compiles_to_a_callable_factory(key):
+    factory = driver.compiled_variant(key)
+    assert callable(factory)
+    assert driver.variant_id(key).startswith(key[0])

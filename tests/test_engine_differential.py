@@ -244,3 +244,131 @@ def test_exact_fraction_ground_truth_on_both_backends(seed, monkeypatch):
         streams.append((obs_events, san_events))
     # Both runs executed the same (dict) path: identical streams.
     assert streams[0] == streams[1]
+
+
+# ----------------------------------------------------------------------
+# compiled-variant matrix
+# ----------------------------------------------------------------------
+def run_variant_cell(graph, k, eta, config, monkeypatch):
+    """One run with recorders injected only for the *enabled* hooks.
+
+    Unlike :func:`run_recorded` (which always injects), disabled hook
+    channels keep their real builders, which return None for an "off"
+    config — so hook-off cells genuinely execute the production
+    variants.
+    """
+    import repro.obs.observer as observer_mod
+    import repro.sanitize.sanitizer as sanitizer_mod
+
+    obs = RecordingObserver() if config.obs != "off" else None
+    san = RecordingSanitizer() if config.sanitize != "off" else None
+    with monkeypatch.context() as m:
+        if obs is not None:
+            m.setattr(observer_mod, "build_observer", lambda *a, **kw: obs)
+        if san is not None:
+            m.setattr(
+                sanitizer_mod, "build_sanitizer", lambda *a, **kw: san
+            )
+        enumerator = PivotEnumerator(graph, k, eta, config)
+        result = enumerator.run()
+    return (
+        result,
+        obs.events if obs is not None else None,
+        san.events if san is not None else None,
+        enumerator,
+    )
+
+
+@pytest.mark.parametrize("kpivot", ("off", "plain", "color"))
+@pytest.mark.parametrize(
+    "sanitize,obs",
+    (("off", "off"), ("full", "off"), ("off", "full"), ("full", "full")),
+)
+def test_variant_matrix_agrees_with_oracle(
+    kpivot, sanitize, obs, monkeypatch
+):
+    """Every dispatcher cell: oracle cliques + cross-backend streams.
+
+    The specializer must be invisible: whichever compiled variant a
+    (backend, sanitize, obs, kpivot) cell selects, the clique set
+    matches the brute-force oracle and both backends' hook streams
+    stay identical event for event where hooks are enabled.
+    """
+    graph = random_uncertain_graph(seed=77, n=9, density=0.55)
+    k, eta = 2, 0.2
+    assert supports(graph, eta)
+    oracle = brute_force_maximal_k_eta_cliques(graph, k, eta)
+    hooks_on = sanitize != "off" or obs != "off"
+    cells = {}
+    for backend in ("dict", "kernel"):
+        config = PivotConfig(
+            backend=backend, sanitize=sanitize, obs=obs, kpivot=kpivot
+        )
+        result, obs_events, san_events, enumerator = run_variant_cell(
+            graph, k, eta, config, monkeypatch
+        )
+        assert enumerator.backend_used == backend
+        assert as_sorted_sets(result.cliques) == oracle
+        if hooks_on:
+            # Hooks force the generic shape on either backend.
+            assert enumerator.variant_used == "generic+hooks"
+        else:
+            assert enumerator.variant_used == (
+                "bitset" if backend == "kernel" else "generic"
+            )
+        cells[backend] = (result, obs_events, san_events)
+    d_result, d_obs, d_san = cells["dict"]
+    k_result, k_obs, k_san = cells["kernel"]
+    assert d_result.stats.__dict__ == k_result.stats.__dict__
+    assert d_obs == k_obs
+    assert d_san == k_san
+    if obs != "off":
+        assert any(event[0] == "node" for event in d_obs)
+    if sanitize != "off":
+        assert ("finish", True) in d_san
+
+
+def test_wide_scan_variant_on_large_search_graphs():
+    """Past ~512 search vertices the kernel asks for the wide variant."""
+    graph = UncertainGraph()
+    n = 540
+    for v in range(n):
+        graph.add_vertex(v)
+    for v in range(n):
+        graph.add_edge(v, (v + 1) % n, 0.9)
+    results = {}
+    for backend in ("dict", "kernel"):
+        config = PivotConfig(backend=backend, reduction="off")
+        enumerator = PivotEnumerator(graph, k=1, eta=0.5, config=config)
+        results[backend] = enumerator.run()
+        assert enumerator.backend_used == backend
+        if backend == "kernel":
+            assert enumerator.variant_used == "bitset+wide"
+    assert as_sorted_sets(results["dict"].cliques) == as_sorted_sets(
+        results["kernel"].cliques
+    )
+    assert results["dict"].stats.outputs == n
+
+
+def test_recursion_limit_restored_when_build_search_raises(monkeypatch):
+    """The raise-limit/restore pair survives a failing specializer."""
+    import repro.engine.driver as driver
+
+    graph, k, eta, axes = _random_case(1)
+    calls = []
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("specializer exploded")
+
+    with monkeypatch.context() as m:
+        m.setattr(driver.sys, "getrecursionlimit", lambda: 50)
+        m.setattr(driver.sys, "setrecursionlimit", calls.append)
+        m.setattr(driver, "build_search", boom)
+        with pytest.raises(RuntimeError, match="specializer exploded"):
+            PivotEnumerator(
+                graph, k, eta, PivotConfig(backend="dict", **axes)
+            ).run()
+    # Raised once for the run, restored exactly once by the finally.
+    assert len(calls) == 2
+    assert calls[0] > 50
+    assert calls[1] == 50

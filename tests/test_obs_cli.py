@@ -23,27 +23,30 @@ def tiny_graph():
     return g
 
 
-def bench_document(seconds=0.5, calls=100, expansions=80, outputs=10):
+def bench_document(
+    seconds=0.5, calls=100, expansions=80, outputs=10, variant=None
+):
+    run = {
+        "workload": "tiny",
+        "backend": "dict",
+        "k": 2,
+        "eta": 0.1,
+        "seconds": seconds,
+        "num_cliques": outputs,
+        "stats": {
+            "calls": calls,
+            "expansions": expansions,
+            "outputs": outputs,
+            "max_depth": 3,
+        },
+        "metrics": {"counters": {}, "gauges": {},
+                    "phases": {}, "depth": {}},
+    }
+    if variant is not None:
+        run["variant"] = variant
     return {
         "schema": "repro.obs/bench-v1",
-        "runs": [
-            {
-                "workload": "tiny",
-                "backend": "dict",
-                "k": 2,
-                "eta": 0.1,
-                "seconds": seconds,
-                "num_cliques": outputs,
-                "stats": {
-                    "calls": calls,
-                    "expansions": expansions,
-                    "outputs": outputs,
-                    "max_depth": 3,
-                },
-                "metrics": {"counters": {}, "gauges": {},
-                            "phases": {}, "depth": {}},
-            }
-        ],
+        "runs": [run],
     }
 
 
@@ -174,6 +177,44 @@ def test_diff_cross_backend_documents_exit_2(tmp_path, capsys):
     err = capsys.readouterr().err
     assert "cross-backend comparison" in err
     assert "dict" in err and "kernel" in err
+
+
+def test_diff_cross_variant_documents_exit_2(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    base.write_text(json.dumps(bench_document(variant="generic")))
+    cur.write_text(json.dumps(bench_document(variant="generic+hooks")))
+    # A hooked closure's wall clock is not comparable to the
+    # production variant's: unusable input, not a regression.
+    assert main(["diff", str(base), str(cur)]) == 2
+    err = capsys.readouterr().err
+    assert "cross-variant comparison" in err
+    assert "generic+hooks" in err
+
+
+def test_diff_unstamped_baseline_accepts_stamped_current(
+    tmp_path, capsys
+):
+    # Artifacts predating the variant stamp must keep gating cleanly
+    # against freshly stamped re-runs (the committed BENCH_pr4.json
+    # case).
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    base.write_text(json.dumps(bench_document()))
+    cur.write_text(json.dumps(bench_document(variant="generic")))
+    assert main(["diff", str(base), str(cur)]) == 0
+    assert "no regressions" in capsys.readouterr().out
+
+
+def test_diff_matching_variants_compare_normally(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    base.write_text(json.dumps(bench_document(variant="bitset")))
+    cur.write_text(
+        json.dumps(bench_document(calls=150, variant="bitset"))
+    )
+    assert main(["diff", str(base), str(cur)]) == 1
+    assert "calls grew" in capsys.readouterr().out
 
 
 def test_diff_session_metrics_documents(artifacts, tmp_path, capsys):

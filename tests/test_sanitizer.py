@@ -139,9 +139,13 @@ def tampered_pivot_cover(monkeypatch):
     def tampered_build(*args, **kwargs):
         search, flush = original_build(*args, **kwargs)
 
-        def tampered(r, q, c, x, p, depth):
-            best = search(r, q, c, x, p, depth)
-            if 999 not in best:
+        def tampered(r, q, c, x, depth):
+            best = search(r, q, c, x, depth)
+            # ``None`` stands for the un-materialized ``r`` itself;
+            # materialize it so the bogus vertex can ride along.
+            if best is None:
+                best = list(r) + [999]
+            elif 999 not in best:
                 best = list(best) + [999]
             return best
 
