@@ -48,11 +48,21 @@ class BaselineEntry:
     line_text: str
     justification: str
     line: int = 0
+    #: Flow findings match on their source/sink fingerprint instead of
+    #: the sink's line text: the fingerprint hashes the source and sink
+    #: line *text* (see :func:`repro.analysis.findings.flow_fingerprint`)
+    #: so edits between the two endpoints do not invalidate the entry,
+    #: while a vanished source or sink does (the entry goes stale and
+    #: ``--prune-stale`` drops it).
+    fingerprint: str = ""
 
     def matches(self, finding: Finding) -> bool:
         if self.rule != finding.rule:
             return False
-        if self.line_text != finding.line_text:
+        if self.fingerprint:
+            if self.fingerprint != finding.fingerprint:
+                return False
+        elif self.line_text != finding.line_text:
             return False
         return _same_path(self.path, finding.path)
 
@@ -120,6 +130,7 @@ class Baseline:
                     line_text=raw["line_text"],
                     justification=raw["justification"],
                     line=int(raw.get("line", 0)),
+                    fingerprint=raw.get("fingerprint", ""),
                 )
             )
         return cls(entries)
@@ -177,19 +188,19 @@ class Baseline:
                         return entry.justification
             return justification
 
-        payload = {
-            "comment": _BASELINE_COMMENT,
-            "findings": [
-                {
-                    "rule": f.rule,
-                    "path": f.path.replace(os.sep, "/"),
-                    "line": f.line,
-                    "line_text": f.line_text,
-                    "justification": _justify(f),
-                }
-                for f in sorted(findings)
-            ],
-        }
+        entries = []
+        for f in sorted(findings):
+            entry = {
+                "rule": f.rule,
+                "path": f.path.replace(os.sep, "/"),
+                "line": f.line,
+                "line_text": f.line_text,
+                "justification": _justify(f),
+            }
+            if f.fingerprint:
+                entry["fingerprint"] = f.fingerprint
+            entries.append(entry)
+        payload = {"comment": _BASELINE_COMMENT, "findings": entries}
         return json.dumps(payload, indent=2) + "\n"
 
     @staticmethod
@@ -200,20 +211,19 @@ class Baseline:
         so surviving justifications and recorded line numbers pass
         through untouched.
         """
-        payload = {
-            "comment": _BASELINE_COMMENT,
-            "findings": [
-                {
-                    "rule": e.rule,
-                    "path": _norm_path(e.path),
-                    "line": e.line,
-                    "line_text": e.line_text,
-                    "justification": e.justification,
-                }
-                for e in sorted(
-                    entries,
-                    key=lambda e: (e.path, e.line, e.rule, e.line_text),
-                )
-            ],
-        }
+        rendered = []
+        for e in sorted(
+            entries, key=lambda e: (e.path, e.line, e.rule, e.line_text)
+        ):
+            raw = {
+                "rule": e.rule,
+                "path": _norm_path(e.path),
+                "line": e.line,
+                "line_text": e.line_text,
+                "justification": e.justification,
+            }
+            if e.fingerprint:
+                raw["fingerprint"] = e.fingerprint
+            rendered.append(raw)
+        payload = {"comment": _BASELINE_COMMENT, "findings": rendered}
         return json.dumps(payload, indent=2) + "\n"

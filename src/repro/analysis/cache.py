@@ -1,0 +1,155 @@
+"""Per-file result caching for repro-lint.
+
+File-scope rules (including the flow analyses, which dominate the
+runtime) are pure functions of one file's source text plus the rule
+implementations.  The cache therefore keys each file on
+
+* a *tool salt* — the python version, the human-readable
+  ``RULESET_VERSION``, a hash over every ``repro.analysis`` source
+  file, and a hash of :mod:`repro.engine.driver` (the flow rules fold
+  variant ASTs with the driver's own specializer, so its semantics are
+  part of the rule semantics);
+* the ids of the file-scope rules that ran;
+* the sha256 of the file's source bytes.
+
+Entries store the *raw* findings (before suppression and baseline are
+applied); the runner applies those in-process so the policy layers
+never go stale.  Project-scope rules relate files to each other and
+are always run live.
+
+Any read error — missing entry, corrupt JSON, wrong schema — degrades
+to a cache miss; any write error is ignored.  A lint run must never
+fail because of its cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import tempfile
+from typing import List, Optional, Sequence
+
+from repro.analysis.findings import Finding
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+_CACHE_FORMAT = 1
+
+_tool_salt_memo: Optional[str] = None
+
+
+def _iter_package_sources():
+    """(relative name, bytes) for every ``.py`` under repro.analysis."""
+    import repro.analysis
+
+    pkg_dir = os.path.dirname(os.path.abspath(repro.analysis.__file__))
+    for dirpath, dirnames, filenames in os.walk(pkg_dir):
+        dirnames.sort()
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            full = os.path.join(dirpath, name)
+            rel = os.path.relpath(full, pkg_dir)
+            with open(full, "rb") as handle:
+                yield rel, handle.read()
+
+
+def tool_salt() -> str:
+    """Hash of everything that could change a rule's output besides
+    the scanned file itself (memoized per process)."""
+    global _tool_salt_memo
+    if _tool_salt_memo is not None:
+        return _tool_salt_memo
+    from repro.analysis.rules import RULESET_VERSION
+
+    digest = hashlib.sha256()
+    digest.update(sys.version.encode())
+    digest.update(RULESET_VERSION.encode())
+    for rel, blob in _iter_package_sources():
+        digest.update(rel.encode())
+        digest.update(b"\x00")
+        digest.update(blob)
+        digest.update(b"\x00")
+    try:
+        import repro.engine.driver as _driver
+
+        with open(os.path.abspath(_driver.__file__), "rb") as handle:
+            digest.update(handle.read())
+    except Exception:  # pragma: no cover - driver always importable here
+        digest.update(b"<no driver>")
+    _tool_salt_memo = digest.hexdigest()
+    return _tool_salt_memo
+
+
+class FindingsCache:
+    """Content-addressed store of per-file, file-scope findings."""
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def key(
+        self, path: str, source_bytes: bytes, rule_ids: Sequence[str]
+    ) -> str:
+        digest = hashlib.sha256()
+        digest.update(tool_salt().encode())
+        digest.update("\x1f".join(sorted(rule_ids)).encode())
+        digest.update(b"\x00")
+        # Findings embed the scanned path; identical content at a
+        # different path must not resurrect the old location.
+        digest.update(os.path.abspath(path).encode())
+        digest.update(b"\x00")
+        digest.update(source_bytes)
+        return digest.hexdigest()
+
+    def _entry_path(self, key: str) -> str:
+        # Two-level fan-out keeps directory listings short on big trees.
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[List[Finding]]:
+        """Cached findings for ``key`` (None on miss or bad entry)."""
+        try:
+            with open(self._entry_path(key), encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("format") != _CACHE_FORMAT:
+                raise ValueError("stale cache format")
+            findings = [
+                Finding.from_dict(raw) for raw in payload["findings"]
+            ]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def put(self, key: str, findings: Sequence[Finding]) -> None:
+        """Store findings under ``key`` (atomically; errors ignored)."""
+        entry = self._entry_path(key)
+        payload = {
+            "format": _CACHE_FORMAT,
+            "findings": [f.as_dict() for f in findings],
+        }
+        try:
+            os.makedirs(os.path.dirname(entry), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(entry), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle)
+                os.replace(tmp, entry)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:  # pragma: no cover - disk-full style failures
+            pass

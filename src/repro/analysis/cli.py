@@ -12,6 +12,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.cache import DEFAULT_CACHE_DIR, FindingsCache
 from repro.analysis.registry import all_rules
 from repro.analysis.runner import AnalysisReport, analyze
 
@@ -35,12 +36,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json", "github"),
+        choices=("text", "json", "github", "sarif"),
         default="text",
         help=(
             "output format (default: text); 'github' emits GitHub "
             "Actions ::error annotations so findings surface inline "
-            "on pull requests"
+            "on pull requests; 'sarif' emits a SARIF 2.1.0 document "
+            "for code-scanning upload"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for file-scope rules (default: 1); "
+            "suppressions, baseline and cross-file rules still run "
+            "in-process"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the per-file result cache for this run",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=(
+            "per-file result cache location (default: "
+            f"{DEFAULT_CACHE_DIR}); keyed on source hash + rule-set "
+            "version, so stale reuse is structurally impossible"
         ),
     )
     parser.add_argument(
@@ -115,11 +143,17 @@ def _summary_line(report: AnalysisReport) -> str:
             "them)"
         )
     )
+    cache_note = ""
+    if report.cache_hits or report.cache_misses:
+        cache_note = (
+            f" [cache: {report.cache_hits} hit, "
+            f"{report.cache_misses} miss]"
+        )
     return (
         f"{len(report.findings)} finding(s) "
         f"({len(report.grandfathered)} baselined, "
         f"{len(report.suppressed)} suppressed) "
-        f"in {report.files_scanned} file(s)" + stale_note
+        f"in {report.files_scanned} file(s)" + cache_note + stale_note
     )
 
 
@@ -217,8 +251,14 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else FindingsCache(args.cache_dir)
     try:
-        report = analyze(args.paths, baseline=baseline)
+        report = analyze(
+            args.paths, baseline=baseline, cache=cache, jobs=args.jobs
+        )
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -265,6 +305,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         _print_json(report, out)
     elif args.format == "github":
         _print_github(report, out)
+    elif args.format == "sarif":
+        from repro.analysis.sarif import render_sarif
+
+        out.write(render_sarif(report))
     else:
         _print_text(report, out)
     if not report.ok:

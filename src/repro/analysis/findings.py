@@ -9,8 +9,9 @@ and compared against baseline entries without any rule-specific logic.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 
 class Severity(enum.Enum):
@@ -43,6 +44,14 @@ class Finding:
     #: unrelated edits above a grandfathered finding do not invalidate
     #: the baseline entry.
     line_text: str = field(compare=False, default="")
+    #: Dataflow trace (flow rules only): a tuple of step dicts with
+    #: ``line``/``col``/``text``/``note`` keys, oldest (the source)
+    #: first and the sink last.  Empty for single-point rules.
+    trace: Tuple[Dict[str, object], ...] = field(compare=False, default=())
+    #: Structural fingerprint (flow rules only): hashes the source and
+    #: sink *text*, never line numbers, so unrelated edits do not
+    #: invalidate baseline suppressions.  Empty for single-point rules.
+    fingerprint: str = field(compare=False, default="")
 
     def format_text(self) -> str:
         """Render in the classic ``path:line:col: RULE sev: msg`` shape."""
@@ -53,7 +62,7 @@ class Finding:
 
     def as_dict(self) -> dict:
         """JSON-ready representation (used by ``--format=json``)."""
-        return {
+        out = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
@@ -62,3 +71,36 @@ class Finding:
             "message": self.message,
             "line_text": self.line_text,
         }
+        if self.trace:
+            out["trace"] = list(self.trace)
+        if self.fingerprint:
+            out["fingerprint"] = self.fingerprint
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Finding":
+        """Inverse of :meth:`as_dict` (used by the analysis cache)."""
+        return cls(
+            path=raw["path"],
+            line=raw["line"],
+            col=raw["col"],
+            rule=raw["rule"],
+            severity=Severity(raw["severity"]),
+            message=raw["message"],
+            line_text=raw.get("line_text", ""),
+            trace=tuple(raw.get("trace", ())),
+            fingerprint=raw.get("fingerprint", ""),
+        )
+
+
+def flow_fingerprint(rule: str, source_text: str, sink_text: str) -> str:
+    """Stable fingerprint for a flow finding's source/sink pair.
+
+    Deliberately excludes line numbers and intermediate hops: a
+    suppression survives any edit that keeps the source and sink lines
+    textually intact.
+    """
+    digest = hashlib.sha256(
+        "\x1f".join((rule, source_text.strip(), sink_text.strip())).encode()
+    )
+    return digest.hexdigest()[:16]

@@ -1,0 +1,89 @@
+"""Lightweight module-local call summaries.
+
+Full interprocedural analysis is out of scope, but the engine/kernel
+modules constantly route domain values through small local helpers
+(``def _nl(p): return -log(p)`` and friends).  A summary here is just
+the tag set a function's return value carries when its parameters are
+untainted; call sites then merge the summary into the call result in
+addition to the usual argument pass-through.
+
+Summaries are computed over two rounds so helper-calls-helper chains
+one level deep resolve; deeper chains degrade gracefully to
+argument-only propagation (a *may* analysis never loses soundness
+here, only recall).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, List, Optional
+
+from .cfg import cfgs_for
+from .domains import Env, Tags, merge_tags
+
+#: How many rounds of summary refinement to run.
+ROUNDS = 2
+
+
+class ModuleSummaries:
+    """``{function_name: Tags}`` for one module's top-level functions
+    and methods (methods keyed by bare name — collisions union)."""
+
+    def __init__(self) -> None:
+        self.returns: Dict[str, Tags] = {}
+        #: Every function name defined in the module — including ones
+        #: whose return carries no tags.  Call sites use this to tell
+        #: "summarized as clean" apart from "unknown external".
+        self.local_names: set = set()
+
+    def return_tags(self, name: str) -> Tags:
+        return self.returns.get(name, {})
+
+    def is_local(self, name: str) -> bool:
+        return name in self.local_names
+
+    def compute(
+        self,
+        src,
+        make_analysis: Callable[["ModuleSummaries"], object],
+    ) -> "ModuleSummaries":
+        """Iterate ``make_analysis(self)`` over every function CFG,
+        harvesting the tags of ``return`` expressions."""
+        entries = [
+            (func, cfg)
+            for func, cfg in cfgs_for(src).values()
+            if func is not None
+        ]
+        self.local_names.update(func.name for func, _cfg in entries)
+        for _ in range(ROUNDS):
+            changed = False
+            for func, cfg in entries:
+                analysis = make_analysis(self)
+                # Analyses that distinguish recursive self-calls read
+                # this to avoid argument-passthrough on them.
+                setattr(analysis, "func_name", func.name)
+                before = analysis.run_quiet(cfg)
+                tags = self._harvest(cfg, before, analysis)
+                old = self.returns.get(func.name, {})
+                merged = merge_tags(dict(old), tags)
+                if merged != old:
+                    self.returns[func.name] = merged
+                    changed = True
+            if not changed:
+                break
+        return self
+
+    @staticmethod
+    def _harvest(cfg, before, analysis) -> Tags:
+        tags: Tags = {}
+        for node in cfg.nodes:
+            stmt = node.stmt
+            if (
+                isinstance(stmt, ast.Return)
+                and stmt.value is not None
+                and node.index in before
+            ):
+                merge_tags(
+                    tags, analysis.expr_tags(stmt.value, before[node.index])
+                )
+        return tags

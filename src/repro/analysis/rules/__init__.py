@@ -10,11 +10,15 @@ Importing this package registers every rule with
 * :mod:`~repro.analysis.rules.sanitizer` — REP007
 * :mod:`~repro.analysis.rules.obs` — REP008
 * :mod:`~repro.analysis.rules.variants` — REP009
+* :mod:`~repro.analysis.rules.flow_domains` — REP010, REP011
+* :mod:`~repro.analysis.rules.flow_state` — REP012
 """
 
 from repro.analysis.rules import (
     conformance,
     determinism,
+    flow_domains,
+    flow_state,
     numeric,
     obs,
     parallel,
@@ -22,12 +26,21 @@ from repro.analysis.rules import (
     variants,
 )
 
+#: Bumped whenever rule semantics change in a way that invalidates
+#: cached per-file results (see :mod:`repro.analysis.cache`).  The
+#: cache key also folds in the analysis package sources, so this is a
+#: human-readable escape hatch, not the only invalidation mechanism.
+RULESET_VERSION = "2026.08-flow-1"
+
 __all__ = [
     "conformance",
     "determinism",
+    "flow_domains",
+    "flow_state",
     "numeric",
     "obs",
     "parallel",
     "sanitizer",
     "variants",
+    "RULESET_VERSION",
 ]

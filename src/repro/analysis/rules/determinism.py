@@ -24,9 +24,10 @@ downstream draw.  All randomness must flow through an injected
 from __future__ import annotations
 
 import ast
+from dataclasses import replace
 from typing import Dict, Iterator, List, Optional, Set
 
-from repro.analysis.findings import Finding, Severity
+from repro.analysis.findings import Finding, Severity, flow_fingerprint
 from repro.analysis.registry import rule
 from repro.analysis.source import SourceFile, call_name
 
@@ -142,14 +143,6 @@ def _container_of_sets(value: ast.AST, env: "_SetTypes") -> bool:
     return False
 
 
-def _scopes(tree: ast.Module) -> Iterator[List[ast.stmt]]:
-    """Module body plus every function body (each its own scope)."""
-    yield tree.body
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            yield node.body
-
-
 _SCOPE_BARRIERS = (
     ast.FunctionDef,
     ast.AsyncFunctionDef,
@@ -214,6 +207,113 @@ def _describe(node: ast.AST) -> str:
         return "<expression>"
 
 
+# ----------------------------------------------------------------------
+# REP001 as a flow analysis
+# ----------------------------------------------------------------------
+# The dataflow state maps ``("s", name)`` (name is set-typed) and
+# ``("c", name)`` (name is a container of sets) to the (line, col) of
+# the assignment that established the fact.  Strong updates kill the
+# "s" entries (``x = []`` after ``x = set()`` un-taints ``x`` exactly
+# like the old linear walk did); container facts persist, matching the
+# old ``_SetTypes`` semantics.  The join at control-flow merges is a
+# union (*may* be unordered), which is what the old document-order
+# walk could not see: a set assigned on one branch stays tracked after
+# the merge, and order-taint survives loops and try/except paths.
+_FlowState = dict
+
+
+def _set_view(state: _FlowState) -> _SetTypes:
+    env = _SetTypes()
+    env.names = {name for kind, name in state if kind == "s"}
+    env.set_containers = {name for kind, name in state if kind == "c"}
+    return env
+
+
+def _order_transfer(node, state: _FlowState) -> _FlowState:
+    stmt = node.stmt
+    if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+        return state
+    env = _set_view(state)
+    out = dict(state)
+    where = (stmt.lineno, stmt.col_offset)
+    targets = (
+        stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+    )
+    if isinstance(stmt, ast.AnnAssign) and stmt.value is None:
+        return state
+    value = stmt.value
+    for target in targets:
+        if isinstance(target, ast.Name):
+            if env.is_unordered(value, include_neighbors=False):
+                out[("s", target.id)] = where
+            else:
+                out.pop(("s", target.id), None)
+            if _container_of_sets(value, env):
+                out[("c", target.id)] = where
+        elif isinstance(target, ast.Subscript):
+            root = target.value
+            if isinstance(root, ast.Name) and env.is_unordered(
+                value, include_neighbors=False
+            ):
+                out[("c", root.id)] = where
+    return out if out != state else state
+
+
+def _order_join(a: _FlowState, b: _FlowState) -> _FlowState:
+    if a == b:
+        return a
+    out = dict(a)
+    for key, where in b.items():
+        if key not in out or where < out[key]:
+            out[key] = where
+    return out
+
+
+def _order_source(
+    src: SourceFile, state: _FlowState, iterable: ast.AST
+) -> Optional[Dict[str, object]]:
+    """The trace step for the assignment that made ``iterable``
+    unordered, when it flowed through a tracked name."""
+    name = None
+    if isinstance(iterable, ast.Name):
+        name = ("s", iterable.id)
+    elif isinstance(iterable, ast.Subscript) and isinstance(
+        iterable.value, ast.Name
+    ):
+        name = ("c", iterable.value.id)
+    where = state.get(name) if name is not None else None
+    if where is None:
+        return None
+    return {
+        "line": where[0],
+        "col": where[1],
+        "text": src.line_text(where[0]),
+        "note": "unordered iterable assigned here",
+    }
+
+
+def _with_flow_meta(
+    finding: Finding, src: SourceFile, state: _FlowState, iterable: ast.AST
+) -> Finding:
+    """Attach the dataflow trace + source/sink fingerprint."""
+    source = _order_source(src, state, iterable)
+    sink = {
+        "line": finding.line,
+        "col": finding.col,
+        "text": finding.line_text,
+        "note": "hash order leaks into ordered output",
+    }
+    steps = (source, sink) if source is not None else (sink,)
+    source_text = source["text"] if source is not None else finding.line_text
+    return replace(
+        finding,
+        trace=steps,
+        fingerprint=flow_fingerprint(
+            finding.rule, str(source_text), finding.line_text
+        ),
+    )
+
+
 @rule(
     "REP001",
     "nondeterministic-iteration",
@@ -222,15 +322,30 @@ def _describe(node: ast.AST) -> str:
     "an ordered output",
 )
 def check_nondeterministic_iteration(src: SourceFile) -> Iterator[Finding]:
-    for scope in _scopes(src.tree):
-        env = _SetTypes()
-        for node in _walk_scope(scope):
-            if isinstance(node, (ast.Assign, ast.AnnAssign)):
-                env.observe(node)
-            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
-                yield from _check_comprehension(src, node, env)
-            elif isinstance(node, ast.For):
-                yield from _check_for_loop(src, node, env)
+    from repro.analysis.flow import cfgs_for, fixpoint
+    from repro.analysis.rules.flow_domains import (
+        _scan_roots,
+        _walk_expr_scope,
+    )
+
+    for _func, cfg in cfgs_for(src).values():
+        before = fixpoint(cfg, {}, _order_transfer, _order_join)
+        for node in cfg.nodes:
+            state = before.get(node.index)
+            if state is None or node.stmt is None:
+                continue
+            env = _set_view(state)
+            if node.kind == "iter" and isinstance(node.stmt, ast.For):
+                for finding in _check_for_loop(src, node.stmt, env):
+                    yield _with_flow_meta(finding, src, state, node.stmt.iter)
+                continue
+            for root in _scan_roots(node):
+                for sub in _walk_expr_scope(root):
+                    if isinstance(sub, (ast.ListComp, ast.GeneratorExp)):
+                        for finding in _check_comprehension(src, sub, env):
+                            yield _with_flow_meta(
+                                finding, src, state, sub.generators[0].iter
+                            )
 
 
 def _check_comprehension(

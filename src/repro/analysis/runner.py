@@ -3,15 +3,21 @@
 Collects python files, parses each once, runs every file-scope rule on
 every file and every project-scope rule on the whole set, applies
 inline suppressions, and returns one :class:`AnalysisReport`.
+
+File-scope rule results can be cached per file (content-addressed, see
+:mod:`repro.analysis.cache`) and computed in parallel (``jobs``);
+suppressions, the baseline, and project-scope rules always run live in
+the calling process, so the policy layers can never go stale.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.cache import FindingsCache
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.registry import Rule, all_rules
 from repro.analysis.source import SourceFile
@@ -26,6 +32,8 @@ class AnalysisReport:
     grandfathered: List[Finding] = field(default_factory=list)
     unused_baseline: List[BaselineEntry] = field(default_factory=list)
     files_scanned: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def ok(self) -> bool:
@@ -80,6 +88,12 @@ def run_rules(
                 findings.extend(rule.run(src))
         else:
             findings.extend(rule.run(files))
+    return _apply_suppressions(findings, files)
+
+
+def _apply_suppressions(
+    findings: List[Finding], files: List[SourceFile]
+) -> "tuple[List[Finding], List[Finding]]":
     by_path = {src.path: src for src in files}
     kept: List[Finding] = []
     suppressed: List[Finding] = []
@@ -92,10 +106,58 @@ def run_rules(
     return sorted(kept), suppressed
 
 
+def _file_rule_findings(src: SourceFile, rules: List[Rule]) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule in rules:
+        findings.extend(rule.run(src))
+    return findings
+
+
+def _worker(job: "Tuple[str, Tuple[str, ...]]") -> "Tuple[str, List[dict]]":
+    """Pool worker: parse one file, run the named file-scope rules.
+
+    Takes and returns only plain JSON-ish values so it works under any
+    multiprocessing start method.  Parse failures return no findings —
+    the parent already parsed the file and reported them.
+    """
+    path, rule_ids = job
+    wanted = set(rule_ids)
+    rules = [r for r in all_rules() if r.id in wanted]
+    try:
+        src = SourceFile.read(path)
+    except (SyntaxError, OSError):
+        return path, []
+    return path, [f.as_dict() for f in _file_rule_findings(src, rules)]
+
+
+def _compute_file_findings(
+    files: List[SourceFile],
+    file_rules: List[Rule],
+    jobs: int,
+) -> Dict[str, List[Finding]]:
+    """``{path: findings}`` for file-scope rules, optionally parallel."""
+    if jobs > 1 and len(files) > 1:
+        import multiprocessing
+
+        rule_ids = tuple(r.id for r in file_rules)
+        payload = [(src.path, rule_ids) for src in files]
+        with multiprocessing.Pool(processes=jobs) as pool:
+            results = pool.map(_worker, payload)
+        return {
+            path: [Finding.from_dict(raw) for raw in dicts]
+            for path, dicts in results
+        }
+    return {
+        src.path: _file_rule_findings(src, file_rules) for src in files
+    }
+
+
 def analyze(
     paths: Sequence[str],
     baseline: Optional[Baseline] = None,
     rules: Optional[List[Rule]] = None,
+    cache: Optional[FindingsCache] = None,
+    jobs: int = 1,
 ) -> AnalysisReport:
     """Run the full analysis over ``paths``.
 
@@ -108,7 +170,17 @@ def analyze(
         grandfathered instead of new.
     rules:
         Optional explicit rule list (defaults to the full registry).
+    cache:
+        Optional :class:`FindingsCache`; file-scope results are reused
+        for files whose content (and rule set) is unchanged.
+    jobs:
+        Worker processes for file-scope rules on cache misses (1 =
+        in-process).
     """
+    if rules is None:
+        rules = all_rules()
+    file_rules = [r for r in rules if r.scope == "file"]
+    project_rules = [r for r in rules if r.scope != "file"]
     report = AnalysisReport()
     file_paths = collect_files(paths)
     report.files_scanned = len(file_paths)
@@ -132,8 +204,45 @@ def analyze(
                     line_text=(exc.text or "").strip(),
                 )
             )
-    findings, report.suppressed = run_rules(files, rules)
-    findings = sorted(parse_findings + findings)
+    # File-scope rules: serve what we can from the cache, compute the
+    # rest (possibly in parallel), backfill the cache.
+    per_file: Dict[str, List[Finding]] = {}
+    keys: Dict[str, str] = {}
+    pending: List[SourceFile] = []
+    rule_ids = [r.id for r in file_rules]
+    for src in files:
+        if cache is None:
+            pending.append(src)
+            continue
+        key = cache.key(src.path, src.text.encode("utf-8"), rule_ids)
+        keys[src.path] = key
+        hit = cache.get(key)
+        if hit is None:
+            pending.append(src)
+        else:
+            # The key normalizes the path (abspath), so a hit may have
+            # been stored under a different spelling of this file
+            # (relative vs absolute); suppression matching is exact on
+            # path, so rebind findings to the path being scanned.
+            per_file[src.path] = [
+                replace(f, path=src.path) for f in hit
+            ]
+    computed = _compute_file_findings(pending, file_rules, jobs)
+    per_file.update(computed)
+    if cache is not None:
+        for path, found in computed.items():
+            cache.put(keys[path], found)
+        report.cache_hits = cache.hits
+        report.cache_misses = cache.misses
+    findings: List[Finding] = []
+    for src in files:
+        findings.extend(per_file.get(src.path, []))
+    # Project-scope rules relate files to each other; they always run
+    # live on the full parsed set.
+    for rule in project_rules:
+        findings.extend(rule.run(files))
+    kept, report.suppressed = _apply_suppressions(findings, files)
+    findings = sorted(parse_findings + kept)
     if baseline is not None:
         new, grandfathered, unused = baseline.split(findings)
         report.findings = new

@@ -1026,11 +1026,15 @@ class SearchEngine:
         previous_limit = sys.getrecursionlimit()
         needed = ops.search_size() + 100
         raised = needed > previous_limit
-        if raised:
-            sys.setrecursionlimit(needed)
+        # Everything that can raise (attribute lookups, perf_counter)
+        # stays *above* the mutation: the ``try`` must begin on the
+        # very next statement or an exception in between leaks the
+        # raised limit (REP012 checks this structurally).
         complete = seeds is None
         unit = ops.unit
         start = perf_counter()
+        if raised:
+            sys.setrecursionlimit(needed)
         try:
             # Module-global lookup on purpose: tests swap in a
             # tampered recursion by monkeypatching

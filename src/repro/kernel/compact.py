@@ -39,6 +39,7 @@ try:
 except AttributeError:  # pragma: no cover - Python 3.9 fallback
     def bit_count(bits: int) -> int:
         """Portable popcount: number of set bits in ``bits``."""
+        # repro-lint: ok REP011 bin() here IS the popcount (3.9 fallback)
         return bin(bits).count("1")
 
 

@@ -72,6 +72,7 @@ def rescale(graph: UncertainGraph, low: float, high: float) -> UncertainGraph:
     lo, hi = min(probs), max(probs)
     span = hi - lo
     for u, v, p in graph.edges():
+        # repro-lint: ok REP003 span is exactly 0.0 only when min==max
         if span == 0:
             scaled = high
         else:

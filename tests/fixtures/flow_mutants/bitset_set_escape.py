@@ -1,0 +1,25 @@
+"""Seeded mutant: big-int candidate bitsets escaping the bit domain.
+
+``collect`` does the blessed extraction loop (silent) but then
+materializes the bitset as a ``set()``; ``count_members`` probes every
+index of the universe with ``>> w & 1`` instead of popcounting.
+"""
+
+
+def collect(cand_bits, bit_at):
+    live = cand_bits
+    members = []
+    while live:
+        w = live.bit_length() - 1
+        live ^= bit_at[w]
+        members.append(w)  # blessed extraction idiom: stays silent
+    leaked = cand_bits
+    return set(leaked)  # REP011: materialized via set()
+
+
+def count_members(cand_bits, n):
+    hits = 0
+    for w in range(n):
+        if cand_bits >> w & 1:  # REP011: per-index membership probe
+            hits += 1
+    return hits

@@ -1,0 +1,27 @@
+"""Seeded mutant: hash-order taint surviving three assignments.
+
+The old document-order REP001 tracked set-typedness through direct
+assignment chains too, but only the flow rewrite pins *where* the
+order-dependence entered — the trace must name the last assignment
+that made the iterable unordered.
+"""
+
+
+def ordered_output(values):
+    pool = set(values)
+    staged = pool
+    chosen = staged
+    out = []
+    for v in chosen:
+        out.append(v)  # REP001: hash order leaks into ordered output
+    return out
+
+
+def sorted_output(values):
+    pool = set(values)
+    staged = pool
+    chosen = sorted(staged)
+    out = []
+    for v in chosen:
+        out.append(v)
+    return out

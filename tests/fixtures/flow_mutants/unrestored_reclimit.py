@@ -1,0 +1,29 @@
+"""Seeded mutant: recursion limit raised with the restore not in a
+``finally`` — the exact bug PR 6 fixed by hand in the engine driver.
+
+``deepen`` leaks the raised limit when ``explore`` raises;
+``deepen_safe`` is the corrected twin and must stay silent.
+"""
+
+import sys
+
+
+def deepen(graph, needed):
+    previous = sys.getrecursionlimit()
+    sys.setrecursionlimit(needed)
+    result = explore(graph)  # raises -> limit stays raised
+    sys.setrecursionlimit(previous)
+    return result
+
+
+def deepen_safe(graph, needed):
+    previous = sys.getrecursionlimit()
+    sys.setrecursionlimit(needed)
+    try:
+        return explore(graph)
+    finally:
+        sys.setrecursionlimit(previous)
+
+
+def explore(graph):
+    return list(graph)

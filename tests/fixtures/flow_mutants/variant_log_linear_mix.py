@@ -1,0 +1,26 @@
+"""Seeded mutant: log/linear probability mix inside a folded variant.
+
+The mix hides in the ``if BITSET:`` arm of a ``_search_template``
+clone.  REP010 never analyzes the unfolded template (production only
+ever executes the AST-folded variants), so the bug is visible only to
+a scanner that folds the template the way the engine's specializer
+does and analyzes each distinct variant.
+"""
+
+HOOKS = False
+BITSET = False
+HYBRID = False
+KPIVOT = False
+COLOR_BOUND = False
+IMPROVED = False
+BASIC = False
+WIDESCAN = False
+
+
+def _search_template(sv, nlq, p_e, acc):
+    if BITSET:
+        score = nlq + p_e  # log-domain nlq meets linear p_e
+        acc.append(score)
+    else:
+        acc.append(p_e)
+    return acc

@@ -1,0 +1,796 @@
+"""Flow-analysis core, the flow rules (REP010–REP012), the seeded
+mutant corpus, and the satellites that ride on the flow layer: SARIF
+output, fingerprint baselines, the per-file cache and --jobs.
+
+The mutant corpus in ``tests/fixtures/flow_mutants/`` is the
+acceptance net: each file seeds exactly the bug class its name says,
+and the tests assert both that the rule fires *and* that the attached
+dataflow trace names the true source and sink.
+"""
+
+import ast
+import io
+import json
+import os
+import textwrap
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.cache import FindingsCache
+from repro.analysis.cli import main
+from repro.analysis.findings import Finding, flow_fingerprint
+from repro.analysis.flow import build_cfg, cfgs_for, fixpoint
+from repro.analysis.registry import get_rule
+from repro.analysis.runner import analyze, run_rules
+from repro.analysis.source import SourceFile
+
+REPO = Path(__file__).resolve().parents[1]
+SRC_REPRO = REPO / "src" / "repro"
+MUTANTS = Path(__file__).parent / "fixtures" / "flow_mutants"
+
+
+def findings_for(code, rule_id, path="fixture.py"):
+    src = SourceFile(path, textwrap.dedent(code))
+    kept, _suppressed = run_rules([src], [get_rule(rule_id)])
+    return kept
+
+
+def assert_clean(code, rule_id):
+    found = findings_for(code, rule_id)
+    assert found == [], [f.format_text() for f in found]
+
+
+def assert_flags(code, rule_id, count=1):
+    found = findings_for(code, rule_id)
+    assert len(found) == count, [f.format_text() for f in found]
+    assert all(f.rule == rule_id for f in found)
+    return found
+
+
+def mutant_findings(name, rule_id):
+    src = SourceFile.read(str(MUTANTS / name))
+    kept, _ = run_rules([src], [get_rule(rule_id)])
+    return src, kept
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# CFG core
+# ----------------------------------------------------------------------
+def _cfg_for(code):
+    src = SourceFile("cfg_fixture.py", textwrap.dedent(code))
+    funcs = [f for f, _ in cfgs_for(src).values() if f is not None]
+    assert len(funcs) == 1
+    return next(
+        cfg for f, cfg in cfgs_for(src).values() if f is not None
+    )
+
+
+def test_cfg_branch_nodes_and_exceptional_exit():
+    cfg = _cfg_for(
+        """
+        def f(x):
+            if x > 0:
+                y = work(x)
+            else:
+                y = 0
+            return y
+        """
+    )
+    kinds = {node.kind for node in cfg.nodes}
+    assert "test" in kinds
+    # The call statement can raise: it must have an edge that reaches
+    # the exceptional exit.
+    call_nodes = [
+        n for n in cfg.nodes
+        if n.stmt is not None and "work" in ast.dump(n.stmt)
+    ]
+    assert call_nodes
+    assert any(cfg.raise_exit in n.succ for n in call_nodes)
+
+
+def test_cfg_finally_nodes_are_tagged_with_their_try():
+    cfg = _cfg_for(
+        """
+        def f(x):
+            try:
+                y = work(x)
+            finally:
+                cleanup()
+            return y
+        """
+    )
+    tagged = [n for n in cfg.nodes if n.finally_of is not None]
+    assert tagged, "finally body nodes must carry finally_of"
+    assert all(isinstance(n.finally_of, ast.Try) for n in tagged)
+
+
+def test_fixpoint_joins_facts_across_branches():
+    cfg = _cfg_for(
+        """
+        def f(flag):
+            if flag:
+                x = 1
+            else:
+                y = 2
+            return 0
+        """
+    )
+
+    def transfer(node, state):
+        stmt = node.stmt
+        if isinstance(stmt, ast.Assign) and isinstance(
+            stmt.targets[0], ast.Name
+        ):
+            return state | {stmt.targets[0].id}
+        return state
+
+    before = fixpoint(cfg, frozenset(), transfer, frozenset.union)
+    return_nodes = [
+        n for n in cfg.nodes if isinstance(n.stmt, ast.Return)
+    ]
+    assert len(return_nodes) == 1
+    # Both branch facts survive the merge.
+    assert before[return_nodes[0].index] == frozenset({"x", "y"})
+
+
+# ----------------------------------------------------------------------
+# REP010 — probability-domain mixing
+# ----------------------------------------------------------------------
+def test_rep010_flags_mix_through_assignment():
+    found = assert_flags(
+        """
+        def f(nlq, p):
+            carried = nlq
+            return carried + p
+        """,
+        "REP010",
+    )
+    message = found[0].message
+    assert "log-domain name `nlq`" in message
+    assert "linear-probability name `p`" in message
+    notes = [step["note"] for step in found[0].trace]
+    assert notes[-1] == "domains meet in arithmetic"
+
+
+def test_rep010_flags_mix_through_tuple_unpacking():
+    assert_flags(
+        """
+        def f(nlq, p):
+            packed = (nlq, 3)
+            a, b = packed
+            return a < p
+        """,
+        "REP010",
+    )
+
+
+def test_rep010_flags_mix_through_container_round_trip():
+    assert_flags(
+        """
+        def f(sv, p, w):
+            vals = [sv[w]]
+            x = vals[0]
+            return x - p
+        """,
+        "REP010",
+    )
+
+
+def test_rep010_accepts_blessed_exp_conversion():
+    assert_clean(
+        """
+        from math import exp
+
+        def f(nlq, p):
+            linear = exp(-nlq)
+            return linear * p
+        """,
+        "REP010",
+    )
+
+
+def test_rep010_accepts_plain_log_as_ordinary_math():
+    # Entropy terms etc.: log() consumes the probability and yields a
+    # domain-free scalar, so no log/linear mix exists.
+    assert_clean(
+        """
+        from math import log
+
+        def f(p, q_weight):
+            return p * log(p)
+        """,
+        "REP010",
+    )
+
+
+def test_rep010_flags_nlog_encoding_sources():
+    assert_flags(
+        """
+        from math import log
+
+        def f(p, eta):
+            encoded = -log(p)
+            return encoded <= eta
+        """,
+        "REP010",
+    )
+
+
+def test_rep010_strong_update_kills_taint():
+    assert_clean(
+        """
+        def f(nlq, p):
+            x = nlq
+            x = 0
+            return x + p
+        """,
+        "REP010",
+    )
+
+
+def test_rep010_taint_joins_across_branches():
+    assert_flags(
+        """
+        def f(nlq, p, flag):
+            x = 0
+            if flag:
+                x = nlq
+            return x + p
+        """,
+        "REP010",
+    )
+
+
+# ----------------------------------------------------------------------
+# REP011 — bitset escape
+# ----------------------------------------------------------------------
+def test_rep011_flags_direct_iteration():
+    found = assert_flags(
+        """
+        def f(cand_bits):
+            out = 0
+            for w in cand_bits:
+                out += w
+            return out
+        """,
+        "REP011",
+    )
+    assert "iterated element-by-element" in found[0].message
+
+
+def test_rep011_accepts_extraction_idiom_and_popcount():
+    assert_clean(
+        """
+        def f(cand_bits, bit_at):
+            total = popcount(cand_bits)
+            while cand_bits:
+                w = cand_bits.bit_length() - 1
+                cand_bits ^= bit_at[w]
+                total += w
+            return total
+        """,
+        "REP011",
+    )
+
+
+def test_rep011_flags_list_materialization_through_alias():
+    found = assert_flags(
+        """
+        def f(cand_bits):
+            snapshot = cand_bits
+            return list(snapshot)
+        """,
+        "REP011",
+    )
+    assert "materialized via `list(...)`" in found[0].message
+
+
+# ----------------------------------------------------------------------
+# REP012 — unrestored interpreter/global state
+# ----------------------------------------------------------------------
+def test_rep012_flags_env_write_without_finally():
+    found = assert_flags(
+        """
+        import os
+
+        def f(value, graph):
+            os.environ["MODE"] = value
+            return render(graph)
+        """,
+        "REP012",
+    )
+    assert "os.environ" in found[0].message
+
+
+def test_rep012_accepts_env_write_restored_in_finally():
+    assert_clean(
+        """
+        import os
+
+        def f(value, graph):
+            old = os.environ.get("MODE")
+            os.environ["MODE"] = value
+            try:
+                return render(graph)
+            finally:
+                os.environ["MODE"] = old
+        """,
+        "REP012",
+    )
+
+
+def test_rep012_flags_global_mutation_before_raising_call():
+    found = assert_flags(
+        """
+        TOTAL = 0
+
+        def bump(graph):
+            global TOTAL
+            TOTAL = 1
+            return render(graph)
+        """,
+        "REP012",
+    )
+    assert "global `TOTAL`" in found[0].message
+
+
+def test_rep012_exempts_fill_once_memo_globals():
+    assert_clean(
+        """
+        _CACHE = None
+
+        def load():
+            global _CACHE
+            if _CACHE is None:
+                _CACHE = expensive()
+            return _CACHE
+        """,
+        "REP012",
+    )
+
+
+# ----------------------------------------------------------------------
+# seeded mutant corpus: every mutant fires with the expected trace
+# ----------------------------------------------------------------------
+def test_mutant_variant_log_linear_mix_is_caught():
+    src, found = mutant_findings("variant_log_linear_mix.py", "REP010")
+    assert len(found) == 1, [f.format_text() for f in found]
+    finding = found[0]
+    # Anchored to the real source line of the template, not a variant
+    # copy's synthetic position.
+    assert src.line_text(finding.line) == "score = nlq + p_e  # log-domain nlq meets linear p_e"
+    assert "log-domain name `nlq`" in finding.message
+    assert "linear-probability name `p_e`" in finding.message
+    notes = [step["note"] for step in finding.trace]
+    assert "log-domain name `nlq`" in notes
+    assert "linear-probability name `p_e`" in notes
+    assert notes[-1] == "domains meet in arithmetic"
+    assert finding.fingerprint
+
+
+def test_mutant_variant_mix_invisible_without_folding():
+    # Sanity: the sink line sits inside an `if BITSET:` arm, so the
+    # finding can only come from a folded variant — the unfolded
+    # template is never analyzed.
+    src = SourceFile.read(str(MUTANTS / "variant_log_linear_mix.py"))
+    from repro.analysis.rules.flow_domains import _function_units
+
+    units = _function_units(src)
+    names = [f.name for f, _ in units if f is not None]
+    assert "_search_template" in names  # the folded variants
+    # More units than the file's two syntactic scopes (module + the
+    # template): variants were added.
+    assert len(units) > 2
+
+
+def test_mutant_bitset_escape_is_caught_twice_and_extraction_is_not():
+    src, found = mutant_findings("bitset_set_escape.py", "REP011")
+    assert len(found) == 2, [f.format_text() for f in found]
+    by_verb = {f.message.split("; ")[0]: f for f in found}
+    texts = sorted(f.line_text for f in found)
+    assert texts == [
+        "if cand_bits >> w & 1:  # REP011: per-index membership probe",
+        "return set(leaked)  # REP011: materialized via set()",
+    ]
+    materialize = next(f for f in found if "materialized" in f.message)
+    # The trace names the true source — the `cand_bits` reference in
+    # the alias assignment — and the materializing sink.
+    source, sink = materialize.trace[0], materialize.trace[-1]
+    assert source["note"] == "bit-domain name `cand_bits`"
+    assert source["text"] == "leaked = cand_bits"
+    assert sink["note"] == "bitset materialized via `set(...)`"
+    probe = next(f for f in found if "probed per-index" in f.message)
+    assert "`>> w & 1`" in probe.message
+    assert by_verb  # both shapes present
+
+
+def test_mutant_unrestored_reclimit_fires_only_on_the_unsafe_twin():
+    src, found = mutant_findings("unrestored_reclimit.py", "REP012")
+    assert len(found) == 1, [f.format_text() for f in found]
+    finding = found[0]
+    assert finding.line_text == "sys.setrecursionlimit(needed)"
+    assert "sys.setrecursionlimit" in finding.message
+    # The trace names the mutation (source) and the escaping statement
+    # (sink) — the raising call, not some later line.
+    assert len(finding.trace) == 2
+    source, sink = finding.trace
+    assert source["note"] == "sys.setrecursionlimit mutated"
+    assert "explore(graph)" in sink["text"]
+    assert "escape" in sink["note"]
+    # deepen_safe's mutation is inside the try/finally: silent.
+    unsafe_line = finding.line
+    deepen_safe_start = next(
+        i for i, line in enumerate(src.lines, 1)
+        if line.startswith("def deepen_safe")
+    )
+    assert unsafe_line < deepen_safe_start
+
+
+def test_mutant_order_taint_chain_traces_the_last_assignment():
+    src, found = mutant_findings("order_taint_chain.py", "REP001")
+    assert len(found) == 1, [f.format_text() for f in found]
+    finding = found[0]
+    assert finding.line_text.startswith("for v in chosen:")
+    assert len(finding.trace) == 2
+    source, sink = finding.trace
+    assert source["text"] == "chosen = staged"
+    assert source["note"] == "unordered iterable assigned here"
+    assert sink["note"] == "hash order leaks into ordered output"
+    assert finding.fingerprint == flow_fingerprint(
+        "REP001", "chosen = staged", finding.line_text
+    )
+
+
+# ----------------------------------------------------------------------
+# negatives on real engine/kernel sources
+# ----------------------------------------------------------------------
+def test_flow_rules_clean_on_engine_and_kernel_sources():
+    targets = [SRC_REPRO / "engine" / "driver.py"]
+    targets += sorted((SRC_REPRO / "kernel").glob("*.py"))
+    files = [SourceFile.read(str(p)) for p in targets]
+    for rule_id in ("REP010", "REP011", "REP012"):
+        kept, _suppressed = run_rules(files, [get_rule(rule_id)])
+        assert kept == [], (
+            rule_id,
+            [f.format_text() for f in kept],
+        )
+
+
+def test_rep003_flow_extension_flags_taint_through_assignments():
+    # Neither `carried` nor `cutoff` matches the name heuristic — the
+    # syntactic pass is blind here; only the flow extension sees the
+    # probability taint carried through the assignment chain.
+    found = assert_flags(
+        """
+        def f(p_edge, cutoff):
+            staged = p_edge
+            carried = staged
+            if carried == cutoff:
+                return 1
+            return 0
+        """,
+        "REP003",
+    )
+    finding = found[0]
+    assert finding.trace, "flow extension must attach a trace"
+    assert "probability taint" in finding.message
+    assert "linear-probability name `p_edge`" in finding.message
+    assert finding.fingerprint
+
+
+# ----------------------------------------------------------------------
+# fingerprints and the baseline
+# ----------------------------------------------------------------------
+def _reclimit_code(prefix_lines=0):
+    return ("# pad\n" * prefix_lines) + textwrap.dedent(
+        """
+        import sys
+
+        def f(graph, needed):
+            sys.setrecursionlimit(needed)
+            return walk(graph)
+        """
+    )
+
+
+def test_fingerprint_survives_line_moves(tmp_path):
+    bad = tmp_path / "mod.py"
+    bad.write_text(_reclimit_code())
+    first = analyze([str(bad)]).findings
+    bad.write_text(_reclimit_code(prefix_lines=7))
+    second = analyze([str(bad)]).findings
+    assert len(first) == len(second) == 1
+    assert first[0].line != second[0].line
+    assert first[0].fingerprint == second[0].fingerprint
+
+
+def test_baseline_fingerprint_matching_ignores_line_text(tmp_path):
+    bad = tmp_path / "mod.py"
+    bad.write_text(_reclimit_code())
+    finding = analyze([str(bad)]).findings[0]
+    baseline_file = tmp_path / "baseline.json"
+    baseline_file.write_text(
+        json.dumps(
+            {
+                "findings": [
+                    {
+                        "rule": "REP012",
+                        "path": "mod.py",
+                        "line_text": "<stale text is ignored>",
+                        "fingerprint": finding.fingerprint,
+                        "justification": "fingerprint carries identity",
+                    }
+                ]
+            }
+        )
+    )
+    report = analyze(
+        [str(bad)], baseline=Baseline.load(str(baseline_file))
+    )
+    assert report.findings == []
+    assert len(report.grandfathered) == 1
+    assert report.unused_baseline == []
+
+
+def test_prune_stale_drops_fingerprint_entries_whose_finding_is_gone(
+    tmp_path,
+):
+    bad = tmp_path / "mod.py"
+    bad.write_text(_reclimit_code())
+    finding = analyze([str(bad)]).findings[0]
+    baseline_file = tmp_path / "baseline.json"
+    baseline_file.write_text(
+        json.dumps(
+            {
+                "findings": [
+                    {
+                        "rule": "REP012",
+                        "path": "mod.py",
+                        "line_text": finding.line_text,
+                        "fingerprint": finding.fingerprint,
+                        "justification": "goes stale after the fix",
+                    }
+                ]
+            }
+        )
+    )
+    # Fix the bug: wrap in try/finally.
+    bad.write_text(
+        textwrap.dedent(
+            """
+            import sys
+
+            def f(graph, needed):
+                old = sys.getrecursionlimit()
+                sys.setrecursionlimit(needed)
+                try:
+                    return walk(graph)
+                finally:
+                    sys.setrecursionlimit(old)
+            """
+        )
+    )
+    code, text = run_cli(
+        [
+            str(bad),
+            "--baseline",
+            str(baseline_file),
+            "--prune-stale",
+            "--no-cache",
+        ]
+    )
+    assert code == 0
+    assert "pruned 1 stale entry" in text
+    assert json.loads(baseline_file.read_text())["findings"] == []
+
+
+def test_committed_baseline_rep012_entries_carry_fingerprints():
+    entries = Baseline.load(
+        str(REPO / "repro-lint.baseline.json")
+    ).entries
+    flow_entries = [e for e in entries if e.rule == "REP012"]
+    assert flow_entries, "cli.py env plumbing must be baselined"
+    assert all(e.fingerprint for e in flow_entries)
+
+
+# ----------------------------------------------------------------------
+# SARIF output
+# ----------------------------------------------------------------------
+def test_cli_sarif_output_is_valid_and_carries_code_flows(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(_reclimit_code())
+    code, text = run_cli(
+        [str(bad), "--no-baseline", "--no-cache", "--format=sarif"]
+    )
+    assert code == 1
+    doc = json.loads(text)
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    rule_ids = {r["id"] for r in driver["rules"]}
+    assert {"REP001", "REP010", "REP011", "REP012"} <= rule_ids
+    results = run["results"]
+    assert len(results) == 1
+    result = results[0]
+    assert result["ruleId"] == "REP012"
+    assert result["level"] == "error"
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] >= 1 and region["startColumn"] >= 1
+    flow_locs = result["codeFlows"][0]["threadFlows"][0]["locations"]
+    assert len(flow_locs) == 2  # mutation source + escaping sink
+    assert result["partialFingerprints"]["reproFlowFingerprint/v1"]
+    assert "suppressions" not in result
+
+
+def test_sarif_marks_suppressed_and_baselined_results(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def f(values):\n"
+        "    # repro-lint: ok REP001 order-insensitive\n"
+        "    return [v for v in set(values)]\n"
+    )
+    code, text = run_cli(
+        [str(bad), "--no-baseline", "--no-cache", "--format=sarif"]
+    )
+    assert code == 0
+    results = json.loads(text)["runs"][0]["results"]
+    assert len(results) == 1
+    assert results[0]["suppressions"] == [{"kind": "inSource"}]
+
+
+# ----------------------------------------------------------------------
+# per-file cache
+# ----------------------------------------------------------------------
+def test_cache_hits_on_unchanged_content_and_reproduces_findings(
+    tmp_path,
+):
+    bad = tmp_path / "bad.py"
+    bad.write_text(_reclimit_code())
+    root = str(tmp_path / "cache")
+    first = analyze([str(bad)], cache=FindingsCache(root))
+    assert (first.cache_hits, first.cache_misses) == (0, 1)
+    second = analyze([str(bad)], cache=FindingsCache(root))
+    assert (second.cache_hits, second.cache_misses) == (1, 0)
+    assert [f.as_dict() for f in second.findings] == [
+        f.as_dict() for f in first.findings
+    ]
+    # Trace and fingerprint round-trip through the cache.
+    assert second.findings[0].trace == first.findings[0].trace
+    assert second.findings[0].fingerprint == first.findings[0].fingerprint
+
+
+def test_cache_misses_when_content_changes(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(_reclimit_code())
+    root = str(tmp_path / "cache")
+    analyze([str(bad)], cache=FindingsCache(root))
+    bad.write_text(_reclimit_code(prefix_lines=3))
+    report = analyze([str(bad)], cache=FindingsCache(root))
+    assert (report.cache_hits, report.cache_misses) == (0, 1)
+    assert len(report.findings) == 1
+
+
+def test_cache_ignores_corrupt_entries(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(_reclimit_code())
+    root = tmp_path / "cache"
+    cache = FindingsCache(str(root))
+    analyze([str(bad)], cache=cache)
+    for entry in root.rglob("*.json"):
+        entry.write_text("{not json")
+    report = analyze([str(bad)], cache=FindingsCache(str(root)))
+    assert report.cache_misses == 1
+    assert len(report.findings) == 1
+
+
+def test_cache_keys_include_the_path(tmp_path):
+    # Identical content at a different path must not serve the other
+    # file's cached findings (they embed the scanned path).
+    content = "def f(values):\n    return [v for v in set(values)]\n"
+    a = tmp_path / "a.py"
+    b = tmp_path / "b.py"
+    a.write_text(content)
+    b.write_text(content)
+    root = str(tmp_path / "cache")
+    analyze([str(a)], cache=FindingsCache(root))
+    report = analyze([str(b)], cache=FindingsCache(root))
+    assert report.cache_hits == 0
+    assert [f.path for f in report.findings] == [str(b)]
+
+
+def test_cache_hit_rebinds_path_spelling(tmp_path, monkeypatch):
+    # The key normalizes the path, so `sub/f.py` and its absolute
+    # spelling share one entry; findings served from it must carry the
+    # spelling being scanned or exact-path suppression matching breaks.
+    sub = tmp_path / "sub"
+    sub.mkdir()
+    f = sub / "f.py"
+    f.write_text(
+        "def f(values):\n"
+        "    # repro-lint: ok REP001 order does not matter here\n"
+        "    return [v for v in set(values)]\n"
+    )
+    root = str(tmp_path / "cache")
+    monkeypatch.chdir(tmp_path)
+    warm = analyze([str(f)], cache=FindingsCache(root))
+    assert warm.findings == [] and len(warm.suppressed) == 1
+    again = analyze([os.path.join("sub", "f.py")], cache=FindingsCache(root))
+    assert again.cache_hits == 1
+    assert again.findings == []
+    assert [x.path for x in again.suppressed] == [os.path.join("sub", "f.py")]
+
+
+def test_cache_suppressions_stay_live(tmp_path):
+    # The cache stores raw findings; an inline suppression added later
+    # changes the content hash, so the suppression takes effect.
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def f(values):\n    return [v for v in set(values)]\n"
+    )
+    root = str(tmp_path / "cache")
+    first = analyze([str(bad)], cache=FindingsCache(root))
+    assert len(first.findings) == 1
+    bad.write_text(
+        "def f(values):\n"
+        "    # repro-lint: ok REP001 order-insensitive\n"
+        "    return [v for v in set(values)]\n"
+    )
+    second = analyze([str(bad)], cache=FindingsCache(root))
+    assert second.findings == []
+    assert len(second.suppressed) == 1
+
+
+def test_cli_cache_dir_and_no_cache(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def f(values):\n    return [v for v in set(values)]\n"
+    )
+    cache_dir = tmp_path / "lint-cache"
+    code, text = run_cli(
+        [
+            str(bad),
+            "--no-baseline",
+            "--cache-dir",
+            str(cache_dir),
+        ]
+    )
+    assert code == 1
+    assert cache_dir.is_dir()
+    assert "[cache: 0 hit, 1 miss]" in text
+    code, text = run_cli(
+        [str(bad), "--no-baseline", "--cache-dir", str(cache_dir)]
+    )
+    assert "[cache: 1 hit, 0 miss]" in text
+    code, text = run_cli([str(bad), "--no-baseline", "--no-cache"])
+    assert "[cache:" not in text
+
+
+# ----------------------------------------------------------------------
+# --jobs: parallel file-scope analysis is result-identical
+# ----------------------------------------------------------------------
+def test_jobs_parallel_results_match_serial(tmp_path):
+    (tmp_path / "a.py").write_text(
+        "def f(values):\n    return [v for v in set(values)]\n"
+    )
+    (tmp_path / "b.py").write_text(_reclimit_code())
+    (tmp_path / "c.py").write_text("X = 1\n")
+    serial = analyze([str(tmp_path)])
+    parallel = analyze([str(tmp_path)], jobs=2)
+    assert [f.as_dict() for f in serial.findings] == [
+        f.as_dict() for f in parallel.findings
+    ]
+    assert serial.files_scanned == parallel.files_scanned == 3
+
+
+def test_cli_rejects_bad_jobs_value(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("X = 1\n")
+    code, _ = run_cli([str(clean), "--no-baseline", "--jobs", "0"])
+    assert code == 2

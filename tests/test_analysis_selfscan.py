@@ -39,7 +39,8 @@ def test_src_repro_is_clean_modulo_baseline():
     assert report.files_scanned > 50
     # The committed baseline must stay minimal and fully used.
     assert report.unused_baseline == []
-    assert len(report.grandfathered) == 1
+    # One REP001 (random_graphs) + three REP012 (cli.py env plumbing).
+    assert len(report.grandfathered) == 4
 
 
 def test_self_scan_sees_the_engine_anchors():
@@ -277,7 +278,7 @@ def test_cli_text_summary_flags_stale_entries(tmp_path):
     clean.write_text("X = 1\n")
     code, text = run_cli([str(clean), "--baseline", str(BASELINE)])
     assert code == 0
-    assert "1 stale baseline entry (--prune-stale drops them)" in text
+    assert "4 stale baseline entries (--prune-stale drops them)" in text
 
 
 def test_cli_prune_stale_rewrites_the_baseline(tmp_path):
@@ -289,7 +290,7 @@ def test_cli_prune_stale_rewrites_the_baseline(tmp_path):
         [str(clean), "--baseline", str(copy), "--prune-stale"]
     )
     assert code == 0
-    assert "pruned 1 stale entry" in text
+    assert "pruned 4 stale entries" in text
     # The rewritten file is empty and the post-prune summary no longer
     # carries the stale note.
     assert json.loads(copy.read_text())["findings"] == []
