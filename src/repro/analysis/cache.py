@@ -41,6 +41,15 @@ _CACHE_FORMAT = 1
 _tool_salt_memo: Optional[str] = None
 
 
+#: Subpackages whose sources are rule semantics: the checkers
+#: themselves (``rules/``), the dataflow core they run on (``flow/``)
+#: and the translation validator / escape summaries (``semantics/``).
+#: :func:`salted_sources` refuses to hash a view of the package that is
+#: missing any of them — a partial walk must fail loudly, not serve
+#: stale findings under an unchanged salt.
+_REQUIRED_SUBPACKAGES = ("flow", "rules", "semantics")
+
+
 def _iter_package_sources():
     """(relative name, bytes) for every ``.py`` under repro.analysis."""
     import repro.analysis
@@ -58,6 +67,33 @@ def _iter_package_sources():
                 yield rel, handle.read()
 
 
+def salted_sources():
+    """The ``(relative name, bytes)`` manifest folded into the salt.
+
+    Covers every ``.py`` under ``repro.analysis`` (the package root and
+    all subpackages) plus :mod:`repro.engine.driver`, whose specializer
+    the flow/semantics rules fold variants with.  Raises
+    ``RuntimeError`` when any of :data:`_REQUIRED_SUBPACKAGES` is
+    absent from the walk.
+    """
+    entries = list(_iter_package_sources())
+    present = {rel.split(os.sep, 1)[0] for rel, _ in entries if os.sep in rel}
+    missing = [s for s in _REQUIRED_SUBPACKAGES if s not in present]
+    if missing:
+        raise RuntimeError(
+            "tool salt would not cover analysis subpackage(s): "
+            + ", ".join(missing)
+        )
+    try:
+        import repro.engine.driver as _driver
+
+        with open(os.path.abspath(_driver.__file__), "rb") as handle:
+            entries.append(("<engine>/driver.py", handle.read()))
+    except Exception:  # pragma: no cover - driver always importable here
+        entries.append(("<engine>/driver.py", b"<no driver>"))
+    return entries
+
+
 def tool_salt() -> str:
     """Hash of everything that could change a rule's output besides
     the scanned file itself (memoized per process)."""
@@ -69,18 +105,11 @@ def tool_salt() -> str:
     digest = hashlib.sha256()
     digest.update(sys.version.encode())
     digest.update(RULESET_VERSION.encode())
-    for rel, blob in _iter_package_sources():
+    for rel, blob in salted_sources():
         digest.update(rel.encode())
         digest.update(b"\x00")
         digest.update(blob)
         digest.update(b"\x00")
-    try:
-        import repro.engine.driver as _driver
-
-        with open(os.path.abspath(_driver.__file__), "rb") as handle:
-            digest.update(handle.read())
-    except Exception:  # pragma: no cover - driver always importable here
-        digest.update(b"<no driver>")
     _tool_salt_memo = digest.hexdigest()
     return _tool_salt_memo
 

@@ -12,6 +12,7 @@ Importing this package registers every rule with
 * :mod:`~repro.analysis.rules.variants` — REP009
 * :mod:`~repro.analysis.rules.flow_domains` — REP010, REP011
 * :mod:`~repro.analysis.rules.flow_state` — REP012
+* :mod:`~repro.analysis.rules.translation` — REP013, REP014
 """
 
 from repro.analysis.rules import (
@@ -23,6 +24,7 @@ from repro.analysis.rules import (
     obs,
     parallel,
     sanitizer,
+    translation,
     variants,
 )
 
@@ -30,7 +32,7 @@ from repro.analysis.rules import (
 #: cached per-file results (see :mod:`repro.analysis.cache`).  The
 #: cache key also folds in the analysis package sources, so this is a
 #: human-readable escape hatch, not the only invalidation mechanism.
-RULESET_VERSION = "2026.08-flow-1"
+RULESET_VERSION = "2026.08-semantics-1"
 
 __all__ = [
     "conformance",
@@ -41,6 +43,7 @@ __all__ = [
     "obs",
     "parallel",
     "sanitizer",
+    "translation",
     "variants",
     "RULESET_VERSION",
 ]

@@ -5,53 +5,29 @@
 looking state — module globals, attributes of the objects it received
 in its pickled arguments, ``os.environ`` — is silently confined to the
 worker process: the parent never sees it, and whether *tests* see it
-depends on which backend/platform ran the job.  The rule finds worker
-entry points syntactically (functions dispatched through ``Pool.map``
-and friends or ``Process(target=...)``) and flags mutation of
-non-local state inside them.
+depends on which backend/platform ran the job.
+
+The rule is grounded on the interprocedural escape summaries of
+:mod:`repro.analysis.semantics.escape`: every parameter of a
+dispatched worker enters the flow analysis tainted as parent-owned,
+and a write whose base still carries the taint at the store is a
+cross-process mutation.  A base that was re-created locally
+(``stats = Stats()``) sheds the taint through the flow core's strong
+update, so workers that build and return their own results stay
+silent — the old syntactic alias walk could not distinguish the two.
+Findings now carry an argument-to-write trace and a structural
+fingerprint.  REP014 reports the same summaries at the dispatch
+boundary; this rule keeps the per-write findings inside the worker.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Set
+from typing import Dict, Iterator, List
 
-from repro.analysis.findings import Finding, Severity
+from repro.analysis.findings import Finding, Severity, flow_fingerprint
 from repro.analysis.registry import rule
-from repro.analysis.source import SourceFile, root_name
-
-#: Pool methods whose first positional argument is a worker function.
-_DISPATCH_METHODS = {
-    "map",
-    "map_async",
-    "imap",
-    "imap_unordered",
-    "starmap",
-    "starmap_async",
-    "apply",
-    "apply_async",
-}
-
-
-def _worker_names(tree: ast.Module) -> Set[str]:
-    """Names of functions dispatched to another process in this module."""
-    workers: Set[str] = set()
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        func = node.func
-        if (
-            isinstance(func, ast.Attribute)
-            and func.attr in _DISPATCH_METHODS
-            and node.args
-            and isinstance(node.args[0], ast.Name)
-        ):
-            workers.add(node.args[0].id)
-        if isinstance(func, ast.Name) and func.id in ("Process", "Thread"):
-            for kw in node.keywords:
-                if kw.arg == "target" and isinstance(kw.value, ast.Name):
-                    workers.add(kw.value.id)
-    return workers
+from repro.analysis.source import SourceFile
 
 
 def _function_defs(tree: ast.Module) -> Dict[str, ast.FunctionDef]:
@@ -71,7 +47,12 @@ def _function_defs(tree: ast.Module) -> Dict[str, ast.FunctionDef]:
     "attributes — the writes never reach the parent process",
 )
 def check_cross_process_mutation(src: SourceFile) -> Iterator[Finding]:
-    workers = _worker_names(src.tree)
+    from repro.analysis.semantics.escape import (
+        worker_mutations,
+        worker_names,
+    )
+
+    workers = worker_names(src.tree)
     if not workers:
         return
     defs = _function_defs(src.tree)
@@ -79,92 +60,28 @@ def check_cross_process_mutation(src: SourceFile) -> Iterator[Finding]:
         func = defs.get(name)
         if func is None:
             continue
-        yield from _check_worker(src, func)
-
-
-def _check_worker(
-    src: SourceFile, func: ast.FunctionDef
-) -> Iterator[Finding]:
-    params = {
-        arg.arg
-        for arg in (
-            func.args.posonlyargs + func.args.args + func.args.kwonlyargs
-        )
-    }
-    #: Names rebound from the arguments (tuple-unpacked jobs); mutating
-    #: their attributes is equally lost on return.
-    arg_aliases = set(params)
-    for node in ast.walk(func):
-        if isinstance(node, ast.Global):
-            yield _mutation_finding(
-                src,
-                node,
-                func.name,
-                f"declares global {', '.join(node.names)}",
-            )
-        elif isinstance(node, ast.Assign):
-            # Track job unpacking: x, y = job  /  x = job[0]
-            if (
-                len(node.targets) == 1
-                and isinstance(node.targets[0], (ast.Tuple, ast.Name))
-                and root_name(node.value) in arg_aliases
-            ):
-                target = node.targets[0]
-                names = (
-                    [target]
-                    if isinstance(target, ast.Name)
-                    else list(target.elts)
-                )
-                for elt in names:
-                    if isinstance(elt, ast.Name):
-                        arg_aliases.add(elt.id)
-                continue
-            yield from _attribute_writes(
-                src, func, node.targets, arg_aliases
-            )
-        elif isinstance(node, ast.AugAssign):
-            yield from _attribute_writes(src, func, [node.target], arg_aliases)
-    return
-
-
-def _attribute_writes(
-    src: SourceFile,
-    func: ast.FunctionDef,
-    targets: List[ast.AST],
-    arg_aliases: Set[str],
-) -> Iterator[Finding]:
-    for target in targets:
-        if not isinstance(target, (ast.Attribute, ast.Subscript)):
-            continue
-        base = target.value
-        root = root_name(base)
-        if root == "self" and isinstance(target, ast.Attribute):
-            yield _mutation_finding(
-                src, target, func.name, f"assigns self.{target.attr}"
-            )
-        elif (
-            isinstance(target, ast.Attribute)
-            and root in arg_aliases
-            and isinstance(base, ast.Name)
-        ):
-            yield _mutation_finding(
-                src,
-                target,
-                func.name,
-                f"mutates attribute '{target.attr}' of argument "
-                f"'{root}' (a pickled copy)",
-            )
-        elif root == "environ" or (
-            isinstance(base, ast.Attribute) and base.attr == "environ"
-        ):
-            yield _mutation_finding(
-                src, target, func.name, "writes os.environ"
-            )
+        for mutation in worker_mutations(src, func):
+            yield _mutation_finding(src, name, mutation)
 
 
 def _mutation_finding(
-    src: SourceFile, node: ast.AST, worker: str, what: str
+    src: SourceFile, worker: str, mutation
 ) -> Finding:
+    node = mutation.node
+    sink_text = src.line_text(node.lineno)
+    trace: List[Dict[str, object]] = []
+    source_text = sink_text
+    if mutation.origin is not None:
+        trace.extend(mutation.origin.steps())
+        source_text = mutation.origin.root().text
+    trace.append(
+        {
+            "line": node.lineno,
+            "col": node.col_offset,
+            "text": sink_text,
+            "note": "the write is confined to the worker process",
+        }
+    )
     return Finding(
         path=src.path,
         line=node.lineno,
@@ -172,9 +89,11 @@ def _mutation_finding(
         rule="REP006",
         severity=Severity.ERROR,
         message=(
-            f"worker function '{worker}' {what}; workers run in spawned "
-            "processes, so the mutation never reaches the parent — "
-            "return the data instead"
+            f"worker function '{worker}' {mutation.what}; workers run "
+            "in spawned processes, so the mutation never reaches the "
+            "parent — return the data instead"
         ),
-        line_text=src.line_text(node.lineno),
+        line_text=sink_text,
+        trace=tuple(trace),
+        fingerprint=flow_fingerprint("REP006", source_text, sink_text),
     )

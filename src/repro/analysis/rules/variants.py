@@ -29,6 +29,15 @@ everywhere else.  Unlike the other rules it is *semantic*, not purely
 syntactic — it calls :func:`repro.engine.driver.render_variant` on the
 imported engine, which the self-scan test keeps in lockstep with the
 committed tree.
+
+Hook extraction is grounded on the translation validator's
+guarded-command skeleton (:mod:`repro.analysis.semantics.ir`): the
+syntactic :func:`~repro.analysis.fingerprint.hook_labels` walker runs
+first as the fast pre-pass, and the normalized-skeleton labels — the
+same ones REP013 proves against the template — are authoritative on
+top, seeing through closures the scope-bounded walker stops at.  Full
+per-statement equivalence of every fold lives in REP013; this rule
+keeps the hook-coverage contract that REP007/REP008 depend on.
 """
 
 from __future__ import annotations
@@ -82,11 +91,27 @@ def _variant_recursion(module: ast.Module) -> Optional[ast.FunctionDef]:
 
 
 def _hook_sets(func: ast.AST) -> Tuple[set, set]:
-    """``(san labels, obs labels)`` of one rendered recursion."""
-    return (
-        set(hook_labels(func, hook_root="san")),
-        set(hook_labels(func, hook_root="obs", detail=True)),
+    """``(san labels, obs labels)`` of one rendered recursion.
+
+    Syntactic pre-pass first (cheap, scope-bounded), then the semantic
+    skeleton's labels on top: the skeleton descends into nested
+    closures and uses the exact label convention REP013 validates, so
+    a hook the walker cannot see still fails parity here.
+    """
+    from repro.analysis.semantics.ir import (
+        hook_labels_of,
+        normalize_function,
     )
+
+    san = set(hook_labels(func, hook_root="san"))
+    obs = set(hook_labels(func, hook_root="obs", detail=True))
+    for label in hook_labels_of(normalize_function(func, {})):
+        root, _, rest = label.partition(":")
+        if root == "san":
+            san.add(":".join(rest.split(":")[:2]))
+        elif root == "obs":
+            obs.add(rest)
+    return san, obs
 
 
 @rule(

@@ -1,0 +1,636 @@
+"""Translation validation of the specializer's folded variants.
+
+For one variant key the validator builds two skeletons of the
+recursion (:mod:`repro.analysis.semantics.ir`):
+
+* the **spec** side — the shared template normalized under the key's
+  flag environment by this package's own independent guard folder;
+* the **impl** side — the module the production specializer actually
+  emitted (:func:`repro.engine.driver.fold_record`), normalized under
+  the empty environment.
+
+A sound specialization makes the two skeletons identical.  Every
+divergence becomes a :class:`Difference` carrying a source-to-sink
+trace (template site -> enclosing structure -> variant site), which the
+REP013 rule renders into findings and SARIF code flows.
+
+On top of the structural diff, three targeted obligations produce
+sharper messages for the failure modes that matter most:
+
+* **emission/recursion parity** — the variant must emit at exactly the
+  template's emission sites and keep the recursion structure;
+* **hook policy** — hooks-on variants must carry exactly the spec
+  side's sanitizer/observer hook sites; hooks-off variants must be
+  hook-free and must not even reference the ``san``/``obs`` bindings;
+* **bitset domain closure** — bitset variants must not reach any
+  generic-path backend call (``open_node``/``expand``/``decode``...),
+  generic variants must not reach the ``fast_ops`` surface, and a
+  bitset-escape taint pass (the REP011 analysis re-run over the folded
+  body) must come back clean.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.semantics.ir import (
+    Block,
+    Branch,
+    Effect,
+    FlagEnv,
+    Item,
+    Loop,
+    Nested,
+    TryBlock,
+    display,
+    emissions_of,
+    guards_equivalent,
+    hook_labels_of,
+    iter_effects,
+    normalize_function,
+    recursions_of,
+)
+
+_TEMPLATE_FUNC = "_search_template"
+
+#: Per-comparison cap: one broken fold tends to cascade, and the first
+#: differences are the actionable ones.
+MAX_DIFFERENCES = 20
+
+#: Names only the generic (SearchOps) path may touch.  A bitset variant
+#: reaching one of these has left the bit-parallel domain.
+_GENERIC_ONLY_NAMES = frozenset(
+    {"hot", "open_node", "lb_refresh", "color_reaches", "expand",
+     "retract", "decode"}
+)
+_GENERIC_ONLY_CALLS = frozenset(
+    {"search_ops", "open_node", "lb_refresh", "color_reaches", "expand",
+     "retract", "decode"}
+)
+#: Names only the bitset (fast_ops) path may touch.
+_BITSET_ONLY_NAMES = frozenset(
+    {"fast", "sv", "nbr_bits", "nlogr", "bit_at", "color_bit",
+     "popcount", "select_pivot", "label_of", "exact_accept",
+     "exact_x_member", "hi_base", "guard2", "deg_cn", "cn_lb",
+     "cn_base", "lb", "bl", "ubit", "c_bits"}
+)
+_BITSET_ONLY_CALLS = frozenset(
+    {"fast_ops", "select_pivot", "exact_accept", "exact_x_member",
+     "popcount", "label_of"}
+)
+
+_HOOK_NAMES = frozenset({"san", "obs"})
+
+
+class Difference:
+    """One divergence between spec and impl skeletons."""
+
+    __slots__ = ("kind", "message", "line", "spec_line", "trace")
+
+    def __init__(self, kind: str, message: str, line: int,
+                 spec_line: int, trace: Tuple):
+        self.kind = kind
+        self.message = message
+        self.line = line
+        self.spec_line = spec_line
+        self.trace = trace
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{self.kind}@{self.line}: {self.message}>"
+
+
+def flag_summary(env: FlagEnv) -> str:
+    """Compact flag rendering for messages (`BITSET+KPIVOT`...)."""
+    on = [name for name, value in env.items() if value]
+    return "+".join(on) if on else "no flags"
+
+
+# ----------------------------------------------------------------------
+# the structural differ
+# ----------------------------------------------------------------------
+class _Comparison:
+    """State for one spec-vs-impl skeleton diff."""
+
+    def __init__(self, lines: Sequence[str], label: str, env: FlagEnv,
+                 template_line: int):
+        self.lines = lines
+        self.label = label
+        self.env = env
+        self.template_line = template_line
+        self.differences: List[Difference] = []
+
+    def full(self) -> bool:
+        return len(self.differences) >= MAX_DIFFERENCES
+
+    # -- trace construction -------------------------------------------
+    def _step(self, line: int, note: str) -> Dict[str, object]:
+        text = ""
+        if 0 < line <= len(self.lines):
+            text = self.lines[line - 1].strip()
+        return {"line": line, "col": 0, "text": text, "note": note}
+
+    def _trace(self, path: List[Dict[str, object]],
+               spec_item: Optional[Item], line: int,
+               sink_note: str) -> Tuple:
+        steps = [
+            self._step(
+                self.template_line,
+                f"template folded under {flag_summary(self.env)} "
+                f"(variant `{self.label}`)",
+            )
+        ]
+        steps.extend(path[-3:])
+        if spec_item is not None:
+            steps.append(
+                self._step(
+                    spec_item.line,
+                    f"template specifies {spec_item.describe()} here",
+                )
+            )
+        steps.append(self._step(line, sink_note))
+        return tuple(steps)
+
+    def add(self, kind: str, message: str, line: int, spec_line: int,
+            path: List[Dict[str, object]],
+            spec_item: Optional[Item], sink_note: str) -> None:
+        if self.full():
+            return
+        self.differences.append(
+            Difference(
+                kind,
+                message,
+                line,
+                spec_line,
+                self._trace(path, spec_item, line, sink_note),
+            )
+        )
+
+    # -- difference constructors --------------------------------------
+    def missing(self, item: Item, path, anchor: Optional[Item]) -> None:
+        line = anchor.line if anchor is not None else item.line
+        self.add(
+            "missing",
+            f"folded variant `{self.label}` drops the template's "
+            f"{item.describe()} (template line {item.line})",
+            line,
+            item.line,
+            path,
+            item,
+            f"not present in the folded variant `{self.label}`",
+        )
+
+    def extra(self, item: Item, path) -> None:
+        self.add(
+            "extra",
+            f"folded variant `{self.label}` contains {item.describe()} "
+            "that the template does not specify at this point",
+            item.line,
+            item.line,
+            path,
+            None,
+            f"only the folded variant `{self.label}` performs this",
+        )
+
+    def reordered(self, a: Item, b: Item, path) -> None:
+        self.add(
+            "reordered",
+            f"folded variant `{self.label}` reorders {a.describe()} "
+            f"and {b.describe()} relative to the template",
+            b.line,
+            a.line,
+            path,
+            a,
+            f"the folded variant `{self.label}` runs "
+            f"{b.describe()} first",
+        )
+
+    def changed(self, a: Item, b: Item, path) -> None:
+        self.add(
+            "changed",
+            f"folded variant `{self.label}` rewrites the template's "
+            f"{a.describe()} into {b.describe()}",
+            b.line,
+            a.line,
+            path,
+            a,
+            f"the folded variant `{self.label}` has "
+            f"{b.describe()} instead",
+        )
+
+    def guard(self, a: Branch, b: Branch, path) -> None:
+        self.add(
+            "guard",
+            f"folded variant `{self.label}` guards this block with "
+            f"`if {display(b.guard)}` where the folded template "
+            f"requires `if {display(a.guard)}`",
+            b.line,
+            a.line,
+            path,
+            a,
+            f"variant guard `if {display(b.guard)}` is not equivalent",
+        )
+
+
+def _match(a: Item, b: Item) -> bool:
+    if type(a) is not type(b):
+        return False
+    if a.canon == b.canon:
+        return True
+    if isinstance(a, Branch):
+        return guards_equivalent(a.guard, b.guard)
+    return False
+
+
+def _child_pairs(a: Item, b: Item):
+    if isinstance(a, Branch):
+        yield a.then, b.then
+        yield a.orelse, b.orelse
+    elif isinstance(a, Loop):
+        yield a.body, b.body
+        yield a.orelse, b.orelse
+    elif isinstance(a, TryBlock):
+        yield a.body, b.body
+        for (_, ha), (_, hb) in zip(a.handlers, b.handlers):
+            yield ha, hb
+        yield a.orelse, b.orelse
+        yield a.final, b.final
+    elif isinstance(a, (Block, Nested)):
+        yield a.body, b.body
+
+
+def _diff_children(a: Item, b: Item, cmp: _Comparison, path) -> None:
+    if isinstance(a, Effect):
+        return
+    entered = path + [cmp._step(a.line, f"inside {a.describe()}")]
+    for sub_a, sub_b in _child_pairs(a, b):
+        _diff_items(sub_a, sub_b, cmp, entered)
+
+
+def _diff_items(spec: List[Item], var: List[Item],
+                cmp: _Comparison, path) -> None:
+    i = j = 0
+    while i < len(spec) and j < len(var):
+        if cmp.full():
+            return
+        a, b = spec[i], var[j]
+        if _match(a, b):
+            _diff_children(a, b, cmp, path)
+            i += 1
+            j += 1
+            continue
+        cross_ab = j + 1 < len(var) and _match(a, var[j + 1])
+        cross_ba = i + 1 < len(spec) and _match(spec[i + 1], b)
+        if cross_ab and cross_ba:
+            cmp.reordered(a, b, path)
+            _diff_children(a, var[j + 1], cmp, path)
+            _diff_children(spec[i + 1], b, cmp, path)
+            i += 2
+            j += 2
+        elif cross_ba:
+            cmp.missing(a, path, anchor=b)
+            i += 1
+        elif cross_ab:
+            cmp.extra(b, path)
+            j += 1
+        else:
+            if isinstance(a, Branch) and isinstance(b, Branch):
+                cmp.guard(a, b, path)
+                _diff_children(a, b, cmp, path)
+            else:
+                cmp.changed(a, b, path)
+            i += 1
+            j += 1
+    while i < len(spec):
+        if cmp.full():
+            return
+        cmp.missing(spec[i], path, anchor=None)
+        i += 1
+    while j < len(var):
+        if cmp.full():
+            return
+        cmp.extra(var[j], path)
+        j += 1
+
+
+# ----------------------------------------------------------------------
+# targeted obligations
+# ----------------------------------------------------------------------
+def _emission_parity(spec: List[Item], var: List[Item],
+                     cmp: _Comparison) -> None:
+    # Multisets, not sets: the template emits the *same* statement at
+    # several sites (top-of-call leaf, inlined leaf, singleton path),
+    # so a dropped duplicate must still count as a lost site.
+    spec_counts: Dict[str, int] = {}
+    for e in emissions_of(spec):
+        spec_counts[e.canon] = spec_counts.get(e.canon, 0) + 1
+    var_counts: Dict[str, int] = {}
+    for e in emissions_of(var):
+        var_counts[e.canon] = var_counts.get(e.canon, 0) + 1
+    reported: Set[str] = set()
+    for effect in emissions_of(spec):
+        if var_counts.get(effect.canon, 0) < spec_counts[effect.canon]:
+            if effect.canon in reported:
+                continue
+            reported.add(effect.canon)
+            cmp.add(
+                "emission",
+                f"folded variant `{cmp.label}` lost an emission site "
+                f"`{effect.detail}` (template emits this at "
+                f"{spec_counts[effect.canon]} site(s), the variant at "
+                f"{var_counts.get(effect.canon, 0)})",
+                effect.line,
+                effect.line,
+                [],
+                effect,
+                "emission site unreachable in the folded variant",
+            )
+    for effect in emissions_of(var):
+        if spec_counts.get(effect.canon, 0) < var_counts[effect.canon]:
+            if effect.canon in reported:
+                continue
+            reported.add(effect.canon)
+            cmp.add(
+                "emission",
+                f"folded variant `{cmp.label}` emits `{effect.detail}` "
+                "at a site the template does not specify",
+                effect.line,
+                effect.line,
+                [],
+                None,
+                "emission site only exists in the folded variant",
+            )
+
+
+def _recursion_parity(spec: List[Item], var: List[Item],
+                      cmp: _Comparison) -> None:
+    spec_calls = {e.canon for e in recursions_of(spec)}
+    var_calls = {e.canon for e in recursions_of(var)}
+    if spec_calls != var_calls:
+        missing = spec_calls - var_calls
+        anchor = next(
+            (e for e in recursions_of(spec) if e.canon in missing),
+            None,
+        ) or next(iter(recursions_of(var)), None)
+        line = anchor.line if anchor is not None else cmp.template_line
+        cmp.add(
+            "recursion",
+            f"folded variant `{cmp.label}` changes the recursion "
+            "structure: self-call sites do not match the template",
+            line,
+            line,
+            [],
+            anchor if anchor is not None and missing else None,
+            "recursive call structure diverges here",
+        )
+
+
+def _hook_policy(spec: List[Item], var: List[Item],
+                 var_func: ast.AST, cmp: _Comparison) -> None:
+    var_hooks = hook_labels_of(var)
+    if not cmp.env.get("HOOKS"):
+        for effect in iter_effects(var):
+            if effect.kind == "hook":
+                cmp.add(
+                    "hook-leak",
+                    f"hook call `{effect.detail}` survives in the "
+                    f"hookless variant `{cmp.label}` — the fold must "
+                    "remove every sanitizer/observer site",
+                    effect.line,
+                    effect.line,
+                    [],
+                    None,
+                    "hook call reachable with HOOKS folded off",
+                )
+        for node in ast.walk(var_func):
+            if (
+                isinstance(node, ast.Name)
+                and node.id in _HOOK_NAMES
+                and isinstance(node.ctx, ast.Load)
+            ):
+                cmp.add(
+                    "hook-leak",
+                    f"hookless variant `{cmp.label}` still references "
+                    f"the `{node.id}` binding at line {node.lineno}",
+                    node.lineno,
+                    node.lineno,
+                    [],
+                    None,
+                    f"`{node.id}` load reachable with HOOKS folded off",
+                )
+                break
+        return
+    spec_hooks = hook_labels_of(spec)
+    missing = sorted(set(spec_hooks) - set(var_hooks))
+    for label in missing:
+        anchor = next(
+            (
+                e
+                for e in iter_effects(spec)
+                if e.kind == "hook" and label in e.detail.split(",")
+            ),
+            None,
+        )
+        line = anchor.line if anchor is not None else cmp.template_line
+        cmp.add(
+            "hook-missing",
+            f"hooked variant `{cmp.label}` lost the hook site "
+            f"`{label}` (template line {line})",
+            line,
+            line,
+            [],
+            anchor,
+            "hook site unreachable in the folded variant",
+        )
+
+
+def _domain_closure(var_func: ast.AST, cmp: _Comparison) -> None:
+    bitset = bool(cmp.env.get("BITSET"))
+    bad_names = _GENERIC_ONLY_NAMES if bitset else _BITSET_ONLY_NAMES
+    bad_calls = _GENERIC_ONLY_CALLS if bitset else _BITSET_ONLY_CALLS
+    shape = "bitset" if bitset else "generic"
+    other = "generic" if bitset else "bitset"
+    seen: Set[str] = set()
+    for node in ast.walk(var_func):
+        name: Optional[str] = None
+        what = ""
+        if isinstance(node, ast.Call):
+            from repro.analysis.source import terminal_name
+
+            callee = terminal_name(node.func)
+            if callee in bad_calls:
+                name = callee
+                what = f"calls the {other}-path operation `{callee}(...)`"
+        elif isinstance(node, ast.Name) and node.id in bad_names:
+            name = node.id
+            what = f"references the {other}-path binding `{node.id}`"
+        if name is None or name in seen:
+            continue
+        seen.add(name)
+        cmp.add(
+            "domain",
+            f"{shape} variant `{cmp.label}` {what} at line "
+            f"{node.lineno} — the fold must keep the {shape} path "
+            f"closed over its own domain",
+            node.lineno,
+            node.lineno,
+            [],
+            None,
+            f"{other}-path surface reachable in the {shape} variant",
+        )
+
+
+def _bitset_escape(var_func: ast.AST, cmp: _Comparison) -> None:
+    """Re-run the REP011 bitset-escape taint over the folded body.
+
+    Structural equality cannot catch a template *and* variant that both
+    materialize a bitset (the spec side would be equally wrong); the
+    taint pass proves the folded bitset path stays in the int/popcount
+    domain regardless of what the template says.
+    """
+    # Imported lazily: rules modules import this package at registration
+    # time, so a module-level import would be circular.
+    from repro.analysis.flow import build_cfg
+    from repro.analysis.rules.flow_domains import _BitsTaint, _range_vars
+
+    funcs = [
+        node
+        for node in ast.walk(var_func)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    if isinstance(var_func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        funcs.insert(0, var_func)
+    seen_lines: Set[int] = set()
+    for func in dict.fromkeys(funcs):
+        analysis = _BitsTaint(
+            list(cmp.lines), None, range_vars=_range_vars(func)
+        )
+        analysis.func_name = func.name
+        analysis.run(build_cfg(func.body))
+        for where, what, origin in analysis.findings:
+            if where.lineno in seen_lines or cmp.full():
+                continue
+            seen_lines.add(where.lineno)
+            root = origin.root()
+            steps = tuple(
+                [
+                    cmp._step(
+                        cmp.template_line,
+                        "template folded under "
+                        f"{flag_summary(cmp.env)} (variant "
+                        f"`{cmp.label}`)",
+                    )
+                ]
+                + origin.steps()
+                + [cmp._step(where.lineno, f"bitset {what}")]
+            )
+            cmp.differences.append(
+                Difference(
+                    "domain",
+                    f"bitset variant `{cmp.label}` {what} a bitset "
+                    f"value (from {root.note}, line {root.line}) — "
+                    "the folded hot path left the bit-parallel domain",
+                    where.lineno,
+                    root.line,
+                    steps,
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def validate_variant(
+    template_func: ast.AST,
+    variant_func: ast.AST,
+    env: FlagEnv,
+    lines: Sequence[str],
+    label: str,
+) -> List[Difference]:
+    """All proof obligations for one (template, variant, env) triple."""
+    spec = normalize_function(template_func, env)
+    var = normalize_function(variant_func, {})
+    cmp = _Comparison(lines, label, env, template_func.lineno)
+    _emission_parity(spec, var, cmp)
+    _recursion_parity(spec, var, cmp)
+    _hook_policy(spec, var, variant_func, cmp)
+    _domain_closure(variant_func, cmp)
+    if env.get("BITSET"):
+        _bitset_escape(variant_func, cmp)
+    _diff_items(spec, var, cmp, [])
+    return cmp.differences
+
+
+def _template_def(tree: ast.AST) -> Optional[ast.FunctionDef]:
+    for node in getattr(tree, "body", []):
+        if isinstance(node, ast.FunctionDef) and node.name == _TEMPLATE_FUNC:
+            return node
+    return None
+
+
+def validate_template_source(
+    tree: ast.AST, lines: Sequence[str]
+) -> Iterator[Tuple[Tuple, Difference]]:
+    """Validate every legal variant of the template defined in ``tree``.
+
+    The template is taken from the parsed source under analysis (so
+    traces anchor to real lines and inline suppressions keep working),
+    and each variant side is folded by the **production specializer**
+    via :func:`repro.engine.driver.fold_record` — the validator checks
+    the artifact the engine would actually compile, not a re-creation.
+    Yields ``(key, difference)`` pairs; a clean template yields nothing.
+    """
+    from repro.engine import driver
+
+    template = _template_def(tree)
+    if template is None:
+        return
+    seen_profiles: Set[Tuple] = set()
+    for key in driver.legal_variant_keys():
+        env = driver._flag_env(key)
+        profile = tuple(sorted(env.items()))
+        if profile in seen_profiles:
+            continue
+        seen_profiles.add(profile)
+        module = ast.Module(
+            body=[copy.deepcopy(template)], type_ignores=[]
+        )
+        record = driver.fold_record(key, template=module)
+        variant_func = _template_def(record.module)
+        label = driver.variant_id(key)
+        if variant_func is None:
+            yield key, Difference(
+                "missing",
+                f"specializer fold for `{label}` lost the template "
+                "function entirely",
+                template.lineno,
+                template.lineno,
+                (),
+            )
+            continue
+        for diff in validate_variant(
+            template, variant_func, record.env, lines, label
+        ):
+            yield key, diff
+
+
+def proven_keys(tree: ast.AST, lines: Sequence[str]) -> Dict[Tuple, int]:
+    """``{key: difference_count}`` over every legal key (0 = proven)."""
+    from repro.engine import driver
+
+    counts: Dict[Tuple, int] = {
+        key: 0 for key in driver.legal_variant_keys()
+    }
+    profile_of = {
+        key: tuple(sorted(driver._flag_env(key).items()))
+        for key in counts
+    }
+    profile_fail: Dict[Tuple, int] = {}
+    for key, _diff in validate_template_source(tree, lines):
+        profile_fail[profile_of[key]] = (
+            profile_fail.get(profile_of[key], 0) + 1
+        )
+    for key in counts:
+        counts[key] = profile_fail.get(profile_of[key], 0)
+    return counts

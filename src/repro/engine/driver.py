@@ -804,23 +804,53 @@ def _fold_test(node, env):
             return not is_or
         if len(residue) == 1:
             return residue[0]
+        if len(residue) == len(node.values) and all(
+            a is b for a, b in zip(residue, node.values)
+        ):
+            # Nothing folded — hand back the original node so callers
+            # (and the fold-decision record) can tell this test was
+            # never touched.
+            return node
         return ast.BoolOp(op=node.op, values=residue)
     return node
 
 
 class _Specializer(ast.NodeTransformer):
-    """Fold spec-flag ``if`` statements; leave everything else alone."""
+    """Fold spec-flag ``if`` statements; leave everything else alone.
+
+    Every decision the fold makes is recorded in :attr:`decisions` as a
+    ``(lineno, test_source, outcome)`` triple — ``outcome`` is ``True``
+    (then-branch spliced), ``False`` (else-branch spliced), or
+    ``"residual"`` (the test was only partially decided).  The record is
+    what :func:`fold_record` hands to the translation validator: it is
+    the specializer's own account of *why* each variant looks the way it
+    does, which the validator re-derives independently and cross-checks.
+    """
 
     def __init__(self, env):
         self.env = env
+        self.decisions = []
+
+    def _decide(self, node, outcome):
+        self.decisions.append(
+            (
+                getattr(node, "lineno", 0),
+                ast.unparse(node.test),
+                outcome,
+            )
+        )
 
     def visit_If(self, node):
         self.generic_visit(node)
         test = _fold_test(node.test, self.env)
         if test is True:
+            self._decide(node, True)
             return node.body
         if test is False:
+            self._decide(node, False)
             return node.orelse or ast.Pass()
+        if test is not node.test:
+            self._decide(node, "residual")
         node.test = test
         return node
 
@@ -907,16 +937,56 @@ def _template_module():
     return _TEMPLATE_MODULE
 
 
+class FoldRecord:
+    """One specialization, with the specializer's own audit trail.
+
+    ``module`` is the folded one-function module AST (same object
+    :func:`render_variant` returns), ``env`` the full spec-flag
+    assignment that produced it, and ``decisions`` the ordered
+    ``(lineno, test_source, outcome)`` triples recorded by
+    :class:`_Specializer` — one per ``if`` the fold decided or
+    simplified.  The translation validator
+    (:mod:`repro.analysis.semantics`) consumes fold records instead of
+    re-implementing the fold: the variant side of every comparison is
+    exactly what the production specializer emitted.
+    """
+
+    __slots__ = ("key", "env", "module", "decisions")
+
+    def __init__(self, key, env, module, decisions):
+        self.key = key
+        self.env = env
+        self.module = module
+        self.decisions = decisions
+
+
+def fold_record(key, template=None):
+    """Fold the template for ``key``; returns a :class:`FoldRecord`.
+
+    Pure (no compilation, no caching).  ``template`` optionally supplies
+    the module AST to fold **in place** — the translation validator
+    passes a fresh copy of the template as parsed from the file under
+    analysis, so line numbers in the record refer to real source lines;
+    by default a deep copy of this module's own template is folded.
+    """
+    env = _flag_env(key)
+    module = template if template is not None else copy.deepcopy(
+        _template_module()
+    )
+    spec = _Specializer(env)
+    spec.visit(module)
+    ast.fix_missing_locations(module)
+    return FoldRecord(key, env, module, tuple(spec.decisions))
+
+
 def render_variant(key):
     """Fold the template for ``key``; returns a one-function module AST.
 
     Pure (no compilation, no caching) — this is the surface the REP009
     lint rule and the tests use to inspect what a variant contains.
+    The fold itself (with its decision trail) is :func:`fold_record`.
     """
-    module = copy.deepcopy(_template_module())
-    _Specializer(_flag_env(key)).visit(module)
-    ast.fix_missing_locations(module)
-    return module
+    return fold_record(key).module
 
 
 def compiled_variant(key):

@@ -1,0 +1,122 @@
+"""Clean corpus entry: two correctly hand-folded variants.
+
+The template mirrors the engine driver's shape in miniature — a
+flag-guarded prelude binding one backend surface, a nested ``search``
+closure with hook sites under ``HOOKS``, a K-pivot stop under
+``KPIVOT`` and one emission per shape.  Both declared variants fold it
+faithfully, so REP013 must stay silent on this file.
+"""
+
+HOOKS = False
+BITSET = False
+KPIVOT = False
+
+VARIANT_ENVS = {
+    "_variant_bitset_plain": {
+        "HOOKS": False, "BITSET": True, "KPIVOT": False,
+    },
+    "_variant_generic_hooked": {
+        "HOOKS": True, "BITSET": False, "KPIVOT": True,
+    },
+}
+
+
+def _search_template(ops, k, sink, san=None, obs=None):
+    if BITSET:
+        fast = ops.fast_ops()
+        bit_at = fast.bit_at
+        nbr_bits = fast.nbr_bits
+        popcount = fast.popcount
+        label_of = fast.label_of
+    else:
+        hot = ops.search_ops()
+        expand = hot.expand
+        retract = hot.retract
+    sink_call = sink
+
+    def search(r, c, depth):
+        if HOOKS:
+            if obs is not None:
+                obs.on_node(depth, r)
+        if BITSET:
+            if not c:
+                if len(r) >= k:
+                    if HOOKS:
+                        if san is not None:
+                            san.on_emit(r)
+                    sink_call(frozenset(map(label_of, r)))
+                return
+            if KPIVOT:
+                if depth + popcount(c) < k:
+                    return
+            c_bits = c
+            live = c_bits
+            while live:
+                w = live.bit_length() - 1
+                live ^= bit_at[w]
+                search(r + [w], c_bits & nbr_bits[w], depth + 1)
+        else:
+            if not c:
+                if len(r) >= k:
+                    if HOOKS:
+                        if san is not None:
+                            san.on_emit(r)
+                    sink_call(frozenset(r))
+                return
+            if KPIVOT:
+                if depth + len(c) < k:
+                    return
+            for v in list(c):
+                child = expand(c, v)
+                search(r + [v], child, depth + 1)
+                retract(c, v)
+
+    return search
+
+
+def _variant_bitset_plain(ops, k, sink, san=None, obs=None):
+    fast = ops.fast_ops()
+    bit_at = fast.bit_at
+    nbr_bits = fast.nbr_bits
+    popcount = fast.popcount
+    label_of = fast.label_of
+    sink_call = sink
+
+    def search(r, c, depth):
+        if not c:
+            if len(r) >= k:
+                sink_call(frozenset(map(label_of, r)))
+            return
+        c_bits = c
+        live = c_bits
+        while live:
+            w = live.bit_length() - 1
+            live ^= bit_at[w]
+            search(r + [w], c_bits & nbr_bits[w], depth + 1)
+
+    return search
+
+
+def _variant_generic_hooked(ops, k, sink, san=None, obs=None):
+    hot = ops.search_ops()
+    expand = hot.expand
+    retract = hot.retract
+    sink_call = sink
+
+    def search(r, c, depth):
+        if obs is not None:
+            obs.on_node(depth, r)
+        if not c:
+            if len(r) >= k:
+                if san is not None:
+                    san.on_emit(r)
+                sink_call(frozenset(r))
+            return
+        if depth + len(c) < k:
+            return
+        for v in list(c):
+            child = expand(c, v)
+            search(r + [v], child, depth + 1)
+            retract(c, v)
+
+    return search

@@ -1,0 +1,76 @@
+"""Seeded miscompile: the folded variant lost its emission site.
+
+``_variant_bitset`` is the correct bitset fold of the template except
+that the ``sink_call(...)`` line is gone — the classic dropped-splice
+bug where a fold removes one statement too many.  REP013 must report
+both the targeted ``emission`` parity violation and the structural
+``missing`` difference, with the trace naming the template's emission
+line as the source.
+"""
+
+HOOKS = False
+BITSET = False
+KPIVOT = False
+
+VARIANT_ENVS = {
+    "_variant_bitset": {"HOOKS": False, "BITSET": True, "KPIVOT": False},
+}
+
+
+def _search_template(ops, k, sink, san=None, obs=None):
+    if BITSET:
+        fast = ops.fast_ops()
+        bit_at = fast.bit_at
+        nbr_bits = fast.nbr_bits
+        label_of = fast.label_of
+    else:
+        hot = ops.search_ops()
+        expand = hot.expand
+        retract = hot.retract
+    sink_call = sink
+
+    def search(r, c, depth):
+        if BITSET:
+            if not c:
+                if len(r) >= k:
+                    sink_call(frozenset(map(label_of, r)))
+                return
+            c_bits = c
+            live = c_bits
+            while live:
+                w = live.bit_length() - 1
+                live ^= bit_at[w]
+                search(r + [w], c_bits & nbr_bits[w], depth + 1)
+        else:
+            if not c:
+                if len(r) >= k:
+                    sink_call(frozenset(r))
+                return
+            for v in list(c):
+                child = expand(c, v)
+                search(r + [v], child, depth + 1)
+                retract(c, v)
+
+    return search
+
+
+def _variant_bitset(ops, k, sink, san=None, obs=None):
+    fast = ops.fast_ops()
+    bit_at = fast.bit_at
+    nbr_bits = fast.nbr_bits
+    label_of = fast.label_of
+    sink_call = sink
+
+    def search(r, c, depth):
+        if not c:
+            if len(r) >= k:
+                pass  # the emission vanished with the fold
+            return
+        c_bits = c
+        live = c_bits
+        while live:
+            w = live.bit_length() - 1
+            live ^= bit_at[w]
+            search(r + [w], c_bits & nbr_bits[w], depth + 1)
+
+    return search

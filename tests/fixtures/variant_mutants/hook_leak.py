@@ -1,0 +1,81 @@
+"""Seeded miscompile: a hook site survived in the hookless variant.
+
+``_variant_bitset_nohooks`` is declared with ``HOOKS`` off but still
+carries the ``obs.on_node`` observer site (and therefore still loads
+the ``obs`` binding).  REP013 must report ``hook-leak`` — production
+variants must be hook-free, not just hook-quiet.
+"""
+
+HOOKS = False
+BITSET = False
+KPIVOT = False
+
+VARIANT_ENVS = {
+    "_variant_bitset_nohooks": {
+        "HOOKS": False, "BITSET": True, "KPIVOT": False,
+    },
+}
+
+
+def _search_template(ops, k, sink, san=None, obs=None):
+    if BITSET:
+        fast = ops.fast_ops()
+        bit_at = fast.bit_at
+        nbr_bits = fast.nbr_bits
+        label_of = fast.label_of
+    else:
+        hot = ops.search_ops()
+        expand = hot.expand
+        retract = hot.retract
+    sink_call = sink
+
+    def search(r, c, depth):
+        if HOOKS:
+            if obs is not None:
+                obs.on_node(depth, r)
+        if BITSET:
+            if not c:
+                if len(r) >= k:
+                    sink_call(frozenset(map(label_of, r)))
+                return
+            c_bits = c
+            live = c_bits
+            while live:
+                w = live.bit_length() - 1
+                live ^= bit_at[w]
+                search(r + [w], c_bits & nbr_bits[w], depth + 1)
+        else:
+            if not c:
+                if len(r) >= k:
+                    sink_call(frozenset(r))
+                return
+            for v in list(c):
+                child = expand(c, v)
+                search(r + [v], child, depth + 1)
+                retract(c, v)
+
+    return search
+
+
+def _variant_bitset_nohooks(ops, k, sink, san=None, obs=None):
+    fast = ops.fast_ops()
+    bit_at = fast.bit_at
+    nbr_bits = fast.nbr_bits
+    label_of = fast.label_of
+    sink_call = sink
+
+    def search(r, c, depth):
+        if obs is not None:
+            obs.on_node(depth, r)
+        if not c:
+            if len(r) >= k:
+                sink_call(frozenset(map(label_of, r)))
+            return
+        c_bits = c
+        live = c_bits
+        while live:
+            w = live.bit_length() - 1
+            live ^= bit_at[w]
+            search(r + [w], c_bits & nbr_bits[w], depth + 1)
+
+    return search

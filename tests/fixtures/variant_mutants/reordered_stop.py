@@ -1,0 +1,87 @@
+"""Seeded miscompile: the K-pivot stop slid past a neighbouring fold.
+
+The template checks the K-pivot size stop *before* it snapshots the
+candidate bitset; ``_variant_bitset_kpivot`` runs the snapshot first
+and the stop second — the one-position slip a bad splice produces.
+REP013 must report a ``reordered`` difference anchored on the two
+swapped statements.
+"""
+
+HOOKS = False
+BITSET = False
+KPIVOT = False
+
+VARIANT_ENVS = {
+    "_variant_bitset_kpivot": {
+        "HOOKS": False, "BITSET": True, "KPIVOT": True,
+    },
+}
+
+
+def _search_template(ops, k, sink, san=None, obs=None):
+    if BITSET:
+        fast = ops.fast_ops()
+        bit_at = fast.bit_at
+        nbr_bits = fast.nbr_bits
+        popcount = fast.popcount
+        label_of = fast.label_of
+    else:
+        hot = ops.search_ops()
+        expand = hot.expand
+        retract = hot.retract
+    sink_call = sink
+
+    def search(r, c, depth):
+        if BITSET:
+            if not c:
+                if len(r) >= k:
+                    sink_call(frozenset(map(label_of, r)))
+                return
+            if KPIVOT:
+                if depth + popcount(c) < k:
+                    return
+            c_bits = c
+            live = c_bits
+            while live:
+                w = live.bit_length() - 1
+                live ^= bit_at[w]
+                search(r + [w], c_bits & nbr_bits[w], depth + 1)
+        else:
+            if not c:
+                if len(r) >= k:
+                    sink_call(frozenset(r))
+                return
+            if KPIVOT:
+                if depth + len(c) < k:
+                    return
+            for v in list(c):
+                child = expand(c, v)
+                search(r + [v], child, depth + 1)
+                retract(c, v)
+
+    return search
+
+
+def _variant_bitset_kpivot(ops, k, sink, san=None, obs=None):
+    fast = ops.fast_ops()
+    bit_at = fast.bit_at
+    nbr_bits = fast.nbr_bits
+    popcount = fast.popcount
+    label_of = fast.label_of
+    sink_call = sink
+
+    def search(r, c, depth):
+        if not c:
+            if len(r) >= k:
+                sink_call(frozenset(map(label_of, r)))
+            return
+        c_bits = c
+        if depth + popcount(c) < k:
+            return
+        live = c_bits
+        while live:
+            w = live.bit_length() - 1
+            live ^= bit_at[w]
+            search(r + [w], c_bits & nbr_bits[w], depth + 1)
+
+    return search
