@@ -36,7 +36,11 @@ RECURSION_HOOKS = (
     "hook:on_prune:size",
 )
 #: Hooks the run lifecycle must call: both gauges, the fixed phase
-#: sequence, and the final stats handover.
+#: sequence, the per-seed progress tick, and the final stats handover.
+#: ``on_root`` is deliberately a *lifecycle* hook (the seed loop of
+#: ``SearchEngine.run``), not a template hook: the folded hooks-off
+#: recursion variants stay zero-branch (REP009) while progress/flight
+#: telemetry still sees every root.
 DRIVER_HOOKS = (
     "hook:on_gauge:vertices_input",
     "hook:on_gauge:vertices_search",
@@ -44,6 +48,7 @@ DRIVER_HOOKS = (
     "hook:on_phase:ordering",
     "hook:on_phase:recursion",
     "hook:on_phase:sanitize",
+    "hook:on_root",
     "hook:on_finish",
 )
 

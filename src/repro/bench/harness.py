@@ -17,6 +17,7 @@ from repro.core.api import enumerate_maximal_cliques
 from repro.core.config import PivotConfig
 from repro.core.pmuc import PivotEnumerator
 from repro.exceptions import SanitizerViolation
+from repro.obs.runtime import run_env
 from repro.uncertain.graph import UncertainGraph
 
 
@@ -93,12 +94,14 @@ def timed_config_enumeration(
     # ``backend_used``, not ``config.backend``: the kernel silently
     # falls back to dict on unsupported inputs, and the row must say
     # what actually ran (the diff gate refuses cross-backend rows).
+    extra: Dict[str, object] = {"backend": enumerator.backend_used}
+    extra.update(run_env())
     return RunRecord(
         label,
         elapsed,
         count[0],
         result.stats.as_dict(),
-        {"backend": enumerator.backend_used},
+        extra,
     )
 
 
@@ -138,7 +141,55 @@ def sanitized_config_enumeration(
         )
     elapsed = time.perf_counter() - start
     extra["backend"] = enumerator.backend_used
+    extra.update(run_env())
     return RunRecord(label, elapsed, count[0], stats, extra)
+
+
+def timed_parallel_enumeration(
+    label: str,
+    graph: UncertainGraph,
+    k: int,
+    eta,
+    parts: int = 2,
+    processes: Optional[int] = None,
+    config: Optional[PivotConfig] = None,
+    flight_dir: Optional[str] = None,
+) -> RunRecord:
+    """Time one multi-process enumeration, keeping the fleet view.
+
+    The record's counters are the *merged* cross-worker stats; the
+    per-shard breakdown and the imbalance/utilization summary of
+    :func:`repro.obs.fleet.fleet_summary` land in ``extra`` (as
+    ``shards`` / ``fleet``) so the fan-out survives into bench
+    artifacts instead of collapsing to one summed row.
+    """
+    from repro.core.config import PMUC_PLUS_CONFIG
+    from repro.core.partition import enumerate_parallel
+
+    if config is None:
+        config = PMUC_PLUS_CONFIG
+    start = time.perf_counter()
+    result = enumerate_parallel(
+        graph, k, eta,
+        parts=parts, processes=processes, config=config,
+        flight_dir=flight_dir,
+    )
+    elapsed = time.perf_counter() - start
+    extra: Dict[str, object] = {
+        "parts": parts,
+        "shards": result.shards,
+        "fleet": {
+            key: value
+            for key, value in sorted(result.fleet.items())
+            if key != "metrics"
+        },
+    }
+    if flight_dir is not None:
+        extra["flight_dir"] = flight_dir
+    extra.update(run_env())
+    return RunRecord(
+        label, elapsed, len(result.cliques), result.stats.as_dict(), extra
+    )
 
 
 def peak_memory_bytes(action: Callable[[], object]) -> int:

@@ -288,10 +288,13 @@ def run_benchmark(
     # lower-bound estimate of true cost for both backends alike).
     best = max(r["speedup_best"] for r in records)
     best_median = max(r["speedup_median"] for r in records)
+    from repro.obs.runtime import run_env
+
     return {
         "schema_version": SCHEMA_VERSION,
         "bench": "kernel-backend-speedup",
         "pr": 6,
+        "env": run_env(),
         "algorithm": "pmuc+",
         "backends": ["dict", "kernel"],
         "protocol": {
@@ -365,12 +368,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--obs",
-        choices=("off", "metrics", "full"),
+        choices=("off", "light", "metrics", "full"),
         default="off",
         help=(
             "run the timed enumerations with the observability layer "
             "at this level (default: off); overhead counts toward the "
             "measured time, which is how observer cost is quantified"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "print a live progress/ETA line to stderr while the timed "
+            "enumerations run; implies --obs light unless --obs was "
+            "given (progress rides the observer seam, so its cost "
+            "counts toward the measured time like any obs level)"
         ),
     )
     parser.add_argument(
@@ -388,9 +401,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--rounds must be at least 1")
     if args.trace_out and args.obs == "off":
         args.obs = "full"
+    if args.progress and args.obs == "off":
+        args.obs = "light"
     if args.obs != "off":
+        import sys
+
         from repro.obs.session import observe
 
+        progress = None
+        if args.progress:
+            from repro.obs.progress import ProgressTracker
+
+            progress = ProgressTracker(
+                stream=sys.stderr, label="kernel_speedup"
+            )
         with observe(
             trace_path=args.trace_out,
             folded_path=(
@@ -399,6 +423,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             metrics_path=(
                 f"{args.trace_out}.metrics.json" if args.trace_out else None
             ),
+            progress=progress,
         ):
             document = run_benchmark(
                 quick=args.quick,

@@ -101,21 +101,27 @@ def build_document(
         if spec["name"] in names
         for backend in BACKENDS
     ]
+    from repro.obs.runtime import runtime_fingerprint
+
+    meta: Dict[str, object] = {
+        "timer": "process_time",
+        "rounds": rounds,
+        "estimator": "best-of-rounds (timeit-style min)",
+        "gc_disabled": True,
+        "sink": "streaming-noop",
+        "obs_during_timing": "off",
+        "obs_during_profiling": "metrics",
+        "quick": quick,
+    }
+    # Where the numbers were produced — lets ``repro.obs diff`` warn
+    # when a compare crosses machines or interpreter versions.
+    meta.update(runtime_fingerprint())
     return {
         "schema": BENCH_SCHEMA,
         "bench": "obs-trajectory",
         "pr": 4,
         "algorithm": "pmuc+",
-        "meta": {
-            "timer": "process_time",
-            "rounds": rounds,
-            "estimator": "best-of-rounds (timeit-style min)",
-            "gc_disabled": True,
-            "sink": "streaming-noop",
-            "obs_during_timing": "off",
-            "obs_during_profiling": "metrics",
-            "quick": quick,
-        },
+        "meta": meta,
         "runs": runs,
     }
 

@@ -96,12 +96,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--obs",
-        choices=("off", "metrics", "full"),
+        choices=("off", "light", "metrics", "full"),
         default="off",
         help=(
             "enable the observability layer for every enumeration in "
-            "the experiment (see docs/observability.md); 'full' adds "
-            "trace spans and sampled stacks on top of metrics"
+            "the experiment (see docs/observability.md); 'light' keeps "
+            "counters/gauges only, 'full' adds trace spans and sampled "
+            "stacks on top of metrics"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "print a live progress/ETA line to stderr while each "
+            "enumeration runs; implies --obs light unless --obs was "
+            "given"
         ),
     )
     parser.add_argument(
@@ -128,6 +138,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ["REPRO_SANITIZE"] = args.sanitize
     if args.trace_out and args.obs == "off":
         args.obs = "full"
+    if args.progress and args.obs == "off":
+        args.obs = "light"
     if args.obs != "off":
         # Same mechanism as --sanitize: the environment override
         # reaches every internally-built PivotConfig.
@@ -141,6 +153,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.obs != "off":
             from repro.obs.session import observe
 
+            progress = None
+            if args.progress:
+                from repro.obs.progress import ProgressTracker
+
+                progress = ProgressTracker(
+                    stream=sys.stderr, label="repro-bench"
+                )
             session = stack.enter_context(observe(
                 trace_path=args.trace_out,
                 folded_path=(
@@ -151,6 +170,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     if args.trace_out
                     else None
                 ),
+                progress=progress,
             ))
         for name in names:
             title, runner = EXPERIMENTS[name]

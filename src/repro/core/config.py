@@ -20,7 +20,7 @@ KPIVOT_CHOICES = ("off", "plain", "color")
 REDUCTION_CHOICES = ("off", "core", "triangle")
 BACKEND_CHOICES = ("dict", "kernel")
 SANITIZE_CHOICES = ("off", "light", "full")
-OBS_CHOICES = ("off", "metrics", "full")
+OBS_CHOICES = ("off", "light", "metrics", "full")
 
 
 def _default_backend() -> str:
@@ -84,7 +84,9 @@ class PivotConfig:
         variable can still switch a level on process-wide.
     obs:
         Observability layer (see :mod:`repro.obs`): ``"off"``
-        (default; no hooks fire), ``"metrics"`` (counters, gauges and
+        (default; no hooks fire), ``"light"`` (flat counters, gauges
+        and phase timers only — the cheapest hooked mode, used for
+        per-worker telemetry in parallel runs), ``"metrics"`` (adds
         per-depth histograms) or ``"full"`` (metrics plus Chrome-trace
         phase spans, sampled recursion instants, and folded stacks).
         When left at ``"off"``, the ``REPRO_OBS`` environment variable

@@ -20,11 +20,24 @@ longer repeat that preprocessing, and — just as importantly — every
 worker provably uses the *same* ordering.  (Before this, each worker
 recomputed both; any ordering divergence between spawn workers would
 break the one-emitting-seed-per-clique invariant.)
+
+Both drivers keep the *per-shard* view alongside the merged counters:
+each chunk contributes one breakdown dict (its own
+:class:`~repro.core.stats.SearchStats`, wall seconds, pid, peak RSS,
+and — when the config enables observation — the worker's full metrics
+snapshot) to ``EnumerationResult.shards``, and
+``EnumerationResult.fleet`` carries the imbalance/utilization summary.
+With ``flight_dir`` set, every process additionally appends a
+crash-safe flight log (:mod:`repro.obs.flight`): the parent records
+the dispatch fan-out, each worker records its run, and the logs replay
+into the same merged registry the parent computed live.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+import os
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ParameterError
 from repro.core.config import PMUC_PLUS_CONFIG, PivotConfig
@@ -83,20 +96,23 @@ def enumerate_partitioned(
 ) -> EnumerationResult:
     """Enumerate by running each seed chunk as an independent job.
 
-    The merged result equals a single full run (each clique has one
-    emitting seed).  Reduction and ordering happen once up front and
-    are reused by every chunk, so the merged ``calls`` counter matches
-    the monolithic run exactly.
+    The merged clique set and ``outputs`` counter equal a single full
+    run (each clique has one emitting seed).  The *effort* counters
+    (``calls``, ``mpivot_skips``, ...) are deterministic for a given
+    chunking but not invariant across chunkings: the M-pivot warm
+    state carries across roots within one chunk, so splitting the seed
+    order re-partitions that reuse.  ``parts=1`` reproduces the
+    monolithic counters exactly; for any fixed ``parts`` this function
+    is the sequential counter-reference for :func:`enumerate_parallel`.
+    The per-chunk breakdown survives in ``result.shards`` (all chunks
+    share this process's pid).
     """
     reduced, order, chunks = _prepare_jobs(graph, k, eta, parts, config)
-    merged = EnumerationResult()
-    for chunk in chunks:
-        result = PivotEnumerator(reduced, k, eta, config).run(
-            seeds=chunk, reduced_graph=reduced, order=order
-        )
-        merged.cliques.extend(result.cliques)
-        _accumulate(merged, result)
-    return merged
+    outcomes = [
+        _run_chunk((reduced, k, eta, config, chunk, order, index, None))
+        for index, chunk in enumerate(chunks)
+    ]
+    return _merge_outcomes(outcomes)
 
 
 def enumerate_parallel(
@@ -106,41 +122,174 @@ def enumerate_parallel(
     parts: int = 4,
     processes: Optional[int] = None,
     config: PivotConfig = PMUC_PLUS_CONFIG,
+    flight_dir: Optional[str] = None,
 ) -> EnumerationResult:
     """Enumerate with a multiprocessing pool (one task per seed chunk).
 
     The parent reduces the graph and fixes the vertex ordering; each
     worker receives the reduced graph, the shared ordering and its
     chunk, so per-worker preprocessing is limited to unpickling.
+
+    ``flight_dir`` enables flight recording: the parent writes
+    ``flight-parent.jsonl`` (run start, one ``dispatch`` per shard,
+    the merged finish) and each worker writes
+    ``flight-worker<NN>.jsonl`` into the same directory.  Replaying
+    the worker logs (:func:`repro.obs.flight.merge_flight_registries`)
+    reproduces ``result.fleet["metrics"]`` byte for byte when the
+    config observes at least at ``obs="light"``.
     """
     import multiprocessing
 
     reduced, order, chunks = _prepare_jobs(graph, k, eta, parts, config)
-    if len(chunks) <= 1:
-        merged = EnumerationResult()
-        for chunk in chunks:
-            result = PivotEnumerator(reduced, k, eta, config).run(
+    recorder = None
+    paths: List[Optional[str]] = [None] * len(chunks)
+    if flight_dir is not None:
+        from repro.obs.flight import FlightRecorder
+
+        os.makedirs(flight_dir, exist_ok=True)
+        paths = [
+            os.path.join(flight_dir, "flight-worker%02d.jsonl" % index)
+            for index in range(len(chunks))
+        ]
+        recorder = FlightRecorder(
+            os.path.join(flight_dir, "flight-parent.jsonl"), role="parent"
+        )
+    jobs = [
+        (reduced, k, eta, config, chunk, order, index, paths[index])
+        for index, chunk in enumerate(chunks)
+    ]
+    start = time.perf_counter()
+    try:
+        if recorder is not None:
+            recorder.run_start(
+                k=k,
+                eta=eta,
+                backend=config.backend,
+                obs=config.obs,
+                workers=len(chunks),
+                vertices=reduced.num_vertices,
+            )
+            for index, chunk in enumerate(chunks):
+                recorder.dispatch(
+                    shard=index, seeds=len(chunk), path=paths[index]
+                )
+        if len(chunks) <= 1:
+            # Degenerate fan-out: run in-process, same code path as a
+            # worker so the shard breakdown and flight log still exist.
+            outcomes = [_run_chunk(job) for job in jobs]
+        else:
+            with multiprocessing.get_context("spawn").Pool(
+                processes=processes
+                or min(len(chunks), multiprocessing.cpu_count())
+            ) as pool:
+                outcomes = pool.map(_run_chunk, jobs)
+        merged = _merge_outcomes(outcomes)
+        if recorder is not None:
+            recorder.finish(
+                stats=merged.stats.as_dict(),
+                wall_s=round(time.perf_counter() - start, 6),
+                outputs=merged.stats.outputs,
+                fleet={
+                    key: value
+                    for key, value in sorted(merged.fleet.items())
+                    if key != "metrics"
+                },
+            )
+        return merged
+    finally:
+        if recorder is not None:
+            recorder.close()
+
+
+def _run_chunk(job) -> Tuple[EnumerationResult, Dict[str, object]]:
+    """One shard, in whatever process it landed in.
+
+    Returns the chunk's own :class:`EnumerationResult` plus its
+    breakdown dict; everything is built locally and *returned* — spawn
+    workers share nothing with the parent (REP006/REP014).
+    """
+    reduced, k, eta, config, chunk, order, shard, flight_path = job
+    recorder = None
+    if flight_path is not None:
+        from repro.obs.flight import FlightRecorder
+
+        recorder = FlightRecorder(flight_path, role="worker", worker=shard)
+        recorder.run_start(
+            shard=shard,
+            seeds=len(chunk),
+            k=k,
+            eta=eta,
+            backend=config.backend,
+            obs=config.obs,
+        )
+    enumerator = PivotEnumerator(reduced, k, eta, config)
+    start = time.perf_counter()
+    try:
+        if recorder is not None:
+            from repro.obs.session import observe
+
+            # A worker-local session with no artifact paths: its only
+            # job is handing the flight recorder to the observer the
+            # run builds, so heartbeats and emission milestones land
+            # in this worker's log.
+            with observe(flight=recorder):
+                result = enumerator.run(
+                    seeds=chunk, reduced_graph=reduced, order=order
+                )
+        else:
+            result = enumerator.run(
                 seeds=chunk, reduced_graph=reduced, order=order
             )
-            merged.cliques.extend(result.cliques)
-            _accumulate(merged, result)
-        return merged
+    except Exception as error:
+        if recorder is not None:
+            recorder.violation(type(error).__name__, str(error))
+            recorder.close()
+        raise
+    wall = time.perf_counter() - start
+    from repro.obs.runtime import peak_rss_bytes
+
+    obs = enumerator.obs
+    metrics = obs.metrics.as_dict() if obs is not None else None
+    info: Dict[str, object] = {
+        "shard": shard,
+        "seeds": len(chunk),
+        "pid": os.getpid(),
+        "wall_s": round(wall, 6),
+        "outputs": result.stats.outputs,
+        "calls": result.stats.calls,
+        "peak_rss_bytes": peak_rss_bytes(),
+        "backend": enumerator.backend_used,
+        "variant": enumerator.variant_used,
+        "metrics": metrics,
+        "flight": flight_path,
+    }
+    if recorder is not None:
+        if obs is not None:
+            for name, seconds in obs.metrics.timers().items():
+                recorder.phase(name, seconds)
+        recorder.finish(
+            stats=result.stats.as_dict(),
+            metrics=metrics,
+            wall_s=round(wall, 6),
+            outputs=result.stats.outputs,
+        )
+        recorder.close()
+    return result, info
+
+
+def _merge_outcomes(
+    outcomes: Sequence[Tuple[EnumerationResult, Dict[str, object]]]
+) -> EnumerationResult:
+    """Fold per-chunk outcomes into one result with a fleet view."""
+    from repro.obs.fleet import fleet_summary
+
     merged = EnumerationResult()
-    with multiprocessing.get_context("spawn").Pool(
-        processes=processes or min(len(chunks), multiprocessing.cpu_count())
-    ) as pool:
-        jobs = [(reduced, k, eta, config, chunk, order) for chunk in chunks]
-        for result in pool.map(_run_chunk, jobs):
-            merged.cliques.extend(result.cliques)
-            _accumulate(merged, result)
+    for result, info in outcomes:
+        merged.cliques.extend(result.cliques)
+        _accumulate(merged, result)
+        merged.shards.append(info)
+    merged.fleet = fleet_summary(merged.shards)
     return merged
-
-
-def _run_chunk(job) -> EnumerationResult:
-    reduced, k, eta, config, chunk, order = job
-    return PivotEnumerator(reduced, k, eta, config).run(
-        seeds=chunk, reduced_graph=reduced, order=order
-    )
 
 
 def _accumulate(merged: EnumerationResult, part: EnumerationResult) -> None:

@@ -67,10 +67,21 @@ class SearchStats:
 
 @dataclass
 class EnumerationResult:
-    """Outcome of an enumeration run: the cliques plus search counters."""
+    """Outcome of an enumeration run: the cliques plus search counters.
+
+    Monolithic runs leave ``shards``/``fleet`` empty.  The partitioned
+    and parallel drivers (:mod:`repro.core.partition`) fill them: one
+    breakdown dict per seed chunk (its own counters, wall seconds,
+    pid, peak RSS, optional metrics snapshot and flight-log path) plus
+    the cross-worker imbalance/utilization summary of
+    :func:`repro.obs.fleet.fleet_summary` — so the merged ``stats``
+    stop being the only surviving view of a fan-out.
+    """
 
     cliques: list = field(default_factory=list)
     stats: SearchStats = field(default_factory=SearchStats)
+    shards: list = field(default_factory=list)
+    fleet: dict = field(default_factory=dict)
 
     def __iter__(self):
         return iter(self.cliques)

@@ -1102,6 +1102,13 @@ class SearchEngine:
         # raised limit (REP012 checks this structurally).
         complete = seeds is None
         unit = ops.unit
+        roots = ops.roots(seeds)
+        if obs is not None:
+            # Materialized so the progress estimator knows the total
+            # outstanding frontier up front (the kernel hands out a
+            # lazy range); hooks-off runs keep the backend's iterable.
+            roots = list(roots)
+        root_index = 0
         start = perf_counter()
         if raised:
             sys.setrecursionlimit(needed)
@@ -1115,8 +1122,11 @@ class SearchEngine:
                 self.limit, adapter, obs
             )
             try:
-                for v in ops.roots(seeds):
+                for v in roots:
                     c, x = ops.root_state(v)
+                    if obs is not None:
+                        obs.on_root(root_index, len(roots), c)
+                        root_index += 1
                     search([v], unit, c, x, 1)
             except _StopSearch:
                 complete = False

@@ -1,4 +1,4 @@
-"""``python -m repro.obs`` — report and diff observation artifacts."""
+"""``python -m repro.obs`` — report, diff, and fleet-view artifacts."""
 
 from __future__ import annotations
 
@@ -22,8 +22,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser(
         "report",
-        help="summarize a trace (JSONL), metrics document, or bench "
-        "trajectory",
+        help="summarize a trace (JSONL), metrics document, bench "
+        "trajectory, speedup document, or flight log",
     )
     report.add_argument("path", help="artifact file to summarize")
     report.add_argument(
@@ -59,6 +59,53 @@ def build_parser() -> argparse.ArgumentParser:
         "partial --quick re-run against a full baseline); an empty "
         "intersection still fails",
     )
+
+    tail = sub.add_parser(
+        "tail",
+        help="render one flight log (repro.obs/flight-v1 JSONL) as a "
+        "human-readable event listing",
+    )
+    tail.add_argument("path", help="flight log to render")
+    tail.add_argument(
+        "--last",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show only the last N events",
+    )
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="turn flight logs into a per-worker Chrome-trace Gantt "
+        "(open in chrome://tracing or Perfetto)",
+    )
+    timeline.add_argument(
+        "paths", nargs="+", help="flight logs (parent and/or workers)"
+    )
+    timeline.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the trace JSONL to PATH (default: stdout)",
+    )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="per-worker utilization table plus imbalance summary "
+        "over flight logs",
+    )
+    fleet.add_argument(
+        "paths", nargs="+", help="flight logs (parent and/or workers)"
+    )
+
+    trajectory = sub.add_parser(
+        "trajectory",
+        help="one-line-per-artifact history over committed "
+        "BENCH_*.json documents",
+    )
+    trajectory.add_argument(
+        "paths", nargs="+", help="bench artifact files"
+    )
     return parser
 
 
@@ -67,6 +114,50 @@ def main(argv=None) -> int:
     if args.command == "report":
         try:
             sys.stdout.write(render_path(args.path, verbose=args.verbose))
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        return 0
+    if args.command == "tail":
+        from repro.obs.fleet import render_tail
+        from repro.obs.flight import replay_flight
+
+        try:
+            log = replay_flight(args.path)
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        sys.stdout.write(render_tail(log, last=args.last))
+        return 0
+    if args.command == "timeline":
+        from repro.obs.fleet import load_flights, render_timeline
+
+        try:
+            text = render_timeline(load_flights(args.paths))
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote {args.out}")
+        else:
+            sys.stdout.write(text)
+        return 0
+    if args.command == "fleet":
+        from repro.obs.fleet import load_flights, render_fleet
+
+        try:
+            sys.stdout.write(render_fleet(load_flights(args.paths)))
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        return 0
+    if args.command == "trajectory":
+        from repro.obs.fleet import render_trajectory
+
+        try:
+            sys.stdout.write(render_trajectory(args.paths))
         except OSError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2

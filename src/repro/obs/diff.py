@@ -2,7 +2,8 @@
 
 ``python -m repro.obs diff BASELINE CURRENT`` aligns the runs of two
 metrics/bench documents by key (``workload/backend`` for bench
-trajectories, ``run<i>/<backend>`` for session documents) and flags:
+trajectories and kernel-speedup documents, ``run<i>/<backend>`` for
+session documents) and flags:
 
 * a **missing run** — a key present in the baseline but not in the
   current document;
@@ -26,6 +27,13 @@ hooked variant's wall clock is not comparable to the production
 closure's, so e.g. an ``--obs full`` re-run must never be gated against
 an obs-off baseline.  Artifacts predating the stamp (``variant``
 absent) are always accepted.
+
+A **cross-platform** compare (both documents carry a
+python/platform fingerprint — see :mod:`repro.obs.runtime` — and they
+disagree) only *warns*: the deterministic counters still gate, but the
+wall-clock numbers cross machines, so the warning tells the reader
+which side of the threshold to trust.  Artifacts without fingerprints
+compare silently, as before.
 
 Exit status: 0 clean, 1 regression found, 2 unusable input.
 """
@@ -103,6 +111,23 @@ def extract_series(kind: str, payload) -> List[Series]:
                 run.get("variant"),
             ))
         return series
+    if kind == "speedup":
+        series = []
+        for record in payload.get("workloads", []):
+            best = record.get("best_s", {}) or {}
+            variants = record.get("variants", {}) or {}
+            counters = {}
+            if record.get("outputs") is not None:
+                counters["outputs"] = record.get("outputs")
+            for backend in sorted(best):
+                series.append(Series(
+                    "%s/%s" % (record.get("name"), backend),
+                    best.get(backend),
+                    dict(counters),
+                    backend,
+                    variants.get(backend),
+                ))
+        return series
     raise ValueError(
         "trace JSONL files carry no comparable counters; diff the "
         "metrics document or bench trajectory instead"
@@ -113,6 +138,46 @@ def load_series(path: str) -> List[Series]:
     """Load ``path`` and extract its comparable series."""
     kind, payload = load_artifact(path)
     return extract_series(kind, payload)
+
+
+def document_env(payload) -> Dict[str, str]:
+    """The python/platform fingerprint of a loaded document, if any.
+
+    Looks at the top-level ``env`` dict (session metrics documents,
+    speedup documents) and falls back to fingerprint keys inside
+    ``meta`` (bench trajectories).  Documents predating the stamp
+    return an empty dict and never trigger the warning.
+    """
+    if not isinstance(payload, dict):
+        return {}
+    env = payload.get("env")
+    source = env if isinstance(env, dict) else payload.get("meta", {})
+    if not isinstance(source, dict):
+        return {}
+    return {
+        key: str(source[key])
+        for key in ("platform", "python")
+        if source.get(key) is not None
+    }
+
+
+def platform_warning(
+    base_env: Dict[str, str], run_env: Dict[str, str]
+) -> Optional[str]:
+    """A warning line when both sides say where they ran and disagree."""
+    drift = [
+        "%s %s -> %s" % (key, base_env[key], run_env[key])
+        for key in ("python", "platform")
+        if key in base_env and key in run_env
+        and base_env[key] != run_env[key]
+    ]
+    if not drift:
+        return None
+    return (
+        "warning: cross-platform compare (%s); wall-clock numbers "
+        "cross machines — trust the deterministic counters, not the "
+        "time thresholds" % "; ".join(drift)
+    )
 
 
 def compare(
@@ -243,10 +308,18 @@ def diff_paths(
     only_common: bool = False,
 ) -> Tuple[List[str], List[str]]:
     """File-level entry point used by the CLI and CI gate."""
-    return compare(
-        load_series(baseline_path),
-        load_series(current_path),
+    base_kind, base_payload = load_artifact(baseline_path)
+    run_kind, run_payload = load_artifact(current_path)
+    lines, regressions = compare(
+        extract_series(base_kind, base_payload),
+        extract_series(run_kind, run_payload),
         time_threshold=time_threshold,
         counter_threshold=counter_threshold,
         only_common=only_common,
     )
+    warning = platform_warning(
+        document_env(base_payload), document_env(run_payload)
+    )
+    if warning is not None:
+        lines.insert(0, warning)
+    return lines, regressions

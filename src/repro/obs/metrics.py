@@ -94,12 +94,33 @@ class MetricsRegistry:
         return {k: self._timers[k] for k in sorted(self._timers)}
 
     # -- combination / serialization -----------------------------------
-    def merge(self, other: "MetricsRegistry") -> None:
-        """Fold ``other`` into this registry (sums; gauges last-write)."""
+    def merge(self, other: "MetricsRegistry", gauges: str = "last") -> None:
+        """Fold ``other`` into this registry.
+
+        Counters, timers and depth histograms always sum.  Gauges
+        follow ``gauges``: ``"last"`` (default, the session semantics
+        — later runs overwrite) or ``"max"`` (cross-worker merges —
+        order-insensitive, and the right fold for high-water gauges
+        like ``max_depth`` or ``peak_rss_bytes``; non-comparable
+        values fall back to last-write).
+        """
+        if gauges not in ("last", "max"):
+            raise ValueError(
+                f"gauges must be 'last' or 'max', got {gauges!r}"
+            )
         for name in sorted(other._counters):
             self.inc(name, other._counters[name])
         for name in sorted(other._gauges):
-            self.set_gauge(name, other._gauges[name])
+            value = other._gauges[name]
+            if gauges == "max":
+                current = self._gauges.get(name)
+                try:
+                    keep = current is not None and current >= value
+                except TypeError:
+                    keep = False
+                if keep:
+                    continue
+            self.set_gauge(name, value)
         for name in sorted(other._timers):
             self.add_time(name, other._timers[name])
         for name in sorted(other._depth):

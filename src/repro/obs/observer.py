@@ -25,18 +25,25 @@ hook                               meaning
                                    ``"size"``
 =================================  ===================================
 
-Driver hooks (once per run):
+Driver hooks (once per run, plus once per outer-loop root):
 
 ``on_gauge(name, value)``, ``on_phase(name, seconds)`` for the fixed
-phase sequence reduction / ordering / recursion / sanitize, and
+phase sequence reduction / ordering / recursion / sanitize,
+``on_root(index, total, candidates)`` once per root of the outer seed
+loop (feeds the progress estimator and flight heartbeats — see
+:mod:`repro.obs.progress` and :mod:`repro.obs.flight`), and
 ``on_finish(stats)`` which folds the flat
 :class:`~repro.core.stats.SearchStats` counters into the registry.
+``on_root`` lives in the run lifecycle, not the recursion template,
+so REP009's guarantee is untouched: hooks-off compiled variants carry
+no progress or flight branches (REP008 covers the lifecycle site).
 
-Levels: ``"metrics"`` feeds only the
-:class:`~repro.obs.metrics.MetricsRegistry`; ``"full"`` additionally
-records Chrome-trace phase spans, sampled node instants, and folded
-stacks for flamegraphs.  Node sampling is counter-based (every
-``sample_every``-th ``on_node``), never random, so traces are
+Levels: ``"light"`` keeps only the flat counters, gauges and phase
+timers (the cheapest hooked mode — per-worker telemetry for parallel
+runs); ``"metrics"`` adds the per-depth histograms; ``"full"``
+additionally records Chrome-trace phase spans, sampled node instants,
+and folded stacks for flamegraphs.  Node sampling is counter-based
+(every ``sample_every``-th ``on_node``), never random, so traces are
 deterministic.
 """
 
@@ -56,6 +63,10 @@ DEFAULT_SAMPLE_EVERY = 64
 
 #: Root frame of every folded stack.
 ROOT_FRAME = "enumerate"
+
+#: Emission-milestone cadence: every N-th emitted clique writes a
+#: flight-recorder breadcrumb when a recorder is attached.
+MILESTONE_EVERY = 256
 
 
 def resolve_level(config) -> str:
@@ -122,10 +133,17 @@ class Observer:
     ) -> None:
         if level not in OBS_CHOICES or level == "off":
             raise ParameterError(
-                f"obs level must be 'metrics' or 'full', got {level!r}"
+                "obs level must be 'light', 'metrics' or 'full', "
+                f"got {level!r}"
             )
         self.level = level
         self.backend = backend
+        #: Optional :class:`~repro.obs.progress.ProgressTracker` and
+        #: :class:`~repro.obs.flight.FlightRecorder`; attached by the
+        #: session (:meth:`repro.obs.session.ObsSession.register`) so
+        #: the engine seam stays a plain hook call.
+        self.progress = None
+        self.flight = None
         #: :func:`repro.engine.driver.variant_id` of the compiled
         #: recursion variant this run executed; stamped by
         #: ``SearchEngine.run`` before the search starts and copied
@@ -134,9 +152,14 @@ class Observer:
         self.variant: Optional[str] = None
         self.metrics = MetricsRegistry()
         self._full = level == "full"
+        # ``light`` drops the per-depth histograms: the flat counters
+        # arrive via ``on_finish`` regardless, so light-mode hooks on
+        # the hot path reduce to attribute loads and a no-op branch.
+        self._histograms = level != "light"
         self._sample_every = max(1, int(sample_every))
         self._labels: Optional[List] = None
         self._node_seq = 0
+        self._emit_seq = 0
         self._phase_cursor_us = 0
         self.tracer: Optional[Tracer] = None
         self.folded: Optional[FoldedStacks] = None
@@ -168,7 +191,8 @@ class Observer:
 
     # -- recursion hooks (hot path) ------------------------------------
     def on_node(self, depth: int, path) -> None:
-        self.metrics.observe_depth("nodes", depth)
+        if self._histograms:
+            self.metrics.observe_depth("nodes", depth)
         if self._full:
             seq = self._node_seq
             self._node_seq = seq + 1
@@ -182,23 +206,55 @@ class Observer:
                 )
 
     def on_emit(self, depth: int, size: int) -> None:
-        self.metrics.observe_depth("emits", depth)
-        self.metrics.observe_depth("clique_size", size)
+        if self._histograms:
+            self.metrics.observe_depth("emits", depth)
+            self.metrics.observe_depth("clique_size", size)
+        seq = self._emit_seq = self._emit_seq + 1
+        flight = self.flight
+        if flight is not None and not seq % MILESTONE_EVERY:
+            flight.milestone(outputs=seq)
 
     def on_expand(self, depth: int) -> None:
-        self.metrics.observe_depth("expansions", depth)
+        if self._histograms:
+            self.metrics.observe_depth("expansions", depth)
 
     def on_prune(self, kind: str, depth: int, count: int = 1) -> None:
         # A zero count (an mpivot cover that skipped nothing) records
         # no histogram entry — the backends reach such no-op sites from
         # different control flow, and "nothing pruned" must look
         # identical either way.
-        if count:
+        if count and self._histograms:
             self.metrics.observe_depth("prune_" + kind, depth, count)
 
     # -- driver hooks (once per run) -----------------------------------
     def on_gauge(self, name: str, value) -> None:
         self.metrics.set_gauge(name, value)
+
+    def on_root(self, index: int, total: int, candidates) -> None:
+        """One outer-loop root is about to be searched.
+
+        ``candidates`` is the root's candidate frontier in the
+        backend's own shape — a dict on the dict backend, a
+        ``[bits, members]`` pair (or None when empty) on the kernel —
+        used only for its size, the subtree-mass proxy the progress
+        estimator consumes.  Throttling lives in the attached tracker
+        and recorder, so the per-root cost without them is two
+        attribute loads.
+        """
+        if not index:
+            self.metrics.set_gauge("roots_total", total)
+        progress = self.progress
+        flight = self.flight
+        if progress is not None:
+            progress.on_root(index, total, _root_weight(candidates))
+        if flight is not None:
+            gauges = {"roots_done": index, "roots_total": total}
+            if progress is not None:
+                snap = progress.snapshot()
+                gauges["fraction"] = round(
+                    float(snap["fraction"]), 4
+                )
+            flight.heartbeat(**gauges)
 
     def on_phase(self, name: str, seconds: float) -> None:
         """Record one named phase; ``full`` also emits a trace span.
@@ -227,3 +283,17 @@ class Observer:
             self.metrics.set_gauge(
                 "sampled_nodes", self.folded.total_weight()
             )
+
+
+def _root_weight(candidates) -> int:
+    """Frontier mass of one root: ``|C| + 1`` across backend shapes."""
+    if candidates is None:
+        return 1
+    if isinstance(candidates, list):
+        # Kernel state: ``[bits, members]``; the member list is the
+        # iteration view whose length is the frontier size.
+        return len(candidates[1]) + 1
+    try:
+        return len(candidates) + 1
+    except TypeError:
+        return 1

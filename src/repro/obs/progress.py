@@ -1,0 +1,135 @@
+"""Live progress/ETA estimation for a running enumeration.
+
+Algorithm 3's outer loop visits each surviving root vertex once, and
+the recursion under root ``v`` is confined to ``v``'s candidate set —
+so ``|C(v)| + 1`` is a cheap, already-computed proxy for the relative
+mass of ``v``'s subtree, in the spirit of the root-level subtree
+estimates Li et al. (arXiv:2009.10376) use to predict clique-set
+sizes.  The tracker accumulates *explored* mass (roots already
+finished) against *outstanding* mass (the current root plus the
+remaining roots at the observed mean weight) and scales elapsed wall
+time into an ETA.
+
+Accuracy caveats (also in ``docs/observability.md``): the weights are
+frontier sizes, not subtree sizes — pruning makes dense early roots
+cheaper than their weight suggests and deep sparse tails costlier —
+and the estimate only updates at root granularity, so a single
+monster root (the paper's dense worst case) freezes the fraction
+until it completes.  The number is a progress indicator, not a bound.
+
+The tracker is pull-free and in-band: the engine's ``on_root`` hook
+(see :meth:`repro.obs.observer.Observer.on_root`) feeds it, and it
+throttles its own stream rendering, so attaching it costs one method
+call per root — nothing per recursion node.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+#: Minimum seconds between rendered progress lines.
+DEFAULT_INTERVAL = 1.0
+
+
+class ProgressTracker:
+    """Explored-vs-outstanding frontier mass, with throttled rendering.
+
+    ``stream`` is any object with ``write``/``flush`` (``sys.stderr``
+    for the CLI flags, a list-backed fake in tests, or None to only
+    accumulate).  ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        stream=None,
+        interval: float = DEFAULT_INTERVAL,
+        clock=None,
+        label: str = "",
+    ) -> None:
+        self.stream = stream
+        self.interval = interval
+        self.label = label
+        self._clock = clock if clock is not None else time.monotonic
+        self._reset()
+
+    def _reset(self) -> None:
+        self._start = self._clock()
+        self._last_render: Optional[float] = None
+        self.roots_done = 0
+        self.roots_total = 0
+        self.explored = 0.0
+        self.current_weight = 0.0
+
+    # -- the in-band feed ----------------------------------------------
+    def on_root(self, index: int, total: int, weight: int) -> None:
+        """Root ``index`` of ``total`` is about to start; ``weight``
+        is its frontier-mass estimate (``|C| + 1``).
+
+        ``index == 0`` resets the tracker, so one tracker instance can
+        ride a session across many runs (each run restarts the
+        estimate).
+        """
+        if index == 0:
+            self._reset()
+        self.roots_done = index
+        self.roots_total = total
+        self.explored += self.current_weight
+        self.current_weight = float(weight)
+        self._maybe_render()
+
+    # -- derived views -------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """The current estimate as a plain dict (flight heartbeats)."""
+        done = self.roots_done
+        total = self.roots_total
+        mean = self.explored / done if done else self.current_weight
+        remaining_roots = max(0, total - done - 1)
+        outstanding = self.current_weight + mean * remaining_roots
+        mass = self.explored + outstanding
+        fraction = self.explored / mass if mass > 0 else 0.0
+        elapsed = self._clock() - self._start
+        eta: Optional[float] = None
+        if 0.0 < fraction < 1.0:
+            eta = elapsed * (1.0 - fraction) / fraction
+        elif fraction >= 1.0:
+            eta = 0.0
+        return {
+            "roots_done": done,
+            "roots_total": total,
+            "fraction": fraction,
+            "elapsed_s": elapsed,
+            "eta_s": eta,
+        }
+
+    def render(self) -> str:
+        """One human-readable progress line."""
+        snap = self.snapshot()
+        eta = snap["eta_s"]
+        prefix = f"{self.label}: " if self.label else ""
+        return (
+            "%sprogress %5.1f%%  root %d/%d  elapsed %.1fs  eta %s"
+            % (
+                prefix,
+                100.0 * snap["fraction"],
+                snap["roots_done"],
+                snap["roots_total"],
+                snap["elapsed_s"],
+                "%.1fs" % eta if eta is not None else "-",
+            )
+        )
+
+    def _maybe_render(self) -> None:
+        if self.stream is None:
+            return
+        now = self._clock()
+        if (
+            self._last_render is not None
+            and now - self._last_render < self.interval
+        ):
+            return
+        self._last_render = now
+        self.stream.write(self.render() + "\n")
+        flush = getattr(self.stream, "flush", None)
+        if flush is not None:
+            flush()

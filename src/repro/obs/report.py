@@ -10,6 +10,11 @@ produces and picks the right renderer by sniffing the content:
 * a **bench trajectory** (``repro.obs/bench-v1``, e.g. the checked-in
   ``BENCH_pr4.json``) — one line per workload × backend plus the same
   per-run breakdowns;
+* a **speedup document** (``kernel-backend-speedup``, e.g. the
+  checked-in ``BENCH_pr6.json``) — per-workload backend timings and
+  the headline speedup summary;
+* a **flight log** (``repro.obs/flight-v1`` JSONL, see
+  :mod:`repro.obs.flight`) — rendered as its event listing;
 * a **JSONL trace** (Chrome trace events) — span totals and sampled
   instant counts.
 """
@@ -24,12 +29,16 @@ from repro.obs.tracer import read_jsonl
 
 BENCH_SCHEMA = "repro.obs/bench-v1"
 
+#: The ``bench`` tag of the kernel-speedup documents (``BENCH_pr6.json``
+#: and friends) — pretty-printed JSON without the bench-v1 schema tag.
+SPEEDUP_BENCH = "kernel-backend-speedup"
+
 
 def load_artifact(path: str) -> Tuple[str, object]:
     """Read ``path`` and classify it.
 
-    Returns ``("metrics", doc)``, ``("bench", doc)`` or
-    ``("trace", events)``.
+    Returns ``("metrics", doc)``, ``("bench", doc)``,
+    ``("speedup", doc)``, ``("flight", log)`` or ``("trace", events)``.
     """
     with open(path) as handle:
         text = handle.read()
@@ -41,11 +50,35 @@ def load_artifact(path: str) -> Tuple[str, object]:
             doc = None
         if isinstance(doc, dict):
             schema = doc.get("schema", "")
+            if "event" in doc:
+                # A one-record flight log parses as a single object.
+                from repro.obs.flight import replay_flight
+
+                return "flight", replay_flight(path)
             if schema == BENCH_SCHEMA:
                 return "bench", doc
+            if doc.get("bench") == SPEEDUP_BENCH or (
+                "workloads" in doc and "runs" not in doc
+            ):
+                return "speedup", doc
             if "runs" in doc or "merged" in doc:
                 return "metrics", doc
+        if doc is None and _looks_like_flight(stripped):
+            # Multi-line flight log: the single-object parse above
+            # failed but each line is one event record.
+            from repro.obs.flight import replay_flight
+
+            return "flight", replay_flight(path)
     return "trace", read_jsonl(text)
+
+
+def _looks_like_flight(text: str) -> bool:
+    first_line = text.splitlines()[0] if text else ""
+    try:
+        entry = json.loads(first_line)
+    except ValueError:
+        return False
+    return isinstance(entry, dict) and "event" in entry
 
 
 def _fmt(value) -> str:
@@ -146,6 +179,13 @@ def _depth_rows(registry: MetricsRegistry) -> List[List[str]]:
 def render_metrics(doc: Dict[str, object]) -> str:
     """Summary of a ``repro.obs/metrics-v1`` session document."""
     lines: List[str] = []
+    env = doc.get("env")
+    if env:
+        lines.append(
+            "env: " + ", ".join(
+                "%s=%s" % (key, env[key]) for key in sorted(env)
+            )
+        )
     runs = doc.get("runs", [])
     for run in runs:
         lines.append(
@@ -200,6 +240,47 @@ def render_bench(doc: Dict[str, object], verbose: bool = False) -> str:
             registry = MetricsRegistry.from_dict(metrics)
             lines.extend("  " + t for t in _registry_sections(registry))
     return "\n".join(lines).rstrip() + "\n"
+
+
+def render_speedup(doc: Dict[str, object]) -> str:
+    """Summary of a ``kernel-backend-speedup`` document."""
+    lines: List[str] = []
+    header = ["speedup bench: %s" % doc.get("bench", "?")]
+    if doc.get("pr") is not None:
+        header.append("pr=%s" % doc.get("pr"))
+    env = doc.get("env") or {}
+    for key in sorted(env):
+        header.append("%s=%s" % (key, env[key]))
+    lines.append(", ".join(header))
+    rows = []
+    for record in doc.get("workloads", []):
+        best = record.get("best_s", {})
+        rows.append([
+            str(record.get("name")),
+            str(record.get("outputs", "-")),
+            _fmt(best.get("dict", "-")),
+            _fmt(best.get("kernel", "-")),
+            _fmt(record.get("speedup_best", "-")),
+            _fmt(record.get("speedup_median", "-")),
+        ])
+    if rows:
+        lines.extend(_table(
+            ["workload", "cliques", "dict_best_s", "kernel_best_s",
+             "speedup_best", "speedup_median"],
+            rows,
+        ))
+    summary = doc.get("summary", {})
+    if summary:
+        lines.append(
+            "summary: best %sx (target %sx, met=%s, parity_ok=%s)"
+            % (
+                summary.get("best_speedup", "-"),
+                summary.get("speedup_target", "-"),
+                summary.get("target_met", "-"),
+                summary.get("parity_ok", "-"),
+            )
+        )
+    return "\n".join(lines) + "\n"
 
 
 def render_trace(events: List[Dict[str, object]]) -> str:
@@ -261,4 +342,11 @@ def render_path(path: str, verbose: bool = False) -> str:
         return render_metrics(payload)
     if kind == "bench":
         return render_bench(payload, verbose=verbose)
+    if kind == "speedup":
+        return render_speedup(payload)
+    if kind == "flight":
+        # Imported lazily in both directions (fleet borrows _table).
+        from repro.obs.fleet import render_tail
+
+        return render_tail(payload)
     return render_trace(payload)

@@ -49,17 +49,27 @@ class ObsSession:
         metrics_path: Optional[str] = None,
         clock=None,
         sample_every: int = DEFAULT_SAMPLE_EVERY,
+        progress=None,
+        flight=None,
     ) -> None:
         self.trace_path = trace_path
         self.folded_path = folded_path
         self.metrics_path = metrics_path
         self.clock = clock
         self.sample_every = sample_every
+        #: Optional :class:`~repro.obs.progress.ProgressTracker` /
+        #: :class:`~repro.obs.flight.FlightRecorder` handed to every
+        #: observer built inside the session — the seam the ``--progress``
+        #: CLI flags and the parallel workers' flight logs ride.
+        self.progress = progress
+        self.flight = flight
         self.observers: List[Observer] = []
 
     def register(self, observer: Observer) -> None:
         """Attach one run's observer; assigns its trace lane."""
         self.observers.append(observer)
+        observer.progress = self.progress
+        observer.flight = self.flight
         if observer.tracer is not None:
             observer.tracer.set_tid(len(self.observers))
 
@@ -93,8 +103,13 @@ class ObsSession:
                 "level": observer.level,
                 "metrics": observer.metrics.as_dict(),
             })
+        # Imported lazily: keeps the session importable on platforms
+        # without the resource module until a document is rendered.
+        from repro.obs.runtime import runtime_fingerprint
+
         return {
             "schema": METRICS_SCHEMA,
+            "env": runtime_fingerprint(),
             "runs": runs,
             "merged": merged.as_dict(),
         }
@@ -120,12 +135,15 @@ def observe(
     metrics_path: Optional[str] = None,
     clock=None,
     sample_every: int = DEFAULT_SAMPLE_EVERY,
+    progress=None,
+    flight=None,
 ):
     """Activate an :class:`ObsSession` for the duration of the block.
 
     Artifacts are written on exit even when the block raises, so a
     crashed benchmark still leaves its partial trace behind for
-    inspection.
+    inspection.  ``progress``/``flight`` are handed to every observer
+    the block builds (see :class:`ObsSession`).
     """
     session = ObsSession(
         trace_path=trace_path,
@@ -133,6 +151,8 @@ def observe(
         metrics_path=metrics_path,
         clock=clock,
         sample_every=sample_every,
+        progress=progress,
+        flight=flight,
     )
     _ACTIVE.append(session)
     try:

@@ -145,6 +145,19 @@ def test_rep008_fires_when_the_finish_hook_is_dropped():
     assert "on_finish" in found[0].message
 
 
+def test_rep008_fires_when_the_root_progress_hook_is_dropped():
+    # The progress/flight seam: losing the per-seed on_root call would
+    # silently blind the ETA estimator and the worker heartbeats.
+    mutant = _neutralize(
+        ENGINE_DRIVER.read_text(),
+        "obs.on_root(root_index, len(roots), c)",
+    )
+    found = _rep008_findings(mutant)
+    assert len(found) == 1
+    assert "on_root" in found[0].message
+    assert "run lifecycle" in found[0].message
+
+
 # ----------------------------------------------------------------------
 # files without the engine anchors keep the rule silent
 # ----------------------------------------------------------------------

@@ -65,6 +65,11 @@ class RecordingObserver:
         # Wall time is not comparable; the phase sequence is.
         self.events.append(("phase", name))
 
+    def on_root(self, index, total, candidates):
+        # ``candidates`` is the root frontier in backend-local form;
+        # only the seed position and total are comparable.
+        self.events.append(("root", index, total))
+
     def on_finish(self, stats):
         self.events.append(("finish",))
 

@@ -1,0 +1,308 @@
+"""Flight recorder, replay, merge, and the progress estimator."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.obs.flight import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    merge_flight_registries,
+    replay_flight,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observer import MILESTONE_EVERY, Observer
+from repro.obs.progress import ProgressTracker
+
+
+class FakeClock:
+    """Deterministic monotonic clock for throttle/ETA tests."""
+
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestFlightRecorder:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "flight.jsonl")
+        clock = FakeClock()
+        with FlightRecorder(path, role="worker", worker=3,
+                            clock=clock) as rec:
+            clock.advance(0.5)
+            rec.run_start(k=4, eta=0.1)
+            rec.phase("recursion", 0.25)
+            rec.milestone(outputs=256)
+            rec.violation("KeyError", "boom")
+            clock.advance(1.0)
+            rec.finish(
+                stats={"calls": 10, "outputs": 2, "max_depth": 3},
+                wall_s=1.5,
+                outputs=2,
+            )
+        log = replay_flight(path)
+        assert not log.truncated
+        assert log.schema == FLIGHT_SCHEMA
+        assert log.role == "worker"
+        assert log.worker == 3
+        assert [e["event"] for e in log.events] == [
+            "open", "run_start", "phase", "milestone", "violation",
+            "finish",
+        ]
+        # seq is gapless and t_s relative to the recorder's own start.
+        assert [e["seq"] for e in log.events] == list(range(6))
+        assert log.events[1]["t_s"] == pytest.approx(0.5)
+        assert log.wall_s() == pytest.approx(1.5)
+
+    def test_every_line_is_flushed_and_sorted(self, tmp_path):
+        path = str(tmp_path / "flight.jsonl")
+        rec = FlightRecorder(path)
+        rec.run_start(b=2, a=1)
+        # No close(): per-record flush means the lines are on disk now.
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            assert line == json.dumps(json.loads(line), sort_keys=True)
+        rec.close()
+
+    def test_heartbeat_throttles(self, tmp_path):
+        path = str(tmp_path / "flight.jsonl")
+        clock = FakeClock()
+        rec = FlightRecorder(path, clock=clock, heartbeat_every=0.25)
+        rec.heartbeat(depth=1)
+        rec.heartbeat(depth=2)      # dropped: 0s since the last one
+        clock.advance(0.3)
+        rec.heartbeat(depth=3)
+        clock.advance(0.01)
+        rec.heartbeat(force=True, depth=4)  # force bypasses the throttle
+        rec.close()
+        beats = [
+            e for e in replay_flight(path).events
+            if e["event"] == "heartbeat"
+        ]
+        assert [b["depth"] for b in beats] == [1, 3, 4]
+        assert all("peak_rss_bytes" in b for b in beats)
+
+    def test_truncated_tail_recovery(self, tmp_path):
+        path = str(tmp_path / "flight.jsonl")
+        with FlightRecorder(path) as rec:
+            rec.run_start(k=3)
+            rec.finish(stats={"calls": 1, "outputs": 1, "max_depth": 1})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "heartbeat", "seq": 3, "t_')  # cut mid-write
+        log = replay_flight(path)
+        assert log.truncated
+        # The valid prefix is fully usable, including the finish record.
+        assert log.finish() is not None
+        assert log.registry().counters()["calls"] == 1
+
+    def test_registry_prefers_full_metrics_snapshot(self, tmp_path):
+        live = MetricsRegistry()
+        live.inc("calls", 7)
+        live.add_time("recursion", 0.5)
+        live.set_gauge("max_depth", 4)
+        live.observe_depth("nodes", 2, 7)
+        path = str(tmp_path / "flight.jsonl")
+        with FlightRecorder(path) as rec:
+            rec.finish(metrics=live.as_dict(), stats={"calls": 7})
+        replayed = replay_flight(path).registry()
+        assert json.dumps(replayed.as_dict(), sort_keys=True) == \
+            json.dumps(live.as_dict(), sort_keys=True)
+
+    def test_registry_falls_back_to_flat_stats(self, tmp_path):
+        path = str(tmp_path / "flight.jsonl")
+        with FlightRecorder(path) as rec:
+            rec.finish(stats={"calls": 5, "outputs": 2, "max_depth": 9})
+        registry = replay_flight(path).registry()
+        assert registry.counters() == {"calls": 5, "outputs": 2}
+        assert registry.gauge("max_depth") == 9
+
+    def test_crashed_log_has_no_registry(self, tmp_path):
+        path = str(tmp_path / "flight.jsonl")
+        rec = FlightRecorder(path)
+        rec.run_start(k=3)
+        rec.violation("MemoryError", "oom")
+        rec.close()
+        log = replay_flight(path)
+        assert log.finish() is None
+        assert log.registry() is None
+        assert log.wall_s() is None
+
+
+class TestMergeFlightRegistries:
+    def _worker_log(self, tmp_path, worker, calls, depth):
+        registry = MetricsRegistry()
+        registry.inc("calls", calls)
+        registry.set_gauge("max_depth", depth)
+        path = str(tmp_path / f"flight-worker{worker}.jsonl")
+        with FlightRecorder(path, worker=worker) as rec:
+            rec.finish(metrics=registry.as_dict())
+        return replay_flight(path)
+
+    def test_merge_is_order_insensitive(self, tmp_path):
+        logs = [
+            self._worker_log(tmp_path, 0, 10, 5),
+            self._worker_log(tmp_path, 1, 20, 9),
+            self._worker_log(tmp_path, 2, 30, 7),
+        ]
+        forward = merge_flight_registries(logs).as_dict()
+        shuffled = merge_flight_registries(logs[::-1]).as_dict()
+        assert json.dumps(forward, sort_keys=True) == \
+            json.dumps(shuffled, sort_keys=True)
+        assert forward["counters"]["calls"] == 60
+        assert forward["gauges"]["max_depth"] == 9
+
+    def test_crashed_workers_contribute_nothing(self, tmp_path):
+        crashed = str(tmp_path / "flight-crashed.jsonl")
+        rec = FlightRecorder(crashed, worker=1)
+        rec.violation("MemoryError", "oom")
+        rec.close()
+        logs = [
+            self._worker_log(tmp_path, 0, 10, 5),
+            replay_flight(crashed),
+        ]
+        merged = merge_flight_registries(logs)
+        assert merged.counters()["calls"] == 10
+
+
+class TestRegistryMerge:
+    def test_max_gauges_keep_high_water(self):
+        a = MetricsRegistry()
+        a.set_gauge("max_depth", 9)
+        b = MetricsRegistry()
+        b.set_gauge("max_depth", 4)
+        b.set_gauge("roots_total", 12)
+        a.merge(b, gauges="max")
+        assert a.gauge("max_depth") == 9
+        assert a.gauge("roots_total") == 12
+
+    def test_last_gauges_overwrite(self):
+        a = MetricsRegistry()
+        a.set_gauge("max_depth", 9)
+        b = MetricsRegistry()
+        b.set_gauge("max_depth", 4)
+        a.merge(b)
+        assert a.gauge("max_depth") == 4
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().merge(MetricsRegistry(), gauges="sum")
+
+
+class TestProgressTracker:
+    def test_snapshot_math(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(clock=clock)
+        tracker.on_root(0, 4, 10)
+        clock.advance(1.0)
+        tracker.on_root(1, 4, 10)
+        clock.advance(1.0)
+        tracker.on_root(2, 4, 10)
+        snap = tracker.snapshot()
+        # 2 of 4 equal-weight roots explored; the current root plus
+        # one outstanding at the observed mean -> fraction 1/2.
+        assert snap["roots_done"] == 2
+        assert snap["roots_total"] == 4
+        assert snap["fraction"] == pytest.approx(0.5)
+        assert snap["elapsed_s"] == pytest.approx(2.0)
+        assert snap["eta_s"] == pytest.approx(2.0)
+
+    def test_index_zero_resets_between_runs(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(clock=clock)
+        tracker.on_root(0, 2, 5)
+        tracker.on_root(1, 2, 5)
+        clock.advance(3.0)
+        tracker.on_root(0, 7, 1)  # a new run restarts the estimate
+        snap = tracker.snapshot()
+        assert snap["roots_total"] == 7
+        assert snap["roots_done"] == 0
+        assert snap["fraction"] == 0.0
+        assert snap["elapsed_s"] == 0.0
+
+    def test_render_throttles_to_interval(self):
+        clock = FakeClock()
+
+        class Stream:
+            def __init__(self):
+                self.lines = []
+
+            def write(self, text):
+                self.lines.append(text)
+
+            def flush(self):
+                pass
+
+        stream = Stream()
+        tracker = ProgressTracker(
+            stream=stream, interval=1.0, clock=clock, label="t"
+        )
+        tracker.on_root(0, 10, 3)     # first render
+        clock.advance(0.5)
+        tracker.on_root(1, 10, 3)     # throttled
+        clock.advance(0.6)
+        tracker.on_root(2, 10, 3)     # 1.1s since the first -> renders
+        assert len(stream.lines) == 2
+        assert stream.lines[0].startswith("t: progress")
+        assert "root 2/10" in stream.lines[1]
+
+
+class TestObserverSeam:
+    def test_light_level_skips_depth_histograms(self):
+        obs = Observer(level="light")
+        obs.on_node(1, [0])
+        obs.on_emit(1, 3)
+        obs.on_expand(1)
+        obs.on_prune("kpivot", 1)
+        assert obs.metrics.as_dict()["depth"] == {}
+
+    def test_off_level_rejected(self):
+        with pytest.raises(ParameterError):
+            Observer(level="off")
+
+    def test_on_root_feeds_progress_and_flight(self, tmp_path):
+        clock = FakeClock()
+        obs = Observer(level="light")
+        obs.progress = ProgressTracker(clock=clock)
+        obs.flight = FlightRecorder(
+            str(tmp_path / "flight.jsonl"), clock=clock
+        )
+        obs.on_root(0, 3, {"a": 1, "b": 2})   # dict-backend frontier
+        clock.advance(1.0)
+        obs.on_root(1, 3, [0b11, [4, 5]])     # kernel [bits, members]
+        clock.advance(1.0)
+        obs.on_root(2, 3, None)               # empty frontier
+        obs.flight.close()
+        assert obs.metrics.gauge("roots_total") == 3
+        assert obs.progress.roots_done == 2
+        # weights: |C|+1 = 3, 3, 1
+        assert obs.progress.explored == pytest.approx(6.0)
+        beats = [
+            e
+            for e in replay_flight(str(tmp_path / "flight.jsonl")).events
+            if e["event"] == "heartbeat"
+        ]
+        assert [b["roots_done"] for b in beats] == [0, 1, 2]
+        assert all("fraction" in b for b in beats)
+
+    def test_emission_milestones_are_periodic(self, tmp_path):
+        obs = Observer(level="light")
+        obs.flight = FlightRecorder(str(tmp_path / "flight.jsonl"))
+        for _ in range(2 * MILESTONE_EVERY + 5):
+            obs.on_emit(2, 3)
+        obs.flight.close()
+        marks = [
+            e
+            for e in replay_flight(str(tmp_path / "flight.jsonl")).events
+            if e["event"] == "milestone"
+        ]
+        assert [m["outputs"] for m in marks] == [
+            MILESTONE_EVERY, 2 * MILESTONE_EVERY
+        ]
