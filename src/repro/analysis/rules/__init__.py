@@ -13,6 +13,7 @@ Importing this package registers every rule with
 * :mod:`~repro.analysis.rules.flow_domains` — REP010, REP011
 * :mod:`~repro.analysis.rules.flow_state` — REP012
 * :mod:`~repro.analysis.rules.translation` — REP013, REP014
+* :mod:`~repro.analysis.rules.store` — REP015
 """
 
 from repro.analysis.rules import (
@@ -24,6 +25,7 @@ from repro.analysis.rules import (
     obs,
     parallel,
     sanitizer,
+    store,
     translation,
     variants,
 )
@@ -32,7 +34,7 @@ from repro.analysis.rules import (
 #: cached per-file results (see :mod:`repro.analysis.cache`).  The
 #: cache key also folds in the analysis package sources, so this is a
 #: human-readable escape hatch, not the only invalidation mechanism.
-RULESET_VERSION = "2026.08-semantics-1"
+RULESET_VERSION = "2026.08-store-1"
 
 __all__ = [
     "conformance",
@@ -43,6 +45,7 @@ __all__ = [
     "obs",
     "parallel",
     "sanitizer",
+    "store",
     "translation",
     "variants",
     "RULESET_VERSION",

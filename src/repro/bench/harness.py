@@ -4,45 +4,43 @@ Runs configured enumerations under a timer, collects search statistics
 and renders the row/series layout of the paper's tables and figures as
 plain text, so every benchmark prints something directly comparable to
 the published artifact.
+
+Record stamping (backend/variant/env fingerprints, full-precision
+seconds) lives in :mod:`repro.store.records` — one writer shared by
+every producer; :class:`RunRecord` is re-exported here for
+compatibility.  Every timed entry point accepts ``store=`` (a
+:class:`~repro.store.store.RunStore`): when given, the run's cliques
+and counters are persisted under its canonical
+:class:`~repro.store.key.RunKey`.  Benchmarks still *execute* every
+run — a stored timing must never be served as a fresh measurement —
+persistence only publishes the measured run for ``repro.store query``
+and for cache-hitting consumers (sessions, the service layer).
 """
 
 from __future__ import annotations
 
 import time
 import tracemalloc
-from dataclasses import dataclass, field, replace
+from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.api import enumerate_maximal_cliques
 from repro.core.config import PivotConfig
 from repro.core.pmuc import PivotEnumerator
 from repro.exceptions import SanitizerViolation
-from repro.obs.runtime import run_env
+from repro.store.records import RunRecord, stamped_record
 from repro.uncertain.graph import UncertainGraph
 
-
-@dataclass
-class RunRecord:
-    """One timed enumeration run."""
-
-    label: str
-    seconds: float
-    num_cliques: int
-    stats: Dict[str, int] = field(default_factory=dict)
-    extra: Dict[str, object] = field(default_factory=dict)
-
-    def as_row(self) -> Dict[str, object]:
-        # Full precision: rows feed machine-readable artifacts (JSON
-        # dumps, trajectory diffs); rounding happens only at
-        # text-render time (``_fmt`` here / in bench.report).
-        row: Dict[str, object] = {
-            "run": self.label,
-            "seconds": self.seconds,
-            "cliques": self.num_cliques,
-        }
-        row.update({f"stat_{k}": v for k, v in self.stats.items()})
-        row.update(self.extra)
-        return row
+__all__ = [
+    "RunRecord",
+    "timed_enumeration",
+    "timed_config_enumeration",
+    "sanitized_config_enumeration",
+    "timed_parallel_enumeration",
+    "peak_memory_bytes",
+    "format_table",
+    "print_table",
+]
 
 
 def timed_enumeration(
@@ -60,6 +58,17 @@ def timed_enumeration(
     return RunRecord(label, elapsed, count[0], result.stats.as_dict())
 
 
+def _persist(store, graph, k, eta, config, record, cliques,
+             violation=None, procedure: str = "peel") -> Optional[str]:
+    """Publish one measured run under its canonical key (best effort)."""
+    if store is None:
+        return None
+    from repro.store.key import run_key_for
+
+    key = run_key_for(graph, k, eta, config, procedure=procedure)
+    return store.put_run(key, record, cliques=cliques, violation=violation)
+
+
 def timed_config_enumeration(
     label: str,
     graph: UncertainGraph,
@@ -68,6 +77,7 @@ def timed_config_enumeration(
     config: PivotConfig,
     sanitize: Optional[str] = None,
     obs: Optional[str] = None,
+    store=None,
 ) -> RunRecord:
     """Time one :class:`PivotConfig`-driven enumeration.
 
@@ -76,16 +86,20 @@ def timed_config_enumeration(
     measured time, which is the point — the harness is how sanitizer
     overhead is quantified.  ``obs`` (``"off"``/``"metrics"``/
     ``"full"``) likewise overrides the observability level — the same
-    mechanism quantifies observer overhead.
+    mechanism quantifies observer overhead.  With ``store``, the run
+    (cliques + counters) is persisted under its canonical key.
     """
     if sanitize is not None:
         config = replace(config, sanitize=sanitize)
     if obs is not None:
         config = replace(config, obs=obs)
     count = [0]
+    cliques: Optional[List[frozenset]] = [] if store is not None else None
 
-    def sink(_clique: frozenset) -> None:
+    def sink(clique: frozenset) -> None:
         count[0] += 1
+        if cliques is not None:
+            cliques.append(clique)
 
     enumerator = PivotEnumerator(graph, k, eta, config, on_clique=sink)
     start = time.perf_counter()
@@ -94,15 +108,16 @@ def timed_config_enumeration(
     # ``backend_used``, not ``config.backend``: the kernel silently
     # falls back to dict on unsupported inputs, and the row must say
     # what actually ran (the diff gate refuses cross-backend rows).
-    extra: Dict[str, object] = {"backend": enumerator.backend_used}
-    extra.update(run_env())
-    return RunRecord(
+    record = stamped_record(
         label,
         elapsed,
         count[0],
         result.stats.as_dict(),
-        extra,
+        backend=enumerator.backend_used,
+        variant=enumerator.variant_used,
     )
+    _persist(store, graph, k, eta, config, record, cliques)
+    return record
 
 
 def sanitized_config_enumeration(
@@ -112,37 +127,57 @@ def sanitized_config_enumeration(
     eta,
     config: PivotConfig,
     sanitize: str = "full",
+    store=None,
 ) -> RunRecord:
     """A sanitized run that records violations instead of raising.
 
     On a violation the record carries ``extra["violation"]`` (the
     serialized :class:`~repro.sanitize.report.ViolationReport` dict,
     replayable via :func:`repro.sanitize.replay`) and the clique count
-    reached before the check fired.
+    reached before the check fired.  With ``store``, the violation
+    report is persisted alongside the run so ``repro.store query show``
+    can hand back a replayable reproduction.
     """
     config = replace(config, sanitize=sanitize)
     count = [0]
+    cliques: Optional[List[frozenset]] = [] if store is not None else None
 
-    def sink(_clique: frozenset) -> None:
+    def sink(clique: frozenset) -> None:
         count[0] += 1
+        if cliques is not None:
+            cliques.append(clique)
 
     enumerator = PivotEnumerator(graph, k, eta, config, on_clique=sink)
     start = time.perf_counter()
     extra: Dict[str, object] = {"sanitize": sanitize}
+    violation_dict = None
     try:
         result = enumerator.run()
         stats = result.stats.as_dict()
     except SanitizerViolation as violation:
         stats = {}
-        extra["violation"] = (
+        cliques = None  # partial output: never publish as the result set
+        violation_dict = (
             violation.report.as_dict()
             if violation.report is not None
-            else str(violation)
+            else {"message": str(violation)}
         )
+        extra["violation"] = violation_dict
     elapsed = time.perf_counter() - start
-    extra["backend"] = enumerator.backend_used
-    extra.update(run_env())
-    return RunRecord(label, elapsed, count[0], stats, extra)
+    record = stamped_record(
+        label,
+        elapsed,
+        count[0],
+        stats,
+        extra=extra,
+        backend=enumerator.backend_used,
+        variant=enumerator.variant_used,
+    )
+    _persist(
+        store, graph, k, eta, config, record, cliques,
+        violation=violation_dict,
+    )
+    return record
 
 
 def timed_parallel_enumeration(
@@ -154,6 +189,7 @@ def timed_parallel_enumeration(
     processes: Optional[int] = None,
     config: Optional[PivotConfig] = None,
     flight_dir: Optional[str] = None,
+    store=None,
 ) -> RunRecord:
     """Time one multi-process enumeration, keeping the fleet view.
 
@@ -161,7 +197,10 @@ def timed_parallel_enumeration(
     per-shard breakdown and the imbalance/utilization summary of
     :func:`repro.obs.fleet.fleet_summary` land in ``extra`` (as
     ``shards`` / ``fleet``) so the fan-out survives into bench
-    artifacts instead of collapsing to one summed row.
+    artifacts instead of collapsing to one summed row.  ``store`` is
+    forwarded to :func:`~repro.core.partition.enumerate_parallel`,
+    which keys the run under procedure ``peel/parts=N`` (parallel
+    counters depend on the chunking).
     """
     from repro.core.config import PMUC_PLUS_CONFIG
     from repro.core.partition import enumerate_parallel
@@ -172,7 +211,7 @@ def timed_parallel_enumeration(
     result = enumerate_parallel(
         graph, k, eta,
         parts=parts, processes=processes, config=config,
-        flight_dir=flight_dir,
+        flight_dir=flight_dir, store=store,
     )
     elapsed = time.perf_counter() - start
     extra: Dict[str, object] = {
@@ -186,9 +225,12 @@ def timed_parallel_enumeration(
     }
     if flight_dir is not None:
         extra["flight_dir"] = flight_dir
-    extra.update(run_env())
-    return RunRecord(
-        label, elapsed, len(result.cliques), result.stats.as_dict(), extra
+    return stamped_record(
+        label,
+        elapsed,
+        len(result.cliques),
+        result.stats.as_dict(),
+        extra=extra,
     )
 
 

@@ -103,6 +103,12 @@ def build_document(
     ]
     from repro.obs.runtime import runtime_fingerprint
 
+    # Counter/metrics surfaces are deterministic, but the timings and
+    # the fingerprint below are this machine's — the document-level
+    # stamp pattern shared with kernel_speedup lives in
+    # ``repro.store.records.document_stamp`` (which adds peak RSS on
+    # top); the trajectory schema predates it and keeps the narrower
+    # ``runtime_fingerprint`` block for baseline compatibility.
     meta: Dict[str, object] = {
         "timer": "process_time",
         "rounds": rounds,

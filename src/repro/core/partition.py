@@ -123,6 +123,7 @@ def enumerate_parallel(
     processes: Optional[int] = None,
     config: PivotConfig = PMUC_PLUS_CONFIG,
     flight_dir: Optional[str] = None,
+    store=None,
 ) -> EnumerationResult:
     """Enumerate with a multiprocessing pool (one task per seed chunk).
 
@@ -137,8 +138,30 @@ def enumerate_parallel(
     the worker logs (:func:`repro.obs.flight.merge_flight_registries`)
     reproduces ``result.fleet["metrics"]`` byte for byte when the
     config observes at least at ``obs="light"``.
+
+    ``store`` (a :class:`~repro.store.store.RunStore`) enables
+    store-backed reuse: the run is keyed under procedure
+    ``peel/parts=N`` — parallel effort counters depend on the chunking
+    (M-pivot warm state is per chunk), so a 2-way run never answers a
+    4-way query — and a repeated key returns the stored cliques,
+    counters and shard breakdown without spawning a single worker.
+    Flight logs register as artifacts of the stored run.
     """
     import multiprocessing
+
+    key = None
+    if store is not None:
+        from repro.store.key import run_key_for
+
+        key = run_key_for(
+            graph, k, eta, config, procedure="peel/parts=%d" % parts
+        )
+        stored = store.get_run(key)
+        if stored is not None and stored.cliques is not None:
+            result = stored.result()
+            result.shards = list(stored.record.extra.get("shards") or [])
+            result.fleet = dict(stored.record.extra.get("fleet") or {})
+            return result
 
     reduced, order, chunks = _prepare_jobs(graph, k, eta, parts, config)
     recorder = None
@@ -184,21 +207,51 @@ def enumerate_parallel(
             ) as pool:
                 outcomes = pool.map(_run_chunk, jobs)
         merged = _merge_outcomes(outcomes)
+        wall = time.perf_counter() - start
         if recorder is not None:
             recorder.finish(
                 stats=merged.stats.as_dict(),
-                wall_s=round(time.perf_counter() - start, 6),
+                wall_s=round(wall, 6),
                 outputs=merged.stats.outputs,
                 fleet={
-                    key: value
-                    for key, value in sorted(merged.fleet.items())
-                    if key != "metrics"
+                    name: value
+                    for name, value in sorted(merged.fleet.items())
+                    if name != "metrics"
                 },
             )
-        return merged
     finally:
         if recorder is not None:
             recorder.close()
+    if store is not None:
+        from repro.store.records import stamped_record
+
+        record = stamped_record(
+            "parallel",
+            wall,
+            len(merged.cliques),
+            merged.stats.as_dict(),
+            extra={
+                "k": k,
+                "eta": repr(eta),
+                "parts": parts,
+                "shards": merged.shards,
+                "fleet": {
+                    name: value
+                    for name, value in sorted(merged.fleet.items())
+                    if name != "metrics"
+                },
+            },
+            backend=key.backend,
+        )
+        digest = store.put_run(key, record, cliques=merged.cliques)
+        if flight_dir is not None:
+            for path in [
+                os.path.join(flight_dir, "flight-parent.jsonl")
+            ] + [p for p in paths if p is not None]:
+                store.register_artifact(
+                    digest, os.path.basename(path), path
+                )
+    return merged
 
 
 def _run_chunk(job) -> Tuple[EnumerationResult, Dict[str, object]]:

@@ -11,10 +11,24 @@ slice instead of a fresh peeling.
 :class:`CliqueQuerySession` precomputes both decompositions once and
 answers ``query(k)`` by slicing and enumerating with the reduction
 switched off (it already happened).
+
+With a :class:`~repro.store.store.RunStore` attached, the session
+becomes the service layer's reuse surface:
+
+* the decompositions are loaded from (or published to) the store's
+  shared reduction cache, keyed by the exact ``(dataset fingerprint,
+  η, engine salt)`` — so *any* number of sessions and serve-loop
+  batches at the same η pay for one decomposition total;
+* ``query(k)`` first consults the store under the run's canonical
+  :class:`~repro.store.key.RunKey` (procedure ``"slice"``): a hit
+  returns the stored cliques with the stored counters and performs
+  **zero engine recursion** (no enumerator, no observer, no search);
+  a miss enumerates, persists, and returns the live result.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, Optional
 
 from dataclasses import replace
@@ -41,6 +55,14 @@ class CliqueQuerySession:
     config:
         Enumeration configuration; its ``reduction`` field is ignored
         (the session's sliced subgraph already is the reduced graph).
+    store:
+        Optional :class:`~repro.store.store.RunStore`: reuse stored
+        query results and share the decompositions through the store's
+        reduction cache (see the module docstring).
+    dataset_fingerprint:
+        Optional precomputed :func:`repro.store.key.graph_fingerprint`
+        of ``graph`` (skips rehashing when the caller already paid for
+        it); ignored without ``store``.
 
     Examples
     --------
@@ -57,14 +79,48 @@ class CliqueQuerySession:
         graph: UncertainGraph,
         eta,
         config: PivotConfig = PMUC_PLUS_CONFIG,
+        store=None,
+        dataset_fingerprint: Optional[str] = None,
     ):
         if not 0 < eta <= 1:
             raise ParameterError(f"eta must lie in (0, 1], got {eta!r}")
         self._graph = graph
         self._eta = eta
         self._config = replace(config, reduction="off")
-        self._core_shell = topk_core_decomposition(graph, eta)
-        self._triangle_shell = top_triangle_decomposition(graph, eta)
+        self._store = store
+        self._fingerprint = dataset_fingerprint
+        #: Store interaction counts for this session (queries answered
+        #: from the store / enumerated live; reduction cache reuse).
+        self.query_hits = 0
+        self.query_misses = 0
+        self.reduction_reused = False
+        if store is None:
+            self._core_shell = topk_core_decomposition(graph, eta)
+            self._triangle_shell = top_triangle_decomposition(graph, eta)
+        else:
+            self._load_or_compute_decompositions()
+
+    def _load_or_compute_decompositions(self) -> None:
+        from repro.store.key import graph_fingerprint, reduction_key_for
+
+        if self._fingerprint is None:
+            self._fingerprint = graph_fingerprint(self._graph)
+        rkey = reduction_key_for(
+            self._graph, self._eta,
+            dataset_fingerprint=self._fingerprint,
+        )
+        cached = self._store.get_reduction(rkey)
+        if cached is not None:
+            self._core_shell, self._triangle_shell = cached
+            self.reduction_reused = True
+            return
+        self._core_shell = topk_core_decomposition(self._graph, self._eta)
+        self._triangle_shell = top_triangle_decomposition(
+            self._graph, self._eta
+        )
+        self._store.put_reduction(
+            rkey, self._core_shell, self._triangle_shell
+        )
 
     # ------------------------------------------------------------------
     def reduced_graph(self, k: int) -> UncertainGraph:
@@ -88,16 +144,66 @@ class CliqueQuerySession:
         }
         return core.edge_subgraph(surviving)
 
+    def query_key(self, k: int):
+        """The canonical :class:`~repro.store.key.RunKey` of ``query(k)``.
+
+        Procedure ``"slice"``: the decomposition slice is a sound
+        superset of the direct peeling, so clique sets agree with
+        ``"peel"`` runs but effort counters are procedure-specific —
+        the key keeps the two replay surfaces separate.
+        """
+        from repro.store.key import graph_fingerprint, run_key_for
+
+        if self._fingerprint is None:
+            self._fingerprint = graph_fingerprint(self._graph)
+        return run_key_for(
+            self._graph, k, self._eta, self._config,
+            procedure="slice",
+            dataset_fingerprint=self._fingerprint,
+            reduction="triangle",
+        )
+
     def query(
         self,
         k: int,
         on_clique: Optional[Callable[[frozenset], None]] = None,
     ) -> EnumerationResult:
-        """Enumerate all maximal ``(k, η)``-cliques using the cache."""
+        """Enumerate all maximal ``(k, η)``-cliques using the cache.
+
+        With a store attached (and no streaming sink), a repeated key
+        is answered from storage: stored cliques, stored counters, no
+        recursion.  A streaming ``on_clique`` always enumerates live —
+        the caller asked for emission callbacks, not a result set.
+        """
+        if self._store is None or on_clique is not None:
+            reduced = self.reduced_graph(k)
+            return PivotEnumerator(
+                reduced, k, self._eta, self._config, on_clique
+            ).run()
+        key = self.query_key(k)
+        stored = self._store.get_run(key)
+        if stored is not None and stored.cliques is not None:
+            self.query_hits += 1
+            return stored.result()
+        self.query_misses += 1
+        from repro.store.records import stamped_record
+
         reduced = self.reduced_graph(k)
-        return PivotEnumerator(
-            reduced, k, self._eta, self._config, on_clique
-        ).run()
+        enumerator = PivotEnumerator(reduced, k, self._eta, self._config)
+        start = time.perf_counter()
+        result = enumerator.run()
+        seconds = time.perf_counter() - start
+        record = stamped_record(
+            "session",
+            seconds,
+            len(result.cliques),
+            result.stats.as_dict(),
+            extra={"k": k, "eta": repr(self._eta)},
+            backend=enumerator.backend_used,
+            variant=enumerator.variant_used,
+        )
+        self._store.put_run(key, record, cliques=result.cliques)
+        return result
 
     def size_profile(self, k_values) -> Dict[int, int]:
         """Number of maximal cliques per ``k`` (a Fig.-3-style sweep)."""

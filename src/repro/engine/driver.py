@@ -855,6 +855,54 @@ class _Specializer(ast.NodeTransformer):
         return node
 
 
+#: Modules whose sources define what an enumeration run *means*: the
+#: recursion driver and its protocol, both StateOps backends with the
+#: projection kernels they drive, and the reductions/ordering that
+#: shape the search space.  The run store's engine salt hashes exactly
+#: these (the verified-manifest pattern of :mod:`repro.analysis.cache`):
+#: a module that fails to import must fail the salt loudly, never
+#: silently narrow it so that stale results survive an engine change.
+_SEMANTIC_MODULES = (
+    "repro.engine.driver",
+    "repro.engine.protocol",
+    "repro.core.pmuc",
+    "repro.core.candidates",
+    "repro.core.pivot",
+    "repro.kernel.enumerate",
+    "repro.kernel.compact",
+    "repro.kernel.reduction",
+    "repro.reduction.ordering",
+    "repro.reduction.topk_core",
+    "repro.reduction.topk_triangle",
+)
+
+
+def engine_source_manifest():
+    """``(module name, source bytes)`` per semantics-bearing module.
+
+    The manifest is what the run store folds into its engine version
+    salt (see :func:`repro.store.key.engine_salt`): any byte change in
+    these files invalidates every stored run, because stored counters
+    and clique sets are only replayable while the search semantics
+    that produced them are unchanged.  Raises ``RuntimeError`` when a
+    module cannot be imported or read — a partial manifest must never
+    hash to a valid salt.
+    """
+    import importlib
+
+    entries = []
+    for name in _SEMANTIC_MODULES:
+        try:
+            module = importlib.import_module(name)
+            with open(module.__file__, "rb") as handle:
+                entries.append((name, handle.read()))
+        except Exception as error:
+            raise RuntimeError(
+                "engine salt would not cover module %s: %s" % (name, error)
+            ) from error
+    return entries
+
+
 def variant_key(ops, config, san=None, obs=None):
     """The specialization key for one run's configuration.
 

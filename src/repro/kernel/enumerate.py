@@ -79,6 +79,20 @@ def supports(graph: UncertainGraph, eta) -> bool:
     )
 
 
+def effective_backend(graph: UncertainGraph, eta, config) -> str:
+    """The backend ``PivotEnumerator.run`` would actually execute.
+
+    ``config.backend == "kernel"`` silently falls back to the dict
+    backend when :func:`supports` refuses the inputs, so any identity
+    derived from the *configured* backend would split cache keys that
+    produce byte-identical runs (and merge keys that do not).  The run
+    store keys on this resolved value instead.
+    """
+    if config.backend == "kernel" and supports(graph, eta):
+        return "kernel"
+    return "dict"
+
+
 class KernelStateOps(StateOps):
     """Bitset/log-domain state algebra for the search engine.
 

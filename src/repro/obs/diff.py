@@ -64,18 +64,36 @@ class Series:
     ``backend`` is the stamped execution backend of the run and
     ``variant`` the stamped recursion variant (either None on
     artifacts predating the stamps); :func:`compare` refuses to gate
-    one backend's or variant's numbers against another's.
+    one backend's or variant's numbers against another's.  ``env`` is
+    the run's own python/platform fingerprint when the record carries
+    one (harness records stamp it per run) — :func:`compare` warns
+    **once per distinct drift per invocation** when aligned runs
+    crossed machines, never once per compared row.
     """
 
     def __init__(self, key: str, seconds: Optional[float],
                  counters: Dict[str, int],
                  backend: Optional[str] = None,
-                 variant: Optional[str] = None) -> None:
+                 variant: Optional[str] = None,
+                 env: Optional[Dict[str, str]] = None) -> None:
         self.key = key
         self.seconds = seconds
         self.counters = counters
         self.backend = backend
         self.variant = variant
+        self.env = env or {}
+
+
+def _run_env(run: Dict[str, object]) -> Dict[str, str]:
+    """Per-run python/platform fingerprint keys, if stamped."""
+    source = run.get("env")
+    if not isinstance(source, dict):
+        source = run
+    return {
+        key: str(source[key])
+        for key in ("platform", "python")
+        if isinstance(source.get(key), str)
+    }
 
 
 def extract_series(kind: str, payload) -> List[Series]:
@@ -95,6 +113,7 @@ def extract_series(kind: str, payload) -> List[Series]:
                 counters,
                 run.get("backend"),
                 run.get("variant"),
+                _run_env(run),
             ))
         return series
     if kind == "metrics":
@@ -109,6 +128,7 @@ def extract_series(kind: str, payload) -> List[Series]:
                 dict(metrics.get("counters", {})),
                 run.get("backend"),
                 run.get("variant"),
+                _run_env(run),
             ))
         return series
     if kind == "speedup":
@@ -213,10 +233,18 @@ def compare(
         )
     lines: List[str] = []
     regressions: List[str] = []
+    # Per-run fingerprint drift collapses to one warning per distinct
+    # drift for the whole invocation (ordered-unique), not one per
+    # compared row — a 50-row artifact from another machine warns once.
+    warnings: List[str] = []
     current_by_key = {series.key: series for series in current}
     compared = 0
     for base in baseline:
         run = current_by_key.get(base.key)
+        if run is not None:
+            warning = platform_warning(base.env, run.env)
+            if warning is not None and warning not in warnings:
+                warnings.append(warning)
         if run is None:
             if only_common:
                 lines.append("%s: not in current, skipped" % base.key)
@@ -250,7 +278,7 @@ def compare(
         regressions.append(
             "no common runs between baseline and current"
         )
-    return lines, regressions
+    return warnings + lines, regressions
 
 
 def _compare_run(base, run, time_threshold, counter_threshold,
@@ -320,6 +348,9 @@ def diff_paths(
     warning = platform_warning(
         document_env(base_payload), document_env(run_payload)
     )
-    if warning is not None:
+    if warning is not None and warning not in lines:
+        # The document-level stamp usually restates the per-run drift
+        # compare() already surfaced; dedupe so one invocation prints
+        # each distinct warning exactly once.
         lines.insert(0, warning)
     return lines, regressions

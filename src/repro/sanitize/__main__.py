@@ -5,6 +5,12 @@
 backends with the sanitizer at the requested level, reporting per-run
 check counts.  Exit status 1 on the first violation (the serialized
 report is printed for replay), 0 when everything passes.
+
+With ``--store DIR`` every run persists into the run store at ``DIR``
+under its canonical :class:`~repro.store.key.RunKey`: clean runs store
+their clique set and counters; a violating run stores the serialized
+:class:`~repro.sanitize.report.ViolationReport` instead (replayable
+via ``repro.sanitize.replay`` after ``repro-store query show``).
 """
 
 from __future__ import annotations
@@ -21,21 +27,69 @@ from repro.datasets.figure1 import figure1_graph
 from repro.exceptions import SanitizerViolation
 
 
-def _run(name, graph, k, eta, backend, level) -> bool:
+def _persist(store, graph, k, eta, config, record, cliques, violation):
+    from repro.store.key import run_key_for
+
+    key = run_key_for(graph, k, eta, config)
+    return store.put_run(key, record, cliques=cliques, violation=violation)
+
+
+def _run(name, graph, k, eta, backend, level, store=None) -> bool:
     config = replace(PMUC_PLUS_CONFIG, backend=backend, sanitize=level)
+    enumerator = PivotEnumerator(graph, k, eta, config)
     start = time.perf_counter()
     try:
-        result = PivotEnumerator(graph, k, eta, config).run()
+        result = enumerator.run()
     except SanitizerViolation as violation:
+        seconds = time.perf_counter() - start
         print(f"FAIL {name} [{backend}]: {violation}")
         if violation.report is not None:
             print(violation.report.to_json())
+        if store is not None:
+            from repro.store.records import stamped_record
+
+            report = (
+                violation.report.as_dict()
+                if violation.report is not None
+                else {"message": str(violation)}
+            )
+            digest = _persist(
+                store, graph, k, eta, config,
+                stamped_record(
+                    "sanitize:%s" % name,
+                    seconds,
+                    0,
+                    extra={"k": k, "eta": repr(eta), "violation": report},
+                    backend=enumerator.backend_used,
+                    variant=enumerator.variant_used,
+                ),
+                cliques=None,
+                violation=report,
+            )
+            print(f"     stored violation report as {digest[:12]}")
         return False
     seconds = time.perf_counter() - start
     print(
         f"ok   {name} [{backend}]: {result.stats.outputs} cliques, "
         f"{seconds:.2f}s"
     )
+    if store is not None:
+        from repro.store.records import stamped_record
+
+        _persist(
+            store, graph, k, eta, config,
+            stamped_record(
+                "sanitize:%s" % name,
+                seconds,
+                len(result.cliques),
+                result.stats.as_dict(),
+                extra={"k": k, "eta": repr(eta), "sanitize": level},
+                backend=enumerator.backend_used,
+                variant=enumerator.variant_used,
+            ),
+            cliques=result.cliques,
+            violation=None,
+        )
     return True
 
 
@@ -54,7 +108,19 @@ def main(argv=None) -> int:
         action="store_true",
         help="Figure-1 graph only (skip the benchmark workloads)",
     )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="persist every run (and any violation report) to the run "
+        "store at DIR",
+    )
     args = parser.parse_args(argv)
+    store = None
+    if args.store is not None:
+        from repro.store.store import RunStore
+
+        store = RunStore(args.store)
 
     jobs = [("figure1", figure1_graph(), 3, 0.1)]
     if not args.quick:
@@ -65,7 +131,7 @@ def main(argv=None) -> int:
     ok = True
     for name, graph, k, eta in jobs:
         for backend in ("dict", "kernel"):
-            ok = _run(name, graph, k, eta, backend, args.sanitize) and ok
+            ok = _run(name, graph, k, eta, backend, args.sanitize, store) and ok
     return 0 if ok else 1
 
 

@@ -1,0 +1,212 @@
+"""CI gate: the end-to-end cache demo for the run store.
+
+Drives one workload through :class:`~repro.store.service
+.EnumerationService` twice and fails unless the store's contracts hold
+on the *observable* surfaces:
+
+1. **Zero recursion on a hit** — the first enumeration is a miss and
+   registers exactly one observer (the run is observed at
+   ``obs="light"``); the second enumeration of the identical RunKey is
+   a hit and registers **zero** observers inside an active
+   :func:`~repro.obs.session.observe` session — no enumerator was
+   built, no engine recursion happened — while returning the stored
+   cliques and byte-identical counters.
+2. **Byte-identical query output** — ``repro-store query show``
+   renders the same bytes after the live run and after the replay (the
+   renderer reads only stored content, so a hit cannot drift).
+3. **Key sensitivity, differentially verified** — changing η, or
+   perturbing a single edge probability, changes the RunKey (fresh
+   miss, different digest) and the freshly stored result equals a
+   from-scratch :class:`~repro.core.pmuc.PivotEnumerator` run.
+4. **Cross-procedure clique identity** — the session ``slice`` run
+   stores under a different key (procedure-dependent counters) but
+   yields the same clique set as the ``peel`` run.
+5. **Corruption degrades to a miss** — flipping one byte of a stored
+   clique file makes the key miss, and the re-run heals the entry.
+
+Usage (the CI ``store`` job)::
+
+    PYTHONPATH=src python -m repro.store.gate --store store-artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.bench.kernel_speedup import WORKLOADS, build_graph
+from repro.core.config import PMUC_PLUS_CONFIG
+from repro.core.pmuc import PivotEnumerator
+from repro.store.cli import render_show
+from repro.store.service import EnumerationService
+from repro.store.store import RunStore
+
+DEFAULT_WORKLOAD = "communities-100"
+
+
+def _clique_sets(result) -> set:
+    return set(map(frozenset, result.cliques))
+
+
+def _counters(result) -> str:
+    return json.dumps(result.stats.as_dict(), sort_keys=True)
+
+
+def run_gate(
+    workload: str = DEFAULT_WORKLOAD,
+    store_dir: str = "store-artifacts",
+) -> List[str]:
+    """Run the demo and return the list of failures (empty = pass)."""
+    from repro.obs.session import observe
+
+    spec = next(w for w in WORKLOADS if w["name"] == workload)
+    graph = build_graph(spec["params"])  # type: ignore[index]
+    k, eta = spec["k"], spec["eta"]
+    config = replace(PMUC_PLUS_CONFIG, obs="light")
+
+    # The gate owns its artifact directory; a stale store would turn
+    # the first run into a hit and make every assertion vacuous.
+    shutil.rmtree(store_dir, ignore_errors=True)
+    store = RunStore(store_dir)
+    service = EnumerationService(store, config)
+    failures: List[str] = []
+
+    # -- 1. miss, then a zero-recursion hit ----------------------------
+    with observe() as session:
+        first = service.enumerate(graph, k, eta, label="gate")
+    if first.hit:
+        failures.append("first enumeration hit a fresh store")
+    if len(session.observers) != 1:
+        failures.append(
+            "live run registered %d observers, expected 1 (is the "
+            "zero-recursion instrument wired?)" % len(session.observers)
+        )
+    with observe() as session:
+        second = service.enumerate(graph, k, eta, label="gate")
+    if not second.hit:
+        failures.append("identical RunKey missed on the second run")
+    if len(session.observers) != 0:
+        failures.append(
+            "cache hit registered %d observers — engine recursion "
+            "happened on a hit" % len(session.observers)
+        )
+    if second.digest != first.digest:
+        failures.append("hit returned a different digest")
+    if _clique_sets(second.result) != _clique_sets(first.result):
+        failures.append("hit returned a different clique set")
+    if _counters(second.result) != _counters(first.result):
+        failures.append(
+            "hit counters differ from the stored run's: %s vs %s"
+            % (_counters(second.result), _counters(first.result))
+        )
+
+    # -- 2. byte-identical `query show` between live run and replay ----
+    shows = []
+    for _ in range(2):
+        stored = store.get_by_digest(first.digest)
+        if stored is None:
+            failures.append("stored run unreadable for query show")
+            break
+        shows.append(
+            render_show(stored, "json") + "\n" + render_show(stored, "table")
+        )
+    if len(shows) == 2 and shows[0] != shows[1]:
+        failures.append("query show output not byte-identical on replay")
+
+    # -- 3a. changed η changes the key; differential verification ------
+    eta_prime = eta / 2
+    shifted = service.enumerate(graph, k, eta_prime, label="gate-eta")
+    if shifted.hit:
+        failures.append("changed η still hit the old key")
+    if shifted.digest == first.digest:
+        failures.append("changed η did not change the RunKey digest")
+    scratch = PivotEnumerator(graph, k, eta_prime, config).run()
+    if _clique_sets(shifted.result) != _clique_sets(scratch):
+        failures.append(
+            "stored η'-run differs from a from-scratch enumeration"
+        )
+
+    # -- 3b. one perturbed edge probability changes the key ------------
+    perturbed = graph.copy()
+    u, v, p = sorted(graph.edges(), key=repr)[0]
+    perturbed.add_edge(u, v, p * 0.5)
+    bumped = service.enumerate(perturbed, k, eta, label="gate-edge")
+    if bumped.hit:
+        failures.append("perturbed edge probability still hit the old key")
+    if bumped.digest == first.digest:
+        failures.append("perturbed edge did not change the RunKey digest")
+    scratch = PivotEnumerator(perturbed, k, eta, config).run()
+    if _clique_sets(bumped.result) != _clique_sets(scratch):
+        failures.append(
+            "stored perturbed-run differs from a from-scratch enumeration"
+        )
+
+    # -- 4. slice procedure: different key, same cliques ---------------
+    sliced = service.query(graph, k, eta)
+    # repro-lint: ok REP003 digests are sha256 hex strings, not probabilities
+    if sliced.digest == first.digest:
+        failures.append("slice procedure shares the peel RunKey")
+    if _clique_sets(sliced.result) != _clique_sets(first.result):
+        failures.append("slice clique set differs from the peel run's")
+
+    # -- 5. corruption degrades to a miss, then heals ------------------
+    target = os.path.join(store.run_dir(first.digest), "cliques.jsonl")
+    with open(target, "r+b") as handle:
+        blob = handle.read()
+        handle.seek(0)
+        handle.write(bytes([blob[0] ^ 0xFF]) + blob[1:])
+    relisted = store.get_by_digest(first.digest)
+    if relisted is not None:
+        failures.append("corrupted entry still verified on read")
+    healed = service.enumerate(graph, k, eta, label="gate")
+    if healed.hit:
+        failures.append("corrupted entry served as a cache hit")
+    refetched = service.enumerate(graph, k, eta, label="gate")
+    if not refetched.hit:
+        failures.append("re-published entry did not heal the digest")
+    if _clique_sets(refetched.result) != _clique_sets(first.result):
+        failures.append("healed entry returned a different clique set")
+
+    print(
+        "store gate: %d runs stored, hits=%d misses=%d"
+        % (len(store.list_runs()), store.hits, store.misses)
+    )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.store.gate",
+        description=(
+            "Gate: an identical RunKey must replay from the store with "
+            "zero engine recursion and byte-identical query output."
+        ),
+    )
+    parser.add_argument(
+        "--workload",
+        default=DEFAULT_WORKLOAD,
+        choices=tuple(w["name"] for w in WORKLOADS),
+        help="workload spec to enumerate (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--store",
+        default="store-artifacts",
+        metavar="DIR",
+        help="store directory (wiped first; default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    failures = run_gate(workload=args.workload, store_dir=args.store)
+    for failure in failures:
+        print("GATE FAILURE: %s" % failure)
+    if failures:
+        return 1
+    print("store gate ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,434 @@
+"""The content-addressed, crash-safe run store.
+
+Layout (two-level fan-out keeps directory listings short, like the
+analysis cache)::
+
+    <root>/runs/<digest[:2]>/<digest>/
+        MANIFEST.json       # {"format": 1, "files": {name: sha256}}
+        key.json            # the RunKey fields
+        record.json         # the RunRecord (label/seconds/stats/extra)
+        cliques.jsonl       # one sorted JSON array per clique
+        violation.json      # only for sanitized runs that failed
+        artifacts/<name>    # registered files (flight logs, traces)
+    <root>/reductions/<digest[:2]>/<digest>/
+        MANIFEST.json
+        core.jsonl          # per-vertex (Top_k, η)-core shells
+        triangle.jsonl      # per-edge (Top_k, η)-triangle shells
+
+**Crash safety** — every entry is staged in a temporary directory and
+published with one atomic ``os.rename``; a crashed writer leaves only
+an unreachable temp dir, never a half-entry.  First write wins: if the
+destination exists the stage is discarded, which is correct because
+entries are content-addressed (same key ⇒ byte-identical payload).
+
+**Corruption degrades to a miss** — every read re-hashes each file
+against the manifest; a flipped byte, a truncated tail (the flight
+recorder's tolerance pattern applied to storage: damaged tails must
+never poison a replay) or a missing file makes ``get`` return None.
+A run store must never fail an enumeration — it can only fail to
+shortcut one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.store.key import ReductionKey, RunKey
+from repro.store.records import RunRecord
+
+#: Default store location, relative to the working directory.
+DEFAULT_STORE_DIR = ".repro-store"
+
+_STORE_FORMAT = 1
+
+_MANIFEST = "MANIFEST.json"
+
+
+def _sha256(blob: bytes) -> str:
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _clique_lines(cliques) -> List[str]:
+    """Canonical JSONL body for a clique set.
+
+    Cliques sort by (size, member reprs) — the same canonical order as
+    ``EnumerationResult.as_sorted_sets`` — and members sort by repr
+    inside each line, so identical clique sets serialize to identical
+    bytes regardless of enumeration order.
+    """
+    rows = []
+    for clique in cliques:
+        members = sorted(clique, key=repr)
+        rows.append((len(members), [repr(m) for m in members], members))
+    rows.sort(key=lambda row: (row[0], row[1]))
+    return [
+        json.dumps(members, default=str, sort_keys=True)
+        for _size, _reprs, members in rows
+    ]
+
+
+def _freeze(vertex):
+    """JSON round-trips tuples to lists; restore hashability."""
+    if isinstance(vertex, list):
+        return tuple(_freeze(item) for item in vertex)
+    return vertex
+
+
+@dataclass
+class StoredRun:
+    """One materialized store entry."""
+
+    digest: str
+    key: RunKey
+    record: RunRecord
+    cliques: Optional[List[frozenset]] = None
+    violation: Optional[Dict[str, object]] = None
+    artifacts: Dict[str, str] = field(default_factory=dict)
+
+    def result(self):
+        """Rebuild an :class:`~repro.core.stats.EnumerationResult`.
+
+        The counters are the *producing run's* counters, replayed
+        verbatim — a cache hit reports exactly the effort the stored
+        run spent, not zero and not a recomputation.
+        """
+        from repro.core.stats import EnumerationResult, SearchStats
+
+        result = EnumerationResult()
+        result.cliques.extend(self.cliques or [])
+        known = set(SearchStats().as_dict())
+        result.stats = SearchStats(
+            **{
+                name: value
+                for name, value in self.record.stats.items()
+                if name in known
+            }
+        )
+        return result
+
+
+class RunStore:
+    """Content-addressed persistence for enumeration runs."""
+
+    def __init__(self, root: str = DEFAULT_STORE_DIR):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    # -- layout --------------------------------------------------------
+    def _entry_dir(self, kind: str, digest: str) -> str:
+        return os.path.join(self.root, kind, digest[:2], digest)
+
+    def run_dir(self, digest: str) -> str:
+        return self._entry_dir("runs", digest)
+
+    # -- atomic publication --------------------------------------------
+    def _publish(self, kind: str, digest: str,
+                 files: Dict[str, bytes]) -> str:
+        """Stage ``files`` plus their manifest, then rename into place."""
+        final = self._entry_dir(kind, digest)
+        parent = os.path.dirname(final)
+        os.makedirs(parent, exist_ok=True)
+        stage = tempfile.mkdtemp(dir=parent, prefix="stage-")
+        try:
+            manifest = {"format": _STORE_FORMAT, "files": {}}
+            for name in sorted(files):
+                blob = files[name]
+                path = os.path.join(stage, name)
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                with open(path, "wb") as handle:
+                    handle.write(blob)
+                manifest["files"][name] = _sha256(blob)
+            with open(
+                os.path.join(stage, _MANIFEST), "w", encoding="utf-8"
+            ) as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            if os.path.exists(final):
+                if self._verified_read(kind, digest) is not None:
+                    # Content-addressed: the existing entry is
+                    # equivalent (same key ⇒ byte-identical payload).
+                    shutil.rmtree(stage, ignore_errors=True)
+                    return final
+                # A damaged entry would otherwise pin its digest as a
+                # permanent miss: evict it and let the fresh stage win.
+                shutil.rmtree(final, ignore_errors=True)
+            try:
+                os.rename(stage, final)
+            except OSError:
+                # Lost a publication race; the winner's entry stands.
+                shutil.rmtree(stage, ignore_errors=True)
+            return final
+        except BaseException:
+            shutil.rmtree(stage, ignore_errors=True)
+            raise
+
+    def _verified_read(
+        self, kind: str, digest: str
+    ) -> Optional[Dict[str, bytes]]:
+        """Every file of an entry, re-hashed against its manifest.
+
+        Returns None — a miss — on any damage: unreadable manifest,
+        missing file, flipped byte, truncated tail.
+        """
+        entry = self._entry_dir(kind, digest)
+        try:
+            with open(
+                os.path.join(entry, _MANIFEST), encoding="utf-8"
+            ) as handle:
+                manifest = json.load(handle)
+            if manifest.get("format") != _STORE_FORMAT:
+                raise ValueError("stale store format")
+            files: Dict[str, bytes] = {}
+            for name in sorted(manifest["files"]):
+                with open(os.path.join(entry, name), "rb") as handle:
+                    blob = handle.read()
+                if _sha256(blob) != manifest["files"][name]:
+                    raise ValueError("content hash mismatch: %s" % name)
+                files[name] = blob
+            return files
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    # -- runs ----------------------------------------------------------
+    def put_run(
+        self,
+        key: RunKey,
+        record: RunRecord,
+        cliques=None,
+        violation: Optional[Dict[str, object]] = None,
+    ) -> str:
+        """Persist one run; returns its digest."""
+        digest = key.digest()
+        files: Dict[str, bytes] = {
+            "key.json": (
+                json.dumps(key.as_dict(), indent=2, sort_keys=True) + "\n"
+            ).encode(),
+            "record.json": (
+                json.dumps(
+                    {
+                        "label": record.label,
+                        "seconds": record.seconds,
+                        "num_cliques": record.num_cliques,
+                        "stats": record.stats,
+                        "extra": record.extra,
+                    },
+                    default=str,
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n"
+            ).encode(),
+        }
+        if cliques is not None:
+            body = "\n".join(_clique_lines(cliques))
+            files["cliques.jsonl"] = (
+                (body + "\n") if body else ""
+            ).encode()
+        if violation is not None:
+            files["violation.json"] = (
+                json.dumps(violation, default=str, indent=2, sort_keys=True)
+                + "\n"
+            ).encode()
+        self._publish("runs", digest, files)
+        return digest
+
+    def get_run(
+        self, key: RunKey, with_cliques: bool = True
+    ) -> Optional[StoredRun]:
+        """The stored run for ``key``, or None (miss/corrupt)."""
+        stored = self._load_run(key.digest(), with_cliques=with_cliques)
+        if stored is None:
+            self.misses += 1
+            return None
+        if stored.key != key:
+            # A digest collision or tampered key file: treat as damage.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stored
+
+    def has(self, key: RunKey) -> bool:
+        return self._verified_read("runs", key.digest()) is not None
+
+    def get_by_digest(
+        self, digest: str, with_cliques: bool = True
+    ) -> Optional[StoredRun]:
+        """Lookup by digest or unique digest prefix (CLI surface)."""
+        if len(digest) < 64:
+            matches = [
+                d for d in self._iter_digests("runs")
+                if d.startswith(digest)
+            ]
+            if len(matches) != 1:
+                return None
+            digest = matches[0]
+        return self._load_run(digest, with_cliques=with_cliques)
+
+    def _load_run(
+        self, digest: str, with_cliques: bool
+    ) -> Optional[StoredRun]:
+        files = self._verified_read("runs", digest)
+        if files is None:
+            return None
+        try:
+            key = RunKey.from_dict(json.loads(files["key.json"]))
+            raw = json.loads(files["record.json"])
+            record = RunRecord(
+                label=raw["label"],
+                seconds=raw["seconds"],
+                num_cliques=raw["num_cliques"],
+                stats=dict(raw.get("stats", {})),
+                extra=dict(raw.get("extra", {})),
+            )
+        except (ValueError, KeyError, TypeError):
+            return None
+        cliques = None
+        if with_cliques and "cliques.jsonl" in files:
+            cliques = []
+            for line in files["cliques.jsonl"].decode().splitlines():
+                if not line.strip():
+                    continue
+                cliques.append(
+                    frozenset(_freeze(v) for v in json.loads(line))
+                )
+        violation = None
+        if "violation.json" in files:
+            violation = json.loads(files["violation.json"])
+        artifacts = {
+            name[len("artifacts/"):]: os.path.join(
+                self.run_dir(digest), name
+            )
+            for name in files
+            if name.startswith("artifacts/")
+        }
+        return StoredRun(
+            digest=digest,
+            key=key,
+            record=record,
+            cliques=cliques,
+            violation=violation,
+            artifacts=artifacts,
+        )
+
+    def _iter_digests(self, kind: str) -> Iterator[str]:
+        base = os.path.join(self.root, kind)
+        if not os.path.isdir(base):
+            return
+        for fan in sorted(os.listdir(base)):
+            fan_dir = os.path.join(base, fan)
+            if not os.path.isdir(fan_dir):
+                continue
+            for digest in sorted(os.listdir(fan_dir)):
+                if len(digest) == 64:
+                    yield digest
+
+    def list_runs(self) -> List[StoredRun]:
+        """Every readable run entry (metadata only, cliques skipped)."""
+        runs = []
+        for digest in self._iter_digests("runs"):
+            stored = self._load_run(digest, with_cliques=False)
+            if stored is not None:
+                runs.append(stored)
+        return runs
+
+    # -- artifacts -----------------------------------------------------
+    def register_artifact(
+        self, digest: str, name: str, source_path: str
+    ) -> Optional[str]:
+        """Copy ``source_path`` under the run and extend its manifest.
+
+        Returns the stored path, or None when the run entry does not
+        exist or the artifact cannot be read (registration is best
+        effort — an artifact must never fail the run that produced it).
+        """
+        entry = self.run_dir(digest)
+        manifest_path = os.path.join(entry, _MANIFEST)
+        try:
+            with open(manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            with open(source_path, "rb") as handle:
+                blob = handle.read()
+            rel = "artifacts/" + os.path.basename(name)
+            target = os.path.join(entry, rel)
+            os.makedirs(os.path.dirname(target), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(target), suffix=".tmp"
+            )
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, target)
+            manifest["files"][rel] = _sha256(blob)
+            fd, tmp = tempfile.mkstemp(dir=entry, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, manifest_path)
+            return target
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    # -- shared reductions ---------------------------------------------
+    def put_reduction(
+        self,
+        key: ReductionKey,
+        core_shell: Dict[object, int],
+        triangle_shell: Dict[Tuple[object, object], int],
+    ) -> str:
+        """Persist one (core, triangle) decomposition pair."""
+        digest = key.digest()
+        core_rows = sorted(
+            (json.dumps([v, shell], default=str)
+             for v, shell in core_shell.items()),
+        )
+        triangle_rows = sorted(
+            (json.dumps([e[0], e[1], shell], default=str)
+             for e, shell in triangle_shell.items()),
+        )
+        files = {
+            "reduction_key.json": (
+                json.dumps(key.as_dict(), indent=2, sort_keys=True) + "\n"
+            ).encode(),
+            "core.jsonl": (
+                ("\n".join(core_rows) + "\n") if core_rows else ""
+            ).encode(),
+            "triangle.jsonl": (
+                ("\n".join(triangle_rows) + "\n") if triangle_rows else ""
+            ).encode(),
+        }
+        self._publish("reductions", digest, files)
+        return digest
+
+    def get_reduction(
+        self, key: ReductionKey
+    ) -> Optional[Tuple[Dict[object, int],
+                        Dict[Tuple[object, object], int]]]:
+        """The stored decompositions for ``key``, or None."""
+        files = self._verified_read("reductions", key.digest())
+        if files is None:
+            self.misses += 1
+            return None
+        try:
+            core_shell: Dict[object, int] = {}
+            for line in files["core.jsonl"].decode().splitlines():
+                if not line.strip():
+                    continue
+                vertex, shell = json.loads(line)
+                core_shell[_freeze(vertex)] = shell
+            triangle_shell: Dict[Tuple[object, object], int] = {}
+            for line in files["triangle.jsonl"].decode().splitlines():
+                if not line.strip():
+                    continue
+                u, v, shell = json.loads(line)
+                triangle_shell[(_freeze(u), _freeze(v))] = shell
+        except (ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return core_shell, triangle_shell

@@ -227,3 +227,87 @@ def test_diff_trace_input_exits_2(artifacts, capsys):
     trace, _metrics = artifacts
     assert main(["diff", str(trace), str(trace)]) == 2
     assert "error:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# cross-platform warning: once per distinct drift per invocation
+# ----------------------------------------------------------------------
+def multi_run_document(env=None, workloads=("a", "b", "c")):
+    """A bench document with several runs, each stamped with ``env``."""
+    doc = bench_document()
+    template = doc["runs"][0]
+    doc["runs"] = [
+        dict(template, workload=name, env=dict(env or {}))
+        for name in workloads
+    ]
+    return doc
+
+
+def test_diff_cross_platform_warning_fires_once_per_invocation(
+    tmp_path, capsys
+):
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    here = {"python": "3.11.4", "platform": "Linux-x86_64"}
+    there = {"python": "3.11.4", "platform": "Darwin-arm64"}
+    base.write_text(json.dumps(multi_run_document(env=here)))
+    cur.write_text(json.dumps(multi_run_document(env=there)))
+    assert main(["diff", str(base), str(cur)]) == 0
+    out = capsys.readouterr().out
+    # Three aligned rows crossed the same machine boundary: the drift
+    # is reported once for the whole invocation, not once per row.
+    assert out.count("cross-platform compare") == 1
+    assert "Linux-x86_64 -> Darwin-arm64" in out
+    for name in ("a", "b", "c"):
+        assert "%s/dict: calls 100 -> 100 ok" % name in out
+
+
+def test_diff_distinct_drifts_each_warn_once(tmp_path, capsys):
+    # Two different foreign environments in one document: one warning
+    # per *distinct* drift, still independent of the row count.
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    here = {"python": "3.11.4", "platform": "Linux-x86_64"}
+    base_doc = multi_run_document(env=here, workloads=("a", "b", "c", "d"))
+    cur_doc = multi_run_document(env=here, workloads=("a", "b", "c", "d"))
+    for run in cur_doc["runs"][:2]:
+        run["env"] = {"python": "3.11.4", "platform": "Darwin-arm64"}
+    for run in cur_doc["runs"][2:]:
+        run["env"] = {"python": "3.12.1", "platform": "Linux-x86_64"}
+    base.write_text(json.dumps(base_doc))
+    cur.write_text(json.dumps(cur_doc))
+    assert main(["diff", str(base), str(cur)]) == 0
+    out = capsys.readouterr().out
+    assert out.count("cross-platform compare") == 2
+    assert "platform Linux-x86_64 -> Darwin-arm64" in out
+    assert "python 3.11.4 -> 3.12.1" in out
+
+
+def test_diff_document_level_stamp_dedupes_against_run_level(
+    tmp_path, capsys
+):
+    # When the document meta restates the same drift the per-run envs
+    # already surfaced, one invocation still prints it exactly once.
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    here = {"python": "3.11.4", "platform": "Linux-x86_64"}
+    there = {"python": "3.11.4", "platform": "Darwin-arm64"}
+    base_doc = multi_run_document(env=here)
+    cur_doc = multi_run_document(env=there)
+    base_doc["meta"] = dict(here)
+    cur_doc["meta"] = dict(there)
+    base.write_text(json.dumps(base_doc))
+    cur.write_text(json.dumps(cur_doc))
+    assert main(["diff", str(base), str(cur)]) == 0
+    out = capsys.readouterr().out
+    assert out.count("cross-platform compare") == 1
+
+
+def test_diff_same_platform_runs_do_not_warn(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    here = {"python": "3.11.4", "platform": "Linux-x86_64"}
+    base.write_text(json.dumps(multi_run_document(env=here)))
+    cur.write_text(json.dumps(multi_run_document(env=here)))
+    assert main(["diff", str(base), str(cur)]) == 0
+    assert "cross-platform" not in capsys.readouterr().out
